@@ -1,0 +1,69 @@
+//! # lc-accounting — in-process microstate accounting
+//!
+//! The load controller in the paper (*Decoupling Contention Management from
+//! Scheduling*, ASPLOS 2010, §3.2.1) needs exactly one sensor: **how many
+//! runnable threads does this process have right now** ("demanded CPUs").  On
+//! Solaris the authors read the kernel's microstate accounting; mainstream
+//! Linux has no equivalent, and the paper itself notes this as the main
+//! portability obstacle.
+//!
+//! This crate provides the user-space substitute: a [`ThreadRegistry`] that
+//! worker threads publish their state transitions to (running, spinning on a
+//! lock, parked by load control, blocked on I/O, …) with monotonic
+//! nanosecond timestamps.  From it the controller derives instantaneous and
+//! windowed load, and the evaluation harness derives the per-state CPU-time
+//! breakdowns the paper plots (Figure 3) and the instantaneous-load traces
+//! (Figures 5, 6 and 8).
+//!
+//! Two load sources are provided:
+//!
+//! * [`RegistryLoadSampler`] — reads the in-process registry (precise, cheap,
+//!   portable; the default).
+//! * [`ProcfsLoadSampler`] — parses `/proc/self/task/*/stat` on Linux, the
+//!   closest OS-backed analogue of Solaris microstate accounting.  It is
+//!   slower and coarser (the paper makes the same observation about emulating
+//!   microstate accounting with DTrace), but it observes *all* threads in the
+//!   process, registered or not.
+//!
+//! The crate also contains a fixed-capacity [`TransitionTrace`] ring buffer —
+//! the stand-in for the DTrace scripts the authors use to record every
+//! context switch during an experiment.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod procfs;
+pub mod registry;
+pub mod sampler;
+pub mod trace;
+
+pub use procfs::ProcfsLoadSampler;
+pub use registry::{ThreadHandle, ThreadRegistry, ThreadState, ThreadUsage, UsageBreakdown};
+pub use sampler::{LoadSample, LoadSampler, RegistryLoadSampler};
+pub use trace::{Transition, TransitionTrace};
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Monotonic nanoseconds since the first call in this process.
+///
+/// All timestamps in this crate use this clock so that traces from different
+/// threads can be merged.
+#[inline]
+pub fn now_ns() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    Instant::now().duration_since(epoch).as_nanos() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotonic() {
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+    }
+}

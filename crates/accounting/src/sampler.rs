@@ -1,0 +1,147 @@
+//! Load samplers: how the controller measures "demanded CPUs".
+
+use crate::registry::ThreadRegistry;
+use crate::now_ns;
+use std::fmt;
+use std::sync::Arc;
+
+/// One load measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadSample {
+    /// When the sample was taken ([`crate::now_ns`]).
+    pub at_ns: u64,
+    /// Number of runnable threads (running + spinning) observed.
+    pub runnable: usize,
+}
+
+impl LoadSample {
+    /// Load expressed as a fraction of `capacity` hardware contexts
+    /// (1.0 = exactly loaded, 2.0 = 200 % load).
+    pub fn load_factor(&self, capacity: usize) -> f64 {
+        if capacity == 0 {
+            return 0.0;
+        }
+        self.runnable as f64 / capacity as f64
+    }
+
+    /// Number of runnable threads in excess of `capacity` (the paper's
+    /// *overload* sensor; zero when under-loaded).
+    pub fn overload(&self, capacity: usize) -> usize {
+        self.runnable.saturating_sub(capacity)
+    }
+}
+
+/// A source of load measurements.
+///
+/// The controller is generic over this trait so experiments can swap the
+/// in-process registry, the `/proc` sampler, or a scripted sequence (used by
+/// the bump test of Figure 8).
+pub trait LoadSampler: Send + Sync {
+    /// Takes a load measurement now.
+    fn sample(&self) -> LoadSample;
+
+    /// A short name for reports.
+    fn name(&self) -> &'static str {
+        "sampler"
+    }
+}
+
+/// Samples load from the in-process [`ThreadRegistry`] (the default, precise
+/// source).
+pub struct RegistryLoadSampler {
+    registry: Arc<ThreadRegistry>,
+}
+
+impl RegistryLoadSampler {
+    /// Creates a sampler over `registry`.
+    pub fn new(registry: Arc<ThreadRegistry>) -> Self {
+        Self { registry }
+    }
+
+    /// The underlying registry.
+    pub fn registry(&self) -> &Arc<ThreadRegistry> {
+        &self.registry
+    }
+}
+
+impl fmt::Debug for RegistryLoadSampler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RegistryLoadSampler")
+            .field("runnable", &self.registry.runnable_threads())
+            .finish()
+    }
+}
+
+impl LoadSampler for RegistryLoadSampler {
+    fn sample(&self) -> LoadSample {
+        LoadSample {
+            at_ns: now_ns(),
+            runnable: self.registry.runnable_threads(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "registry"
+    }
+}
+
+/// A sampler that replays a fixed value (tests, bump-test harness).
+#[derive(Debug, Clone)]
+pub struct FixedLoadSampler {
+    /// The runnable-thread count every sample reports.
+    pub runnable: usize,
+}
+
+impl LoadSampler for FixedLoadSampler {
+    fn sample(&self) -> LoadSample {
+        LoadSample {
+            at_ns: now_ns(),
+            runnable: self.runnable,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "fixed"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::ThreadState;
+
+    #[test]
+    fn load_sample_math() {
+        let s = LoadSample {
+            at_ns: 0,
+            runnable: 96,
+        };
+        assert!((s.load_factor(64) - 1.5).abs() < 1e-9);
+        assert_eq!(s.overload(64), 32);
+        assert_eq!(s.overload(128), 0);
+        assert_eq!(s.load_factor(0), 0.0);
+    }
+
+    #[test]
+    fn registry_sampler_tracks_registry() {
+        let reg = Arc::new(ThreadRegistry::new());
+        let sampler = RegistryLoadSampler::new(Arc::clone(&reg));
+        assert_eq!(sampler.sample().runnable, 0);
+        let h1 = reg.register();
+        let h2 = reg.register();
+        assert_eq!(sampler.sample().runnable, 2);
+        h1.set_state(ThreadState::ParkedByLoadControl);
+        assert_eq!(sampler.sample().runnable, 1);
+        drop(h2);
+        assert_eq!(sampler.sample().runnable, 0);
+        assert_eq!(sampler.name(), "registry");
+    }
+
+    #[test]
+    fn fixed_sampler_is_constant() {
+        let s = FixedLoadSampler { runnable: 7 };
+        assert_eq!(s.sample().runnable, 7);
+        assert_eq!(s.sample().runnable, 7);
+        assert_eq!(s.name(), "fixed");
+    }
+}

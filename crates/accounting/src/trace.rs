@@ -1,0 +1,229 @@
+//! A fixed-capacity ring buffer of thread-state transitions.
+//!
+//! This is the suite's substitute for the DTrace scripts the paper uses to
+//! record every context switch during a measurement window (Figures 5 and 6):
+//! attach a [`TransitionTrace`] to a [`crate::ThreadRegistry`], run the
+//! workload, then ask the trace for the instantaneous-runnable-thread
+//! timeline.
+
+use crate::registry::ThreadState;
+use std::sync::Mutex;
+
+/// One recorded state transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transition {
+    /// Timestamp from [`crate::now_ns`].
+    pub at_ns: u64,
+    /// Registry-assigned thread id.
+    pub thread_id: u64,
+    /// State before the transition.
+    pub from: ThreadState,
+    /// State after the transition.
+    pub to: ThreadState,
+}
+
+impl Transition {
+    /// Change in the number of runnable threads caused by this transition
+    /// (`+1`, `0` or `-1`).
+    pub fn runnable_delta(&self) -> i64 {
+        match (self.from.is_runnable(), self.to.is_runnable()) {
+            (false, true) => 1,
+            (true, false) => -1,
+            _ => 0,
+        }
+    }
+}
+
+/// A bounded, thread-safe transition log.
+///
+/// When full, the oldest entries are overwritten (the trace keeps the tail of
+/// the experiment, which is what the figures plot).
+#[derive(Debug)]
+pub struct TransitionTrace {
+    inner: Mutex<Ring>,
+}
+
+#[derive(Debug)]
+struct Ring {
+    buf: Vec<Option<Transition>>,
+    head: usize,
+    len: usize,
+    dropped: u64,
+}
+
+impl TransitionTrace {
+    /// Creates a trace that keeps the most recent `capacity` transitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be non-zero");
+        Self {
+            inner: Mutex::new(Ring {
+                buf: vec![None; capacity],
+                head: 0,
+                len: 0,
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// Appends a transition, evicting the oldest if the buffer is full.
+    pub fn push(&self, t: Transition) {
+        let mut ring = self.inner.lock().unwrap();
+        let capacity = ring.buf.len();
+        let head = ring.head;
+        if ring.len == capacity {
+            ring.dropped += 1;
+        } else {
+            ring.len += 1;
+        }
+        ring.buf[head] = Some(t);
+        ring.head = (head + 1) % capacity;
+    }
+
+    /// Number of transitions currently stored.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of transitions that were evicted because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().unwrap().dropped
+    }
+
+    /// Returns the stored transitions in chronological order.
+    pub fn snapshot(&self) -> Vec<Transition> {
+        let ring = self.inner.lock().unwrap();
+        let capacity = ring.buf.len();
+        let mut out = Vec::with_capacity(ring.len);
+        let start = (ring.head + capacity - ring.len) % capacity;
+        for i in 0..ring.len {
+            if let Some(t) = ring.buf[(start + i) % capacity] {
+                out.push(t);
+            }
+        }
+        out
+    }
+
+    /// Clears the trace.
+    pub fn clear(&self) {
+        let mut ring = self.inner.lock().unwrap();
+        for slot in ring.buf.iter_mut() {
+            *slot = None;
+        }
+        ring.head = 0;
+        ring.len = 0;
+        ring.dropped = 0;
+    }
+
+    /// Reconstructs the instantaneous-runnable-thread timeline.
+    ///
+    /// `initial_runnable` is the number of runnable threads at the start of
+    /// the trace.  The result is a step function `(timestamp_ns, runnable)`
+    /// with one point per transition that changed the count.
+    pub fn runnable_timeline(&self, initial_runnable: i64) -> Vec<(u64, i64)> {
+        let mut runnable = initial_runnable;
+        let mut out = Vec::new();
+        for t in self.snapshot() {
+            let delta = t.runnable_delta();
+            if delta != 0 {
+                runnable += delta;
+                out.push((t.at_ns, runnable));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(at_ns: u64, id: u64, from: ThreadState, to: ThreadState) -> Transition {
+        Transition {
+            at_ns,
+            thread_id: id,
+            from,
+            to,
+        }
+    }
+
+    #[test]
+    fn push_and_snapshot_in_order() {
+        let trace = TransitionTrace::with_capacity(8);
+        assert!(trace.is_empty());
+        for i in 0..5 {
+            trace.push(t(i, i, ThreadState::Running, ThreadState::Spinning));
+        }
+        let snap = trace.snapshot();
+        assert_eq!(snap.len(), 5);
+        assert_eq!(snap[0].at_ns, 0);
+        assert_eq!(snap[4].at_ns, 4);
+        assert_eq!(trace.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_when_full() {
+        let trace = TransitionTrace::with_capacity(4);
+        for i in 0..10 {
+            trace.push(t(i, 0, ThreadState::Running, ThreadState::Idle));
+        }
+        let snap = trace.snapshot();
+        assert_eq!(snap.len(), 4);
+        assert_eq!(snap[0].at_ns, 6);
+        assert_eq!(snap[3].at_ns, 9);
+        assert_eq!(trace.dropped(), 6);
+    }
+
+    #[test]
+    fn runnable_delta_sign() {
+        assert_eq!(
+            t(0, 0, ThreadState::Running, ThreadState::BlockedOnIo).runnable_delta(),
+            -1
+        );
+        assert_eq!(
+            t(0, 0, ThreadState::ParkedByLoadControl, ThreadState::Spinning).runnable_delta(),
+            1
+        );
+        assert_eq!(
+            t(0, 0, ThreadState::Running, ThreadState::Spinning).runnable_delta(),
+            0
+        );
+    }
+
+    #[test]
+    fn runnable_timeline_steps() {
+        let trace = TransitionTrace::with_capacity(16);
+        trace.push(t(10, 1, ThreadState::Running, ThreadState::BlockedOnIo));
+        trace.push(t(20, 2, ThreadState::Running, ThreadState::Spinning));
+        trace.push(t(30, 1, ThreadState::BlockedOnIo, ThreadState::Running));
+        let tl = trace.runnable_timeline(4);
+        assert_eq!(tl, vec![(10, 3), (30, 4)]);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let trace = TransitionTrace::with_capacity(2);
+        trace.push(t(1, 0, ThreadState::Running, ThreadState::Idle));
+        trace.push(t(2, 0, ThreadState::Idle, ThreadState::Running));
+        trace.push(t(3, 0, ThreadState::Running, ThreadState::Idle));
+        assert_eq!(trace.dropped(), 1);
+        trace.clear();
+        assert!(trace.is_empty());
+        assert_eq!(trace.dropped(), 0);
+        assert!(trace.snapshot().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be non-zero")]
+    fn zero_capacity_panics() {
+        let _ = TransitionTrace::with_capacity(0);
+    }
+}

@@ -1,0 +1,22 @@
+//! `cargo bench` entry point that exercises every figure reproduction in
+//! quick mode and prints its series.  The full-size experiments are run with
+//! `cargo run --release -p lc-bench --bin figures -- all`.
+
+use lc_bench::FIGURES;
+use std::time::Instant;
+
+fn main() {
+    // Criterion-style filtering: `cargo bench --bench figures -- fig09`.
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let filter: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    println!("# figure reproductions (quick mode); see EXPERIMENTS.md for full runs");
+    for (id, runner) in FIGURES {
+        if !filter.is_empty() && !filter.iter().any(|f| id.contains(f.as_str())) {
+            continue;
+        }
+        let start = Instant::now();
+        let result = runner(true);
+        result.print();
+        println!("# {id} quick run took {:.2}s", start.elapsed().as_secs_f64());
+    }
+}

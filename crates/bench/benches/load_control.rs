@@ -1,0 +1,121 @@
+//! Criterion benches for the load-control machinery itself: sleep-slot-buffer
+//! operations (the only thing a spinning thread touches on its polling path)
+//! and the end-to-end load-controlled mutex on the host machine, including
+//! the ablation of the slot-check period called out in DESIGN.md §7.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lc_core::{LcLock, LoadControl, LoadControlConfig};
+use lc_core::slots::SleepSlotBuffer;
+use lc_locks::{Parker, RawLock};
+use lc_workloads::drivers::{run_microbench_lc, MicrobenchConfig};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_slot_buffer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sleep_slot_buffer");
+    // The common case on the polling path: no open slots.
+    group.bench_function("has_space_empty_target", |b| {
+        let buf = SleepSlotBuffer::new(1024);
+        b.iter(|| black_box(buf.has_space()))
+    });
+    group.bench_function("claim_and_leave", |b| {
+        let buf = SleepSlotBuffer::new(1024);
+        buf.set_target(1024);
+        let id = buf.register_sleeper(Arc::new(Parker::new()));
+        b.iter(|| {
+            if let lc_core::ClaimOutcome::Claimed(idx) = buf.try_claim(id) {
+                buf.leave(idx, id);
+            }
+        })
+    });
+    group.bench_function("controller_set_target", |b| {
+        let buf = SleepSlotBuffer::new(1024);
+        let mut t = 0u64;
+        b.iter(|| {
+            t = (t + 7) % 64;
+            black_box(buf.set_target(t))
+        })
+    });
+    group.finish();
+}
+
+fn bench_lc_lock_uncontended(c: &mut Criterion) {
+    let control = LoadControl::new(LoadControlConfig::for_capacity(64));
+    let lock = LcLock::new_with(&control);
+    c.bench_function("lc_lock_uncontended_acquire_release", |b| {
+        b.iter(|| {
+            lock.lock();
+            unsafe { lock.unlock() };
+        })
+    });
+}
+
+fn bench_lc_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lc_mutex_contended");
+    group.sample_size(10);
+    for threads in [4usize, 8] {
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &t| {
+            let control = LoadControl::start(
+                LoadControlConfig::for_capacity(2)
+                    .with_update_interval(Duration::from_millis(2))
+                    .with_sleep_timeout(Duration::from_millis(10)),
+            );
+            b.iter(|| {
+                run_microbench_lc(
+                    MicrobenchConfig {
+                        threads: t,
+                        critical_iters: 30,
+                        delay_iters: 200,
+                        duration: Duration::from_millis(60),
+                    },
+                    &control,
+                )
+                .acquisitions
+            });
+            control.stop_controller();
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: how often the polling loop consults the slot buffer
+/// (paper §3.2.3 — checking too often slows handoffs, too rarely slows the
+/// response to the controller).
+fn bench_slot_check_period_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_slot_check_period");
+    group.sample_size(10);
+    for period in [8u32, 64, 512] {
+        group.bench_with_input(BenchmarkId::new("period", period), &period, |b, &p| {
+            let control = LoadControl::start(
+                LoadControlConfig::for_capacity(2)
+                    .with_update_interval(Duration::from_millis(2))
+                    .with_sleep_timeout(Duration::from_millis(10))
+                    .with_slot_check_period(p),
+            );
+            b.iter(|| {
+                run_microbench_lc(
+                    MicrobenchConfig {
+                        threads: 6,
+                        critical_iters: 30,
+                        delay_iters: 100,
+                        duration: Duration::from_millis(50),
+                    },
+                    &control,
+                )
+                .acquisitions
+            });
+            control.stop_controller();
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_slot_buffer,
+    bench_lc_lock_uncontended,
+    bench_lc_end_to_end,
+    bench_slot_check_period_ablation
+);
+criterion_main!(benches);

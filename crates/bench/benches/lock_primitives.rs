@@ -1,0 +1,87 @@
+//! Criterion micro-benchmarks for the real lock implementations:
+//! uncontended acquire/release latency and contended throughput on the host
+//! machine (experiment E11 in DESIGN.md — a real-machine sanity check of the
+//! primitives the simulator models).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lc_locks::{
+    AdaptiveLock, BlockingLock, McsLock, RawLock, SpinThenYieldLock, TasLock, TicketLock,
+    TimePublishedLock, TtasLock,
+};
+use lc_workloads::drivers::{run_microbench, MicrobenchConfig};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn uncontended_pair<R: RawLock>(lock: &R) {
+    lock.lock();
+    unsafe { lock.unlock() };
+}
+
+fn bench_uncontended(c: &mut Criterion) {
+    let mut group = c.benchmark_group("uncontended_acquire_release");
+    group.bench_function("tas", |b| {
+        let l = TasLock::new();
+        b.iter(|| uncontended_pair(black_box(&l)))
+    });
+    group.bench_function("ttas-backoff", |b| {
+        let l = TtasLock::new();
+        b.iter(|| uncontended_pair(black_box(&l)))
+    });
+    group.bench_function("ticket", |b| {
+        let l = TicketLock::new();
+        b.iter(|| uncontended_pair(black_box(&l)))
+    });
+    group.bench_function("mcs", |b| {
+        let l = McsLock::new();
+        b.iter(|| uncontended_pair(black_box(&l)))
+    });
+    group.bench_function("tp-queue", |b| {
+        let l = TimePublishedLock::new();
+        b.iter(|| uncontended_pair(black_box(&l)))
+    });
+    group.bench_function("spin-then-yield", |b| {
+        let l = SpinThenYieldLock::new();
+        b.iter(|| uncontended_pair(black_box(&l)))
+    });
+    group.bench_function("blocking", |b| {
+        let l = BlockingLock::new();
+        b.iter(|| uncontended_pair(black_box(&l)))
+    });
+    group.bench_function("adaptive", |b| {
+        let l = AdaptiveLock::new();
+        b.iter(|| uncontended_pair(black_box(&l)))
+    });
+    group.finish();
+}
+
+fn contended_config(threads: usize) -> MicrobenchConfig {
+    MicrobenchConfig {
+        threads,
+        critical_iters: 30,
+        delay_iters: 200,
+        duration: Duration::from_millis(60),
+    }
+}
+
+fn bench_contended(c: &mut Criterion) {
+    let mut group = c.benchmark_group("contended_throughput");
+    group.sample_size(10);
+    for threads in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("ticket", threads), &threads, |b, &t| {
+            b.iter(|| run_microbench::<TicketLock>(contended_config(t)).acquisitions)
+        });
+        group.bench_with_input(BenchmarkId::new("tp-queue", threads), &threads, |b, &t| {
+            b.iter(|| run_microbench::<TimePublishedLock>(contended_config(t)).acquisitions)
+        });
+        group.bench_with_input(BenchmarkId::new("adaptive", threads), &threads, |b, &t| {
+            b.iter(|| run_microbench::<AdaptiveLock>(contended_config(t)).acquisitions)
+        });
+        group.bench_with_input(BenchmarkId::new("blocking", threads), &threads, |b, &t| {
+            b.iter(|| run_microbench::<BlockingLock>(contended_config(t)).acquisitions)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_uncontended, bench_contended);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Regenerates the paper's figures on the simulator.
+//!
+//! ```text
+//! cargo run --release -p lc-bench --bin figures -- all
+//! cargo run --release -p lc-bench --bin figures -- fig01 fig11
+//! cargo run --release -p lc-bench --bin figures -- all --quick
+//! ```
+
+use lc_bench::FIGURES;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let wanted: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+
+    if wanted.is_empty() {
+        eprintln!("usage: figures [--quick] all | figNN [figNN ...]");
+        eprintln!("available figures:");
+        for (id, _) in FIGURES {
+            eprintln!("  {id}");
+        }
+        return ExitCode::FAILURE;
+    }
+
+    let run_all = wanted.iter().any(|w| w.as_str() == "all");
+    let mut matched = 0;
+    for (id, runner) in FIGURES {
+        if run_all || wanted.iter().any(|w| w.as_str() == *id) {
+            let start = std::time::Instant::now();
+            let result = runner(quick);
+            result.print();
+            eprintln!("[{id} completed in {:.1}s]", start.elapsed().as_secs_f64());
+            matched += 1;
+        }
+    }
+    if matched == 0 {
+        eprintln!("no figure matched {wanted:?}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

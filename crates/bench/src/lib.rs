@@ -1,0 +1,29 @@
+//! # lc-bench — the evaluation harness
+//!
+//! One function per figure of the paper's evaluation (Figures 1, 3, 4, 5, 6,
+//! 8, 9, 10, 11 and 12), each returning the series the paper plots as plain
+//! rows and printable as CSV.  The `figures` binary multiplexes them:
+//!
+//! ```text
+//! cargo run --release -p lc-bench --bin figures -- fig01
+//! cargo run --release -p lc-bench --bin figures -- all
+//! cargo run --release -p lc-bench --bin figures -- fig11 --quick
+//! ```
+//!
+//! Criterion micro-benchmarks for the real lock implementations live in
+//! `benches/`.
+
+#![warn(missing_docs)]
+
+pub mod figures;
+
+pub use figures::{FigureResult, FIGURES};
+
+/// Formats a floating-point cell for CSV output.
+pub fn fmt(v: f64) -> String {
+    if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2}")
+    }
+}

@@ -1,0 +1,165 @@
+//! Configuration of the load-control mechanism.
+
+use std::time::Duration;
+
+/// Tuning parameters for [`crate::LoadControl`].
+///
+/// The defaults follow the paper's evaluation (§4–§5): a controller update
+/// interval of 7 ms (Figure 10 shows 3–10 ms is the sweet spot), a sleep
+/// timeout of 100 ms (§3.1.2), and a slot check every few dozen polling
+/// iterations so the common no-space case stays off the handoff path
+/// (§3.2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadControlConfig {
+    /// Number of hardware contexts the process should aim to keep busy.
+    ///
+    /// The paper assumes an admission controller keeps long-term average load
+    /// near (but not hugely above) this value; load control manages the
+    /// millisecond-scale excursions around it.
+    pub capacity: usize,
+    /// How often the controller daemon re-measures load and updates the sleep
+    /// target.
+    pub update_interval: Duration,
+    /// Maximum time a thread sleeps in a slot before it wakes on its own.
+    ///
+    /// Roughly one scheduler time slice in the paper (100 ms).
+    pub sleep_timeout: Duration,
+    /// A spinning thread consults the sleep-slot buffer once every this many
+    /// polling iterations.
+    pub slot_check_period: u32,
+    /// Upper bound on the sleep target (and on the slot ring size in use).
+    pub max_sleepers: usize,
+    /// Extra runnable threads tolerated above `capacity` before the
+    /// controller starts removing threads (0 reproduces the paper exactly).
+    pub overload_headroom: usize,
+}
+
+impl LoadControlConfig {
+    /// The paper's controller update interval.
+    pub const DEFAULT_UPDATE_INTERVAL: Duration = Duration::from_millis(7);
+    /// The paper's sleep timeout (about one scheduler time slice).
+    pub const DEFAULT_SLEEP_TIMEOUT: Duration = Duration::from_millis(100);
+    /// Default polling-loop iterations between slot-buffer checks.
+    pub const DEFAULT_SLOT_CHECK_PERIOD: u32 = 64;
+    /// Default cap on simultaneous sleepers.
+    pub const DEFAULT_MAX_SLEEPERS: usize = 1024;
+
+    /// A configuration for a machine (or partition) with `capacity` hardware
+    /// contexts and paper-default tuning.
+    pub fn for_capacity(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            update_interval: Self::DEFAULT_UPDATE_INTERVAL,
+            sleep_timeout: Self::DEFAULT_SLEEP_TIMEOUT,
+            slot_check_period: Self::DEFAULT_SLOT_CHECK_PERIOD,
+            max_sleepers: Self::DEFAULT_MAX_SLEEPERS,
+            overload_headroom: 0,
+        }
+    }
+
+    /// A configuration sized from `std::thread::available_parallelism`.
+    pub fn for_this_machine() -> Self {
+        let capacity = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::for_capacity(capacity)
+    }
+
+    /// Returns `self` with a different controller update interval.
+    pub fn with_update_interval(mut self, interval: Duration) -> Self {
+        self.update_interval = interval;
+        self
+    }
+
+    /// Returns `self` with a different sleep timeout.
+    pub fn with_sleep_timeout(mut self, timeout: Duration) -> Self {
+        self.sleep_timeout = timeout;
+        self
+    }
+
+    /// Returns `self` with a different slot-check period.
+    pub fn with_slot_check_period(mut self, period: u32) -> Self {
+        self.slot_check_period = period.max(1);
+        self
+    }
+
+    /// Returns `self` with a different overload headroom.
+    pub fn with_overload_headroom(mut self, headroom: usize) -> Self {
+        self.overload_headroom = headroom;
+        self
+    }
+
+    /// The sleep target implied by a measurement of `runnable` threads:
+    /// the number of threads that should be asleep so that runnable load
+    /// returns to `capacity` (the paper's `T = load − 100 %`).
+    pub fn target_for_load(&self, runnable: usize) -> usize {
+        runnable
+            .saturating_sub(self.capacity + self.overload_headroom)
+            .min(self.max_sleepers)
+    }
+}
+
+impl Default for LoadControlConfig {
+    fn default() -> Self {
+        Self::for_this_machine()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_follow_the_paper() {
+        let c = LoadControlConfig::for_capacity(64);
+        assert_eq!(c.capacity, 64);
+        assert_eq!(c.update_interval, Duration::from_millis(7));
+        assert_eq!(c.sleep_timeout, Duration::from_millis(100));
+        assert_eq!(c.overload_headroom, 0);
+    }
+
+    #[test]
+    fn capacity_is_at_least_one() {
+        assert_eq!(LoadControlConfig::for_capacity(0).capacity, 1);
+    }
+
+    #[test]
+    fn target_for_load_is_excess_over_capacity() {
+        let c = LoadControlConfig::for_capacity(64);
+        assert_eq!(c.target_for_load(32), 0);
+        assert_eq!(c.target_for_load(64), 0);
+        assert_eq!(c.target_for_load(96), 32);
+        assert_eq!(c.target_for_load(192), 128);
+    }
+
+    #[test]
+    fn headroom_shifts_the_threshold() {
+        let c = LoadControlConfig::for_capacity(64).with_overload_headroom(8);
+        assert_eq!(c.target_for_load(70), 0);
+        assert_eq!(c.target_for_load(80), 8);
+    }
+
+    #[test]
+    fn target_is_capped_by_max_sleepers() {
+        let mut c = LoadControlConfig::for_capacity(1);
+        c.max_sleepers = 4;
+        assert_eq!(c.target_for_load(1000), 4);
+    }
+
+    #[test]
+    fn builder_helpers() {
+        let c = LoadControlConfig::for_capacity(8)
+            .with_update_interval(Duration::from_millis(3))
+            .with_sleep_timeout(Duration::from_millis(50))
+            .with_slot_check_period(0);
+        assert_eq!(c.update_interval, Duration::from_millis(3));
+        assert_eq!(c.sleep_timeout, Duration::from_millis(50));
+        assert_eq!(c.slot_check_period, 1);
+    }
+
+    #[test]
+    fn this_machine_config_is_sane() {
+        let c = LoadControlConfig::for_this_machine();
+        assert!(c.capacity >= 1);
+    }
+}

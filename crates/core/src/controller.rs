@@ -1,0 +1,335 @@
+//! The load controller: a daemon thread that measures load and steers the
+//! sleep slot buffer (paper §3.1.1, Figure 7 left).
+
+use crate::config::LoadControlConfig;
+use crate::slots::SleepSlotBuffer;
+use crate::thread_ctx::{current_ctx, WorkerRegistration};
+use lc_accounting::{LoadSampler, RegistryLoadSampler, ThreadRegistry};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How the controller decides the sleep target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControllerMode {
+    /// Measure load every update interval and set `T = load − capacity`
+    /// (the paper's policy).
+    Automatic,
+    /// The target is set manually through [`LoadControl::set_sleep_target`]
+    /// (used by the Figure 8 bump test and by unit tests).
+    Manual,
+}
+
+/// Counters describing the controller's activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ControllerStats {
+    /// Number of measure-and-adjust cycles completed.
+    pub cycles: u64,
+    /// Last measured runnable-thread count.
+    pub last_runnable: usize,
+    /// Last sleep target published.
+    pub last_target: u64,
+    /// Total threads woken early by the controller.
+    pub controller_wakes: u64,
+}
+
+struct Shared {
+    config: LoadControlConfig,
+    buffer: SleepSlotBuffer,
+    registry: Arc<ThreadRegistry>,
+    sampler: Box<dyn LoadSampler>,
+    mode: Mutex<ControllerMode>,
+    running: AtomicBool,
+    cycles: AtomicU64,
+    last_runnable: AtomicUsize,
+}
+
+/// The process-wide load-control facility.
+///
+/// One `LoadControl` owns the sleep slot buffer, the thread registry, and the
+/// controller daemon.  Locks created with [`crate::LcLock::new_with`] share
+/// it; worker threads register through [`LoadControl::register_worker`] so
+/// the controller can see them.
+pub struct LoadControl {
+    shared: Arc<Shared>,
+    daemon: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl fmt::Debug for LoadControl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LoadControl")
+            .field("config", &self.shared.config)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl LoadControl {
+    /// Creates a load-control instance *without* starting the controller
+    /// daemon (useful for tests and for manual/bump-test driving).
+    pub fn new(config: LoadControlConfig) -> Arc<Self> {
+        let registry = Arc::new(ThreadRegistry::new());
+        let sampler = Box::new(RegistryLoadSampler::new(Arc::clone(&registry)));
+        Self::with_sampler(config, registry, sampler)
+    }
+
+    /// Creates a load-control instance with a caller-supplied load sampler.
+    pub fn with_sampler(
+        config: LoadControlConfig,
+        registry: Arc<ThreadRegistry>,
+        sampler: Box<dyn LoadSampler>,
+    ) -> Arc<Self> {
+        let shared = Arc::new(Shared {
+            buffer: SleepSlotBuffer::new(config.max_sleepers),
+            config,
+            registry,
+            sampler,
+            mode: Mutex::new(ControllerMode::Automatic),
+            running: AtomicBool::new(false),
+            cycles: AtomicU64::new(0),
+            last_runnable: AtomicUsize::new(0),
+        });
+        Arc::new(Self {
+            shared,
+            daemon: Mutex::new(None),
+        })
+    }
+
+    /// Creates a load-control instance and starts its controller daemon.
+    pub fn start(config: LoadControlConfig) -> Arc<Self> {
+        let lc = Self::new(config);
+        lc.start_controller();
+        lc
+    }
+
+    /// The process-wide default instance (capacity = available parallelism),
+    /// with its controller running.  This is what [`crate::LcLock::new`] uses,
+    /// mirroring the paper's "drop-in library" deployment model.
+    pub fn global() -> Arc<Self> {
+        static GLOBAL: std::sync::OnceLock<Arc<LoadControl>> = std::sync::OnceLock::new();
+        Arc::clone(GLOBAL.get_or_init(|| LoadControl::start(LoadControlConfig::for_this_machine())))
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> LoadControlConfig {
+        self.shared.config
+    }
+
+    /// The thread registry used for load measurement.
+    pub fn registry(&self) -> &Arc<ThreadRegistry> {
+        &self.shared.registry
+    }
+
+    /// The sleep slot buffer (exposed for instrumentation and tests).
+    pub fn buffer(&self) -> &SleepSlotBuffer {
+        &self.shared.buffer
+    }
+
+    /// Registers the calling thread as a load-controlled worker: it is added
+    /// to the thread registry (so the controller can count it) and given a
+    /// sleeper identity in the slot buffer.
+    ///
+    /// Dropping the returned registration marks the thread idle again.
+    pub fn register_worker(self: &Arc<Self>) -> WorkerRegistration {
+        WorkerRegistration::new(current_ctx(self))
+    }
+
+    /// Switches between automatic (measured) and manual target control.
+    pub fn set_mode(&self, mode: ControllerMode) {
+        *self.shared.mode.lock().unwrap() = mode;
+    }
+
+    /// The current control mode.
+    pub fn mode(&self) -> ControllerMode {
+        *self.shared.mode.lock().unwrap()
+    }
+
+    /// Manually sets the sleep target (bump test / experiments).  Implies
+    /// nothing about the mode: in automatic mode the next controller cycle
+    /// will overwrite it.
+    pub fn set_sleep_target(&self, target: u64) -> usize {
+        self.shared.buffer.set_target(target)
+    }
+
+    /// The current sleep target.
+    pub fn sleep_target(&self) -> u64 {
+        self.shared.buffer.target()
+    }
+
+    /// Number of threads currently asleep (or committed to sleeping).
+    pub fn sleepers(&self) -> u64 {
+        self.shared.buffer.sleepers()
+    }
+
+    /// Whether the controller currently considers the process overloaded.
+    pub fn is_overloaded(&self) -> bool {
+        self.shared.buffer.target() > 0
+    }
+
+    /// Runs one controller cycle immediately (measure load, update target).
+    ///
+    /// This is what the daemon does every `update_interval`; tests and the
+    /// simulator-driven experiments call it directly.
+    pub fn run_cycle(&self) -> ControllerStats {
+        let sample = self.shared.sampler.sample();
+        self.shared
+            .last_runnable
+            .store(sample.runnable, Ordering::Relaxed);
+        if self.mode() == ControllerMode::Automatic {
+            // Demand = runnable threads plus the ones currently asleep in the
+            // slot buffer; using total demand keeps the target stable instead
+            // of mass-waking sleepers whenever runnable load dips briefly.
+            let demand = sample.runnable + self.shared.buffer.sleepers() as usize;
+            let target = self.shared.config.target_for_load(demand) as u64;
+            self.shared.buffer.set_target(target);
+        }
+        self.shared.cycles.fetch_add(1, Ordering::Relaxed);
+        self.stats()
+    }
+
+    /// Starts the controller daemon if it is not already running.
+    pub fn start_controller(self: &Arc<Self>) {
+        let mut guard = self.daemon.lock().unwrap();
+        if guard.is_some() {
+            return;
+        }
+        self.shared.running.store(true, Ordering::SeqCst);
+        let this = Arc::clone(self);
+        let interval = self.shared.config.update_interval;
+        let handle = std::thread::Builder::new()
+            .name("lc-controller".to_string())
+            .spawn(move || {
+                while this.shared.running.load(Ordering::SeqCst) {
+                    this.run_cycle();
+                    std::thread::sleep(interval);
+                }
+                // On shutdown, release anyone still parked.
+                this.shared.buffer.wake_all();
+            })
+            .expect("failed to spawn load-control daemon");
+        *guard = Some(handle);
+    }
+
+    /// Stops the controller daemon (idempotent) and wakes all sleepers.
+    pub fn stop_controller(&self) {
+        self.shared.running.store(false, Ordering::SeqCst);
+        let handle = self.daemon.lock().unwrap().take();
+        if let Some(h) = handle {
+            let _ = h.join();
+        }
+        self.shared.buffer.wake_all();
+    }
+
+    /// Whether the daemon is currently running.
+    pub fn controller_running(&self) -> bool {
+        self.shared.running.load(Ordering::SeqCst)
+    }
+
+    /// Controller activity counters.
+    pub fn stats(&self) -> ControllerStats {
+        ControllerStats {
+            cycles: self.shared.cycles.load(Ordering::Relaxed),
+            last_runnable: self.shared.last_runnable.load(Ordering::Relaxed),
+            last_target: self.shared.buffer.target(),
+            controller_wakes: self.shared.buffer.stats().controller_wakes,
+        }
+    }
+
+    /// Blocks the calling thread for `duration` while keeping its registry
+    /// state accurate (used by workloads to model think time or I/O).
+    pub fn blocked_sleep(&self, duration: Duration) {
+        std::thread::sleep(duration);
+    }
+}
+
+impl Drop for LoadControl {
+    fn drop(&mut self) {
+        self.shared.running.store(false, Ordering::SeqCst);
+        if let Ok(mut guard) = self.daemon.lock() {
+            if let Some(h) = guard.take() {
+                let _ = h.join();
+            }
+        }
+        self.shared.buffer.wake_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lc_accounting::ThreadState;
+
+    #[test]
+    fn manual_target_controls_buffer() {
+        let lc = LoadControl::new(LoadControlConfig::for_capacity(4));
+        lc.set_mode(ControllerMode::Manual);
+        assert_eq!(lc.sleep_target(), 0);
+        lc.set_sleep_target(3);
+        assert_eq!(lc.sleep_target(), 3);
+        assert!(lc.is_overloaded());
+        lc.set_sleep_target(0);
+        assert!(!lc.is_overloaded());
+    }
+
+    #[test]
+    fn automatic_cycle_tracks_registry_load() {
+        let lc = LoadControl::new(LoadControlConfig::for_capacity(2));
+        // Register four runnable threads directly with the registry.
+        let handles: Vec<_> = (0..4).map(|_| lc.registry().register()).collect();
+        let stats = lc.run_cycle();
+        assert_eq!(stats.last_runnable, 4);
+        assert_eq!(stats.last_target, 2);
+        // Block two of them: the target must fall back to zero.
+        handles[0].set_state(ThreadState::BlockedOnIo);
+        handles[1].set_state(ThreadState::BlockedOnIo);
+        let stats = lc.run_cycle();
+        assert_eq!(stats.last_runnable, 2);
+        assert_eq!(stats.last_target, 0);
+        assert_eq!(stats.cycles, 2);
+    }
+
+    #[test]
+    fn manual_mode_ignores_measurements() {
+        let lc = LoadControl::new(LoadControlConfig::for_capacity(1));
+        lc.set_mode(ControllerMode::Manual);
+        let _h: Vec<_> = (0..5).map(|_| lc.registry().register()).collect();
+        lc.set_sleep_target(2);
+        lc.run_cycle();
+        assert_eq!(lc.sleep_target(), 2);
+        assert_eq!(lc.mode(), ControllerMode::Manual);
+    }
+
+    #[test]
+    fn daemon_starts_and_stops() {
+        let lc = LoadControl::new(
+            LoadControlConfig::for_capacity(2).with_update_interval(Duration::from_millis(1)),
+        );
+        lc.start_controller();
+        assert!(lc.controller_running());
+        // Give it a few cycles.
+        std::thread::sleep(Duration::from_millis(20));
+        lc.stop_controller();
+        assert!(!lc.controller_running());
+        assert!(lc.stats().cycles >= 2);
+    }
+
+    #[test]
+    fn start_controller_is_idempotent() {
+        let lc = LoadControl::new(
+            LoadControlConfig::for_capacity(2).with_update_interval(Duration::from_millis(1)),
+        );
+        lc.start_controller();
+        lc.start_controller();
+        lc.stop_controller();
+    }
+
+    #[test]
+    fn global_instance_is_shared() {
+        let a = LoadControl::global();
+        let b = LoadControl::global();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(a.config().capacity >= 1);
+    }
+}

@@ -1,0 +1,187 @@
+//! Load-triggered backoff — the authors' *earlier* scheme (reference [19],
+//! discussed in §2.3) kept as a baseline.
+//!
+//! When the system is overloaded, a spinning thread sleeps for an
+//! exponentially distributed amount of time.  Crucially there is no way to
+//! wake it early: the one-sided control is exactly the weakness the paper
+//! demonstrates in Figure 5 (load oscillates around the target because
+//! sleepers cannot be recalled and the OS wakes groups of them at scheduler
+//! ticks).  The bench harness uses this policy to regenerate that figure.
+
+use crate::controller::LoadControl;
+use crate::thread_ctx::current_ctx;
+use lc_accounting::ThreadState;
+use lc_locks::{SpinDecision, SpinPolicy};
+use std::cell::Cell;
+use std::fmt;
+use std::rc::Rc;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A [`SpinPolicy`] implementing load-triggered exponential backoff.
+pub struct LoadTriggeredBackoffPolicy {
+    control: Arc<LoadControl>,
+    mean_sleep: Duration,
+    check_period: u32,
+    rng_state: Cell<u64>,
+    /// Number of backoff sleeps performed (diagnostics).
+    pub sleeps: u64,
+}
+
+impl fmt::Debug for LoadTriggeredBackoffPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LoadTriggeredBackoffPolicy")
+            .field("mean_sleep", &self.mean_sleep)
+            .field("sleeps", &self.sleeps)
+            .finish()
+    }
+}
+
+impl LoadTriggeredBackoffPolicy {
+    /// Default mean of the exponential sleep distribution.
+    pub const DEFAULT_MEAN_SLEEP: Duration = Duration::from_millis(10);
+
+    /// Creates a policy on `control` with the default mean sleep time.
+    pub fn new(control: &Arc<LoadControl>) -> Self {
+        Self::with_mean_sleep(control, Self::DEFAULT_MEAN_SLEEP)
+    }
+
+    /// Creates a policy with a custom mean sleep time.
+    pub fn with_mean_sleep(control: &Arc<LoadControl>, mean_sleep: Duration) -> Self {
+        let seed = lc_accounting::now_ns() | 1;
+        Self {
+            control: Arc::clone(control),
+            mean_sleep,
+            check_period: control.config().slot_check_period,
+            rng_state: Cell::new(seed),
+            sleeps: 0,
+        }
+    }
+
+    /// Draws an exponentially distributed sleep duration.
+    fn draw_sleep(&self) -> Duration {
+        // xorshift64* — good enough for a backoff jitter source and keeps the
+        // crate free of a hard `rand` dependency.
+        let mut x = self.rng_state.get();
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng_state.set(x);
+        let uniform = ((x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64)
+            / ((1u64 << 53) as f64);
+        let uniform = uniform.clamp(1e-12, 1.0 - 1e-12);
+        let nanos = -(self.mean_sleep.as_nanos() as f64) * uniform.ln();
+        // Cap individual sleeps at 20x the mean so a pathological draw cannot
+        // stall a test run.
+        let capped = nanos.min(self.mean_sleep.as_nanos() as f64 * 20.0);
+        Duration::from_nanos(capped.max(1.0) as u64)
+    }
+}
+
+impl SpinPolicy for LoadTriggeredBackoffPolicy {
+    fn on_spin(&mut self, spins: u64) -> SpinDecision {
+        if spins % u64::from(self.check_period) != 0 {
+            return SpinDecision::Continue;
+        }
+        if self.control.is_overloaded() {
+            SpinDecision::Abort
+        } else {
+            SpinDecision::Continue
+        }
+    }
+
+    fn on_aborted(&mut self) {
+        // One-sided: sleep for the drawn duration, nobody can wake us early.
+        self.sleeps += 1;
+        let ctx = current_ctx(&self.control);
+        let duration = self.draw_sleep();
+        let _guard = SleepStateGuard::new(Rc::clone(&ctx));
+        std::thread::sleep(duration);
+    }
+}
+
+struct SleepStateGuard {
+    ctx: Rc<crate::thread_ctx::ThreadCtx>,
+    previous: ThreadState,
+}
+
+impl SleepStateGuard {
+    fn new(ctx: Rc<crate::thread_ctx::ThreadCtx>) -> Self {
+        let previous = ctx_set_state(&ctx, ThreadState::ParkedByLoadControl);
+        Self { ctx, previous }
+    }
+}
+
+impl Drop for SleepStateGuard {
+    fn drop(&mut self) {
+        let _ = ctx_set_state(&self.ctx, self.previous);
+    }
+}
+
+fn ctx_set_state(ctx: &crate::thread_ctx::ThreadCtx, state: ThreadState) -> ThreadState {
+    ctx.set_registry_state(state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LoadControlConfig;
+    use crate::controller::ControllerMode;
+    use std::time::Instant;
+
+    fn control() -> Arc<LoadControl> {
+        let lc = LoadControl::new(LoadControlConfig::for_capacity(1));
+        lc.set_mode(ControllerMode::Manual);
+        lc
+    }
+
+    #[test]
+    fn no_overload_means_pure_spinning() {
+        let lc = control();
+        let mut p = LoadTriggeredBackoffPolicy::new(&lc);
+        for i in 1..=1_000 {
+            assert_eq!(p.on_spin(i), SpinDecision::Continue);
+        }
+        assert_eq!(p.sleeps, 0);
+    }
+
+    #[test]
+    fn overload_triggers_abort_and_sleep() {
+        let lc = control();
+        lc.set_sleep_target(1); // signals overload
+        let mut p =
+            LoadTriggeredBackoffPolicy::with_mean_sleep(&lc, Duration::from_micros(200));
+        let period = u64::from(lc.config().slot_check_period);
+        let mut decision = SpinDecision::Continue;
+        for i in 1..=period {
+            decision = p.on_spin(i);
+        }
+        assert_eq!(decision, SpinDecision::Abort);
+        let start = Instant::now();
+        p.on_aborted();
+        assert!(start.elapsed() >= Duration::from_micros(1));
+        assert_eq!(p.sleeps, 1);
+    }
+
+    #[test]
+    fn exponential_draws_are_positive_and_bounded() {
+        let lc = control();
+        let p = LoadTriggeredBackoffPolicy::with_mean_sleep(&lc, Duration::from_millis(2));
+        for _ in 0..1_000 {
+            let d = p.draw_sleep();
+            assert!(d > Duration::ZERO);
+            assert!(d <= Duration::from_millis(40));
+        }
+    }
+
+    #[test]
+    fn draws_have_roughly_the_requested_mean() {
+        let lc = control();
+        let p = LoadTriggeredBackoffPolicy::with_mean_sleep(&lc, Duration::from_millis(10));
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| p.draw_sleep().as_secs_f64()).sum();
+        let mean_ms = total / n as f64 * 1_000.0;
+        // The cap at 20x the mean trims the tail slightly; accept 8–12 ms.
+        assert!((8.0..12.0).contains(&mean_ms), "mean was {mean_ms} ms");
+    }
+}

@@ -1,0 +1,426 @@
+//! The sleep slot buffer (paper §3.1.1 and §3.2.2, Figure 7 centre).
+//!
+//! The buffer is the single point of communication between the controller
+//! daemon and spinning threads:
+//!
+//! * the controller publishes the **sleep target** `T` — how many threads
+//!   should currently be asleep;
+//! * spinning threads that find room (`S − W < T`) claim the next slot with a
+//!   CAS on `S`, write their identity into the slot, and block;
+//! * the controller wakes sleepers by clearing their slots (and unparking
+//!   them) when the target shrinks; threads also wake on their own after a
+//!   timeout;
+//! * every thread that leaves — woken, timed out, or because it acquired the
+//!   lock before actually sleeping — increments `W` exactly once, so
+//!   `S − W` is always the number of outstanding claims.
+//!
+//! `S` (threads that have ever slept) doubles as the buffer's head pointer,
+//! exactly as in the paper; there is no tail pointer because sleepers leave
+//! in arbitrary order and the ring simply contains gaps.
+
+use crossbeam_utils::CachePadded;
+use lc_locks::Parker;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Identity of a thread registered as a potential sleeper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SleeperId(u64);
+
+impl SleeperId {
+    /// The raw index of this sleeper in the buffer's parker table.
+    pub fn index(self) -> u64 {
+        self.0
+    }
+
+    fn slot_value(self) -> u64 {
+        self.0 + 1
+    }
+}
+
+/// Result of a claim attempt ([`SleepSlotBuffer::try_claim`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClaimOutcome {
+    /// A slot was claimed; the caller must eventually call
+    /// [`SleepSlotBuffer::leave`] with this index exactly once.
+    Claimed(usize),
+    /// `S − W ≥ T`: no thread needs to sleep right now (the common case).
+    NoSpace,
+    /// Another thread won the race for the head slot; per the paper the
+    /// caller just keeps polling the lock.
+    Raced,
+}
+
+/// Counters describing the buffer's activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SlotBufferStats {
+    /// Total successful claims (`S`).
+    pub ever_slept: u64,
+    /// Total departures (`W`).
+    pub woken_and_left: u64,
+    /// Current sleep target (`T`).
+    pub target: u64,
+    /// Claims cleared by the controller (threads woken early).
+    pub controller_wakes: u64,
+    /// Claim attempts that lost the head CAS.
+    pub claim_races: u64,
+}
+
+/// The shared sleep slot buffer.
+pub struct SleepSlotBuffer {
+    /// `S`: number of threads that have ever claimed a slot; also the head.
+    ever_slept: CachePadded<AtomicU64>,
+    /// `W`: number of threads that have since left.
+    woken: CachePadded<AtomicU64>,
+    /// `T`: how many threads the controller wants asleep.
+    target: CachePadded<AtomicU64>,
+    /// Ring of slots; `0` = empty, otherwise `SleeperId + 1`.
+    slots: Box<[AtomicU64]>,
+    /// Registered sleepers' parkers, indexed by `SleeperId`.
+    parkers: Mutex<Vec<Arc<Parker>>>,
+    controller_wakes: AtomicU64,
+    claim_races: AtomicU64,
+}
+
+impl fmt::Debug for SleepSlotBuffer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SleepSlotBuffer")
+            .field("S", &self.ever_slept.load(Ordering::Relaxed))
+            .field("W", &self.woken.load(Ordering::Relaxed))
+            .field("T", &self.target.load(Ordering::Relaxed))
+            .field("capacity", &self.slots.len())
+            .finish()
+    }
+}
+
+impl SleepSlotBuffer {
+    /// Creates a buffer able to hold up to `capacity` simultaneous sleepers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "sleep slot buffer capacity must be non-zero");
+        let slots = (0..capacity)
+            .map(|_| AtomicU64::new(0))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Self {
+            ever_slept: CachePadded::new(AtomicU64::new(0)),
+            woken: CachePadded::new(AtomicU64::new(0)),
+            target: CachePadded::new(AtomicU64::new(0)),
+            slots,
+            parkers: Mutex::new(Vec::new()),
+            controller_wakes: AtomicU64::new(0),
+            claim_races: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of slots in the ring.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Registers a thread (by its parker) as a potential sleeper.
+    pub fn register_sleeper(&self, parker: Arc<Parker>) -> SleeperId {
+        let mut table = self.parkers.lock().unwrap();
+        table.push(parker);
+        SleeperId(table.len() as u64 - 1)
+    }
+
+    /// The current sleep target `T`.
+    pub fn target(&self) -> u64 {
+        self.target.load(Ordering::Relaxed)
+    }
+
+    /// Number of outstanding claims (`S − W`): threads asleep or about to be.
+    pub fn sleepers(&self) -> u64 {
+        let s = self.ever_slept.load(Ordering::Relaxed);
+        let w = self.woken.load(Ordering::Relaxed);
+        s.saturating_sub(w)
+    }
+
+    /// Whether a spinning thread should try to claim a slot right now.
+    ///
+    /// This is the cheap check the polling loop performs (`S − W < T`).
+    #[inline]
+    pub fn has_space(&self) -> bool {
+        let t = self.target.load(Ordering::Relaxed);
+        if t == 0 {
+            return false;
+        }
+        self.sleepers() < t
+    }
+
+    /// Attempts to claim the head slot for `sleeper` (one CAS attempt, as in
+    /// the paper: losing the race just means going back to polling).
+    pub fn try_claim(&self, sleeper: SleeperId) -> ClaimOutcome {
+        let t = self.target.load(Ordering::Acquire);
+        let s = self.ever_slept.load(Ordering::Acquire);
+        let w = self.woken.load(Ordering::Acquire);
+        if t == 0 || s.saturating_sub(w) >= t {
+            return ClaimOutcome::NoSpace;
+        }
+        match self
+            .ever_slept
+            .compare_exchange(s, s + 1, Ordering::AcqRel, Ordering::Acquire)
+        {
+            Ok(_) => {
+                let idx = (s as usize) % self.slots.len();
+                self.slots[idx].store(sleeper.slot_value(), Ordering::Release);
+                ClaimOutcome::Claimed(idx)
+            }
+            Err(_) => {
+                self.claim_races.fetch_add(1, Ordering::Relaxed);
+                ClaimOutcome::Raced
+            }
+        }
+    }
+
+    /// Whether the slot at `idx` still belongs to `sleeper` (i.e. the
+    /// controller has not cleared it yet).
+    pub fn still_claimed(&self, idx: usize, sleeper: SleeperId) -> bool {
+        self.slots[idx].load(Ordering::Acquire) == sleeper.slot_value()
+    }
+
+    /// Releases a claim: clears the slot if it is still ours and increments
+    /// `W`.  Must be called exactly once per successful claim — whether the
+    /// thread slept and woke, timed out, or acquired the lock before ever
+    /// sleeping.
+    pub fn leave(&self, idx: usize, sleeper: SleeperId) {
+        let _ = self.slots[idx].compare_exchange(
+            sleeper.slot_value(),
+            0,
+            Ordering::AcqRel,
+            Ordering::Relaxed,
+        );
+        self.woken.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Sets the sleep target.  If the target shrank below the number of
+    /// current sleepers, wakes the excess immediately (the controller side of
+    /// Figure 7).  Returns how many sleepers were woken.
+    pub fn set_target(&self, new_target: u64) -> usize {
+        let capped = new_target.min(self.slots.len() as u64);
+        self.target.store(capped, Ordering::Release);
+        let sleepers = self.sleepers();
+        if sleepers > capped {
+            self.wake((sleepers - capped) as usize)
+        } else {
+            0
+        }
+    }
+
+    /// Clears up to `count` occupied slots and unparks their owners.
+    /// Returns how many were actually woken.
+    pub fn wake(&self, count: usize) -> usize {
+        if count == 0 {
+            return 0;
+        }
+        let mut woken = 0;
+        let table = self.parkers.lock().unwrap();
+        for slot in self.slots.iter() {
+            if woken >= count {
+                break;
+            }
+            let v = slot.load(Ordering::Acquire);
+            if v == 0 {
+                continue;
+            }
+            if slot
+                .compare_exchange(v, 0, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                let idx = (v - 1) as usize;
+                if let Some(p) = table.get(idx) {
+                    p.unpark();
+                }
+                self.controller_wakes.fetch_add(1, Ordering::Relaxed);
+                woken += 1;
+            }
+        }
+        woken
+    }
+
+    /// Wakes every sleeper and resets the target to zero (shutdown path).
+    pub fn wake_all(&self) -> usize {
+        self.target.store(0, Ordering::Release);
+        self.wake(self.slots.len())
+    }
+
+    /// Snapshot of the buffer's counters.
+    pub fn stats(&self) -> SlotBufferStats {
+        SlotBufferStats {
+            ever_slept: self.ever_slept.load(Ordering::Relaxed),
+            woken_and_left: self.woken.load(Ordering::Relaxed),
+            target: self.target.load(Ordering::Relaxed),
+            controller_wakes: self.controller_wakes.load(Ordering::Relaxed),
+            claim_races: self.claim_races.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sleeper(buf: &SleepSlotBuffer) -> SleeperId {
+        buf.register_sleeper(Arc::new(Parker::new()))
+    }
+
+    #[test]
+    fn no_space_when_target_is_zero() {
+        let buf = SleepSlotBuffer::new(8);
+        let id = sleeper(&buf);
+        assert!(!buf.has_space());
+        assert_eq!(buf.try_claim(id), ClaimOutcome::NoSpace);
+        assert_eq!(buf.sleepers(), 0);
+    }
+
+    #[test]
+    fn claim_and_leave_balance_s_and_w() {
+        let buf = SleepSlotBuffer::new(8);
+        let id = sleeper(&buf);
+        buf.set_target(2);
+        let ClaimOutcome::Claimed(idx) = buf.try_claim(id) else {
+            panic!("expected a claim");
+        };
+        assert_eq!(buf.sleepers(), 1);
+        assert!(buf.still_claimed(idx, id));
+        buf.leave(idx, id);
+        assert_eq!(buf.sleepers(), 0);
+        assert!(!buf.still_claimed(idx, id));
+        let stats = buf.stats();
+        assert_eq!(stats.ever_slept, 1);
+        assert_eq!(stats.woken_and_left, 1);
+    }
+
+    #[test]
+    fn claims_stop_at_target() {
+        let buf = SleepSlotBuffer::new(16);
+        buf.set_target(2);
+        let a = sleeper(&buf);
+        let b = sleeper(&buf);
+        let c = sleeper(&buf);
+        assert!(matches!(buf.try_claim(a), ClaimOutcome::Claimed(_)));
+        assert!(matches!(buf.try_claim(b), ClaimOutcome::Claimed(_)));
+        assert_eq!(buf.try_claim(c), ClaimOutcome::NoSpace);
+        assert_eq!(buf.sleepers(), 2);
+    }
+
+    #[test]
+    fn shrinking_target_wakes_excess_sleepers() {
+        let buf = SleepSlotBuffer::new(16);
+        buf.set_target(3);
+        let parkers: Vec<Arc<Parker>> = (0..3).map(|_| Arc::new(Parker::new())).collect();
+        let ids: Vec<SleeperId> = parkers
+            .iter()
+            .map(|p| buf.register_sleeper(Arc::clone(p)))
+            .collect();
+        let mut claims = Vec::new();
+        for id in &ids {
+            match buf.try_claim(*id) {
+                ClaimOutcome::Claimed(idx) => claims.push(idx),
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
+        assert_eq!(buf.sleepers(), 3);
+
+        // Shrink the target: two sleepers must be cleared and unparked.
+        let woken = buf.set_target(1);
+        assert_eq!(woken, 2);
+        let cleared = ids
+            .iter()
+            .zip(&claims)
+            .filter(|(id, idx)| !buf.still_claimed(**idx, **id))
+            .count();
+        assert_eq!(cleared, 2);
+        // Two parkers received permits.
+        let permits: u64 = parkers.iter().map(|p| p.unpark_count()).sum();
+        assert_eq!(permits, 2);
+        assert_eq!(buf.stats().controller_wakes, 2);
+
+        // Every claimant still leaves exactly once.
+        for (id, idx) in ids.iter().zip(&claims) {
+            buf.leave(*idx, *id);
+        }
+        assert_eq!(buf.sleepers(), 0);
+    }
+
+    #[test]
+    fn growing_target_wakes_nobody() {
+        let buf = SleepSlotBuffer::new(8);
+        buf.set_target(1);
+        let id = sleeper(&buf);
+        assert!(matches!(buf.try_claim(id), ClaimOutcome::Claimed(_)));
+        assert_eq!(buf.set_target(4), 0);
+        assert_eq!(buf.sleepers(), 1);
+    }
+
+    #[test]
+    fn wake_all_clears_everything() {
+        let buf = SleepSlotBuffer::new(8);
+        buf.set_target(4);
+        let ids: Vec<_> = (0..4).map(|_| sleeper(&buf)).collect();
+        let claims: Vec<_> = ids
+            .iter()
+            .map(|id| match buf.try_claim(*id) {
+                ClaimOutcome::Claimed(idx) => idx,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(buf.wake_all(), 4);
+        assert_eq!(buf.target(), 0);
+        for (id, idx) in ids.iter().zip(&claims) {
+            assert!(!buf.still_claimed(*idx, *id));
+            buf.leave(*idx, *id);
+        }
+        assert_eq!(buf.sleepers(), 0);
+    }
+
+    #[test]
+    fn target_is_capped_by_capacity() {
+        let buf = SleepSlotBuffer::new(4);
+        buf.set_target(100);
+        assert_eq!(buf.target(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be non-zero")]
+    fn zero_capacity_panics() {
+        let _ = SleepSlotBuffer::new(0);
+    }
+
+    #[test]
+    fn concurrent_claims_never_exceed_target_by_much() {
+        use std::sync::atomic::AtomicU64 as StdU64;
+        use std::thread;
+        let buf = Arc::new(SleepSlotBuffer::new(64));
+        buf.set_target(8);
+        let claimed = Arc::new(StdU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..16 {
+            let buf = Arc::clone(&buf);
+            let claimed = Arc::clone(&claimed);
+            handles.push(thread::spawn(move || {
+                let id = buf.register_sleeper(Arc::new(Parker::new()));
+                for _ in 0..200 {
+                    if let ClaimOutcome::Claimed(idx) = buf.try_claim(id) {
+                        claimed.fetch_add(1, Ordering::Relaxed);
+                        assert!(buf.sleepers() <= 16);
+                        buf.leave(idx, id);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // S and W must balance after everyone left.
+        assert_eq!(buf.sleepers(), 0);
+        let stats = buf.stats();
+        assert_eq!(stats.ever_slept, stats.woken_and_left);
+        assert_eq!(stats.ever_slept, claimed.load(Ordering::Relaxed));
+    }
+}

@@ -1,0 +1,421 @@
+//! Per-thread load-control state and the client-side algorithm
+//! (paper Figure 7, right).
+//!
+//! Each thread that participates in load control has, per [`crate::LoadControl`]
+//! instance, a small context holding its parker, its sleeper identity in the
+//! slot buffer, and its registration in the thread registry.  The context is
+//! created lazily the first time the thread touches a load-controlled lock
+//! (the "drop-in library" deployment of the paper) or eagerly through
+//! [`crate::LoadControl::register_worker`].
+//!
+//! [`LoadControlPolicy`] is the [`SpinPolicy`] plugged into the
+//! time-published lock's polling loop: it checks the sleep-slot buffer every
+//! few iterations, claims a slot when the controller wants threads to sleep,
+//! aborts the lock attempt, parks until the slot is cleared or a timeout
+//! expires, and then retries the lock.
+
+use crate::config::LoadControlConfig;
+use crate::controller::LoadControl;
+use crate::slots::{ClaimOutcome, SleeperId};
+use lc_accounting::{ThreadHandle, ThreadState};
+use lc_locks::{Parker, SpinDecision, SpinPolicy};
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Per-(thread, [`LoadControl`]) state.
+pub(crate) struct ThreadCtx {
+    control: Arc<LoadControl>,
+    parker: Arc<Parker>,
+    sleeper: SleeperId,
+    handle: ThreadHandle,
+    /// Number of load-controlled locks this thread currently holds; used to
+    /// refuse sleeping while holding a lock (the nested-critical-section
+    /// hazard of paper §6.1.2).
+    hold_count: Cell<u32>,
+    /// Number of times this thread has been put to sleep by load control.
+    sleeps: Cell<u64>,
+}
+
+impl fmt::Debug for ThreadCtx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ThreadCtx")
+            .field("sleeper", &self.sleeper)
+            .field("hold_count", &self.hold_count.get())
+            .field("sleeps", &self.sleeps.get())
+            .finish()
+    }
+}
+
+impl ThreadCtx {
+    fn new(control: Arc<LoadControl>) -> Self {
+        let parker = Arc::new(Parker::new());
+        let sleeper = control.buffer().register_sleeper(Arc::clone(&parker));
+        let handle = control.registry().register();
+        Self {
+            control,
+            parker,
+            sleeper,
+            handle,
+            hold_count: Cell::new(0),
+            sleeps: Cell::new(0),
+        }
+    }
+
+    pub(crate) fn note_acquired(&self) {
+        self.hold_count.set(self.hold_count.get() + 1);
+    }
+
+    pub(crate) fn note_released(&self) {
+        let h = self.hold_count.get();
+        debug_assert!(h > 0, "released a load-controlled lock that was not held");
+        self.hold_count.set(h.saturating_sub(1));
+    }
+
+    fn holds_locks(&self) -> bool {
+        self.hold_count.get() > 0
+    }
+
+    /// Total times this thread slept at load control's request.
+    pub(crate) fn sleep_count(&self) -> u64 {
+        self.sleeps.get()
+    }
+
+    /// Publishes a registry state transition for this thread.
+    pub(crate) fn set_registry_state(&self, state: ThreadState) -> ThreadState {
+        self.handle.set_state(state)
+    }
+
+    /// The paper's sleep procedure: block while the slot is still ours, up to
+    /// the configured timeout, then release the claim.
+    fn sleep_in_slot(&self, slot_idx: usize, config: &LoadControlConfig) {
+        self.sleeps.set(self.sleeps.get() + 1);
+        let buffer = self.control.buffer();
+        let previous = self.handle.set_state(ThreadState::ParkedByLoadControl);
+        let deadline = Instant::now() + config.sleep_timeout;
+        while buffer.still_claimed(slot_idx, self.sleeper) {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let _ = self.parker.park_timeout(deadline - now);
+        }
+        buffer.leave(slot_idx, self.sleeper);
+        // Go back to spinning (or whatever we were doing before).
+        self.handle.set_state(if previous == ThreadState::ParkedByLoadControl {
+            ThreadState::Spinning
+        } else {
+            previous
+        });
+    }
+}
+
+thread_local! {
+    static CTXS: RefCell<HashMap<usize, Rc<ThreadCtx>>> = RefCell::new(HashMap::new());
+}
+
+/// Returns (creating if necessary) the calling thread's context for `control`.
+pub(crate) fn current_ctx(control: &Arc<LoadControl>) -> Rc<ThreadCtx> {
+    let key = Arc::as_ptr(control) as usize;
+    CTXS.with(|map| {
+        let mut map = map.borrow_mut();
+        if let Some(ctx) = map.get(&key) {
+            return Rc::clone(ctx);
+        }
+        let ctx = Rc::new(ThreadCtx::new(Arc::clone(control)));
+        map.insert(key, Rc::clone(&ctx));
+        ctx
+    })
+}
+
+/// Handle returned by [`LoadControl::register_worker`].
+///
+/// While it is alive the calling thread is counted as a runnable worker by
+/// the controller; dropping it marks the thread idle.  (Lock operations on
+/// this thread re-activate accounting automatically.)
+pub struct WorkerRegistration {
+    ctx: Rc<ThreadCtx>,
+}
+
+impl WorkerRegistration {
+    pub(crate) fn new(ctx: Rc<ThreadCtx>) -> Self {
+        ctx.handle.set_state(ThreadState::Running);
+        Self { ctx }
+    }
+
+    /// Publishes a thread-state transition for this worker (used by workload
+    /// drivers to report I/O waits, think time, database-lock blocking, …).
+    pub fn set_state(&self, state: ThreadState) -> ThreadState {
+        self.ctx.handle.set_state(state)
+    }
+
+    /// The worker's current state.
+    pub fn state(&self) -> ThreadState {
+        self.ctx.handle.state()
+    }
+
+    /// How many times load control has put this thread to sleep.
+    pub fn sleep_count(&self) -> u64 {
+        self.ctx.sleep_count()
+    }
+}
+
+impl fmt::Debug for WorkerRegistration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WorkerRegistration")
+            .field("ctx", &self.ctx)
+            .finish()
+    }
+}
+
+impl Drop for WorkerRegistration {
+    fn drop(&mut self) {
+        self.ctx.handle.set_state(ThreadState::Idle);
+    }
+}
+
+/// The client-side load-control algorithm, as a [`SpinPolicy`].
+///
+/// Plugged into [`lc_locks::TimePublishedLock::lock_with`] by
+/// [`crate::LcLock`]; can equally be used with any other abort-capable lock.
+pub struct LoadControlPolicy {
+    ctx: Rc<ThreadCtx>,
+    config: LoadControlConfig,
+    claimed: Option<usize>,
+    /// Number of times this acquisition has slept (for tests/diagnostics).
+    pub sleeps_this_acquire: u32,
+}
+
+impl fmt::Debug for LoadControlPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LoadControlPolicy")
+            .field("claimed", &self.claimed)
+            .field("sleeps_this_acquire", &self.sleeps_this_acquire)
+            .finish()
+    }
+}
+
+impl LoadControlPolicy {
+    /// Creates the policy for the calling thread on `control`.
+    pub fn new(control: &Arc<LoadControl>) -> Self {
+        let ctx = current_ctx(control);
+        let config = control.config();
+        Self {
+            ctx,
+            config,
+            claimed: None,
+            sleeps_this_acquire: 0,
+        }
+    }
+
+    pub(crate) fn from_ctx(ctx: Rc<ThreadCtx>, config: LoadControlConfig) -> Self {
+        Self {
+            ctx,
+            config,
+            claimed: None,
+            sleeps_this_acquire: 0,
+        }
+    }
+}
+
+impl SpinPolicy for LoadControlPolicy {
+    fn on_spin(&mut self, spins: u64) -> SpinDecision {
+        if spins == 1 {
+            self.ctx.handle.set_state(ThreadState::Spinning);
+        }
+        if self.claimed.is_some() {
+            // Defensive: we already asked to abort.
+            return SpinDecision::Abort;
+        }
+        if spins % u64::from(self.config.slot_check_period) != 0 {
+            return SpinDecision::Continue;
+        }
+        // Never volunteer to sleep while holding another load-controlled lock
+        // (extension of paper §6.1.2: avoids creating our own priority
+        // inversion).
+        if self.ctx.holds_locks() {
+            return SpinDecision::Continue;
+        }
+        let buffer = self.ctx.control.buffer();
+        if !buffer.has_space() {
+            return SpinDecision::Continue;
+        }
+        match buffer.try_claim(self.ctx.sleeper) {
+            ClaimOutcome::Claimed(idx) => {
+                self.claimed = Some(idx);
+                SpinDecision::Abort
+            }
+            ClaimOutcome::NoSpace | ClaimOutcome::Raced => SpinDecision::Continue,
+        }
+    }
+
+    fn on_aborted(&mut self) {
+        if let Some(idx) = self.claimed.take() {
+            self.sleeps_this_acquire += 1;
+            self.ctx.sleep_in_slot(idx, &self.config);
+        }
+        // If we were aborted without a claim (the lock skipped us while we
+        // looked preempted) we simply retry immediately.
+    }
+
+    fn on_acquired(&mut self, _spins: u64) {
+        if let Some(idx) = self.claimed.take() {
+            // We won the lock in the window between claiming a slot and
+            // sleeping: clear the claim and proceed (paper §3.1.2).
+            self.ctx.control.buffer().leave(idx, self.ctx.sleeper);
+        }
+        self.ctx.handle.set_state(ThreadState::Running);
+    }
+}
+
+/// Sleeps the calling thread as if load control had descheduled it, for
+/// `duration`, keeping registry accounting correct.  Used by workload drivers
+/// to emulate blocking I/O.
+pub fn accounted_sleep(control: &Arc<LoadControl>, state: ThreadState, duration: Duration) {
+    let ctx = current_ctx(control);
+    let previous = ctx.handle.set_state(state);
+    std::thread::sleep(duration);
+    ctx.handle.set_state(previous);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LoadControlConfig;
+    use crate::controller::ControllerMode;
+
+    fn test_control(capacity: usize) -> Arc<LoadControl> {
+        let lc = LoadControl::new(LoadControlConfig::for_capacity(capacity));
+        lc.set_mode(ControllerMode::Manual);
+        lc
+    }
+
+    #[test]
+    fn ctx_is_reused_per_control() {
+        let lc = test_control(2);
+        let a = current_ctx(&lc);
+        let b = current_ctx(&lc);
+        assert!(Rc::ptr_eq(&a, &b));
+        let other = test_control(2);
+        let c = current_ctx(&other);
+        assert!(!Rc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn worker_registration_tracks_state() {
+        let lc = test_control(2);
+        let w = lc.register_worker();
+        assert_eq!(w.state(), ThreadState::Running);
+        assert_eq!(lc.registry().runnable_threads(), 1);
+        w.set_state(ThreadState::BlockedOnIo);
+        assert_eq!(lc.registry().runnable_threads(), 0);
+        drop(w);
+        // The context remains registered but idle.
+        assert_eq!(lc.registry().runnable_threads(), 0);
+    }
+
+    #[test]
+    fn policy_does_not_claim_without_target() {
+        let lc = test_control(2);
+        let mut p = LoadControlPolicy::new(&lc);
+        for i in 1..=1_000 {
+            assert_eq!(p.on_spin(i), SpinDecision::Continue);
+        }
+        assert_eq!(lc.sleepers(), 0);
+    }
+
+    #[test]
+    fn policy_claims_and_sleeps_until_controller_clears() {
+        let lc = test_control(1);
+        lc.set_sleep_target(1);
+        let mut p = LoadControlPolicy::new(&lc);
+        // First check period hits at slot_check_period iterations.
+        let period = u64::from(lc.config().slot_check_period);
+        let mut decision = SpinDecision::Continue;
+        for i in 1..=period {
+            decision = p.on_spin(i);
+        }
+        assert_eq!(decision, SpinDecision::Abort);
+        assert_eq!(lc.sleepers(), 1);
+
+        // Clear the claim from another thread shortly after we park.
+        let lc2 = Arc::clone(&lc);
+        let waker = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            lc2.set_sleep_target(0);
+        });
+        let start = Instant::now();
+        p.on_aborted();
+        waker.join().unwrap();
+        assert!(lc.sleepers() == 0);
+        assert_eq!(p.sleeps_this_acquire, 1);
+        // Woken well before the 100 ms timeout.
+        assert!(start.elapsed() < Duration::from_millis(90));
+    }
+
+    #[test]
+    fn policy_sleep_times_out_on_its_own() {
+        let lc = LoadControl::new(
+            LoadControlConfig::for_capacity(1).with_sleep_timeout(Duration::from_millis(10)),
+        );
+        lc.set_mode(ControllerMode::Manual);
+        lc.set_sleep_target(1);
+        let mut p = LoadControlPolicy::new(&lc);
+        let period = u64::from(lc.config().slot_check_period);
+        for i in 1..=period {
+            let _ = p.on_spin(i);
+        }
+        let start = Instant::now();
+        p.on_aborted();
+        assert!(start.elapsed() >= Duration::from_millis(9));
+        assert_eq!(lc.sleepers(), 0);
+    }
+
+    #[test]
+    fn acquiring_with_a_pending_claim_releases_it() {
+        let lc = test_control(1);
+        lc.set_sleep_target(1);
+        let mut p = LoadControlPolicy::new(&lc);
+        let period = u64::from(lc.config().slot_check_period);
+        for i in 1..=period {
+            let _ = p.on_spin(i);
+        }
+        assert_eq!(lc.sleepers(), 1);
+        p.on_acquired(period);
+        assert_eq!(lc.sleepers(), 0);
+        let stats = lc.buffer().stats();
+        assert_eq!(stats.ever_slept, stats.woken_and_left);
+    }
+
+    #[test]
+    fn holding_a_lock_prevents_claiming() {
+        let lc = test_control(1);
+        lc.set_sleep_target(4);
+        let ctx = current_ctx(&lc);
+        ctx.note_acquired();
+        let mut p = LoadControlPolicy::from_ctx(Rc::clone(&ctx), lc.config());
+        for i in 1..=2_000 {
+            assert_eq!(p.on_spin(i), SpinDecision::Continue);
+        }
+        ctx.note_released();
+        let mut p2 = LoadControlPolicy::from_ctx(ctx, lc.config());
+        let period = u64::from(lc.config().slot_check_period);
+        let mut aborted = false;
+        for i in 1..=period {
+            aborted |= p2.on_spin(i) == SpinDecision::Abort;
+        }
+        assert!(aborted);
+    }
+
+    #[test]
+    fn accounted_sleep_changes_state_temporarily() {
+        let lc = test_control(2);
+        let _w = lc.register_worker();
+        assert_eq!(lc.registry().runnable_threads(), 1);
+        accounted_sleep(&lc, ThreadState::BlockedOnIo, Duration::from_millis(5));
+        assert_eq!(lc.registry().runnable_threads(), 1);
+    }
+}

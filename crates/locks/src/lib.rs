@@ -1,0 +1,109 @@
+//! # lc-locks — lock primitives for the load-control suite
+//!
+//! This crate implements the synchronization primitives that the paper
+//! *Decoupling Contention Management from Scheduling* (Johnson, Stoica,
+//! Ailamaki, Mowry — ASPLOS 2010) evaluates against, plus the small amount of
+//! shared infrastructure (spin backoff, thread parking, a generic `Mutex`
+//! wrapper) that the load-control mechanism in [`lc-core`] builds on.
+//!
+//! ## Lock families
+//!
+//! * **Pure spinning** — [`TasLock`], [`TtasLock`] (test-and-test-and-set with
+//!   exponential backoff), [`TicketLock`], [`McsLock`] (classic queue lock),
+//!   and [`TimePublishedLock`] (a time-published queue lock in the spirit of
+//!   TP-MCS: FIFO handoff, per-waiter heartbeats, preempted waiters are
+//!   skipped at release time, and waiting can be aborted).
+//! * **Spin-then-yield** — [`SpinThenYieldLock`] spins briefly and then calls
+//!   `std::thread::yield_now`, using the OS scheduler as a backoff device.
+//! * **Blocking** — [`BlockingLock`] parks every waiter (the behaviour of a
+//!   classic heavyweight mutex), [`AdaptiveLock`] spins while the holder
+//!   appears to be running and blocks otherwise (a Solaris-adaptive-mutex /
+//!   futex-style spin-then-block hybrid).
+//!
+//! All primitives implement [`RawLock`], so they are interchangeable inside
+//! the RAII [`Mutex`] wrapper and everywhere else in the suite (latches in
+//! `lc-storage`, workload drivers in `lc-workloads`, benches in `lc-bench`).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use lc_locks::{Mutex, TicketLock};
+//! use std::sync::Arc;
+//! use std::thread;
+//!
+//! let counter = Arc::new(Mutex::<u64, TicketLock>::new(0));
+//! let mut handles = Vec::new();
+//! for _ in 0..4 {
+//!     let counter = Arc::clone(&counter);
+//!     handles.push(thread::spawn(move || {
+//!         for _ in 0..1000 {
+//!             *counter.lock() += 1;
+//!         }
+//!     }));
+//! }
+//! for h in handles {
+//!     h.join().unwrap();
+//! }
+//! assert_eq!(*counter.lock(), 4000);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod adaptive;
+pub mod blocking;
+pub mod mcs;
+pub mod mutex;
+pub mod parker;
+pub mod raw;
+pub mod spin_then_yield;
+pub mod spin_wait;
+pub mod stats;
+pub mod tas;
+pub mod ticket;
+pub mod time_published;
+pub mod ttas;
+
+pub use adaptive::{AdaptiveConfig, AdaptiveLock};
+pub use blocking::BlockingLock;
+pub use mcs::McsLock;
+pub use mutex::{aliases, Mutex, MutexGuard};
+pub use parker::{ParkResult, Parker};
+pub use raw::{AbortAfter, NeverAbort, RawLock, RawTryLock, SpinDecision, SpinPolicy};
+pub use spin_then_yield::SpinThenYieldLock;
+pub use spin_wait::{Backoff, SpinWait};
+pub use stats::{LockStats, LockStatsSnapshot};
+pub use tas::TasLock;
+pub use ticket::TicketLock;
+pub use time_published::{TimePublishedLock, TpConfig};
+pub use ttas::TtasLock;
+
+/// Names of every lock implementation in this crate, in a stable order.
+///
+/// Benchmarks iterate over this list so that adding a lock automatically adds
+/// it to comparison tables.
+pub const ALL_LOCK_NAMES: &[&str] = &[
+    "tas",
+    "ttas-backoff",
+    "ticket",
+    "mcs",
+    "tp-queue",
+    "spin-then-yield",
+    "blocking",
+    "adaptive",
+];
+
+#[cfg(test)]
+mod crate_tests {
+    use super::*;
+
+    #[test]
+    fn all_lock_names_is_consistent() {
+        assert_eq!(ALL_LOCK_NAMES.len(), 8);
+        // No duplicates.
+        let mut names: Vec<&str> = ALL_LOCK_NAMES.to_vec();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 8);
+    }
+}

@@ -1,0 +1,230 @@
+//! Classic MCS queue spinlock (Mellor-Crummey & Scott, reference [24]).
+//!
+//! Waiters form an explicit FIFO linked list; each spins on a flag in its own
+//! queue node, so handoff touches exactly one remote cache line and there is
+//! no thundering herd.  The flip side — emphasized by the paper (§2.1) — is
+//! that *every* queued thread is effectively a future lock holder: if the OS
+//! preempts one, everything behind it stalls until it runs again.  The
+//! time-published variant in [`crate::time_published`] addresses that.
+//!
+//! Queue nodes are heap-allocated per acquisition and freed by the owner at
+//! release time, after the point where no other thread can reach them.
+
+use crate::raw::{RawLock, RawTryLock};
+use crossbeam_utils::CachePadded;
+use std::hint;
+use std::ptr;
+use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+
+#[derive(Debug)]
+struct QNode {
+    locked: AtomicBool,
+    next: AtomicPtr<CachePadded<QNode>>,
+}
+
+impl QNode {
+    fn new() -> Box<CachePadded<QNode>> {
+        Box::new(CachePadded::new(QNode {
+            locked: AtomicBool::new(true),
+            next: AtomicPtr::new(ptr::null_mut()),
+        }))
+    }
+}
+
+/// Classic MCS queue lock.
+///
+/// ```
+/// use lc_locks::{McsLock, RawLock};
+/// let lock = McsLock::new();
+/// lock.lock();
+/// assert!(lock.is_locked());
+/// unsafe { lock.unlock() };
+/// assert!(!lock.is_locked());
+/// ```
+#[derive(Debug)]
+pub struct McsLock {
+    tail: CachePadded<AtomicPtr<CachePadded<QNode>>>,
+    /// The owner's queue node, stashed between `lock` and `unlock` so the
+    /// trait interface does not need to thread a token through the caller.
+    owner: AtomicPtr<CachePadded<QNode>>,
+}
+
+impl Default for McsLock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+unsafe impl Send for McsLock {}
+unsafe impl Sync for McsLock {}
+
+unsafe impl RawLock for McsLock {
+    fn new() -> Self {
+        Self {
+            tail: CachePadded::new(AtomicPtr::new(ptr::null_mut())),
+            owner: AtomicPtr::new(ptr::null_mut()),
+        }
+    }
+
+    fn lock(&self) {
+        let node = Box::into_raw(QNode::new());
+        let prev = self.tail.swap(node, Ordering::AcqRel);
+        if !prev.is_null() {
+            // Queue was non-empty: link behind the predecessor and spin on our
+            // own node until the predecessor hands the lock over.
+            unsafe {
+                let prev_ref: &CachePadded<QNode> = &*prev;
+                prev_ref.next.store(node, Ordering::Release);
+                let node_ref: &CachePadded<QNode> = &*node;
+                while node_ref.locked.load(Ordering::Acquire) {
+                    hint::spin_loop();
+                }
+            }
+        }
+        self.owner.store(node, Ordering::Relaxed);
+    }
+
+    unsafe fn unlock(&self) {
+        let node = self.owner.load(Ordering::Relaxed);
+        debug_assert!(!node.is_null(), "unlock without a matching lock");
+        self.owner.store(ptr::null_mut(), Ordering::Relaxed);
+
+        let node_ref: &CachePadded<QNode> = &*node;
+        let mut next = node_ref.next.load(Ordering::Acquire);
+        if next.is_null() {
+            // No known successor: if we are still the tail, the queue empties.
+            if self
+                .tail
+                .compare_exchange(node, ptr::null_mut(), Ordering::Release, Ordering::Relaxed)
+                .is_ok()
+            {
+                drop(Box::from_raw(node));
+                return;
+            }
+            // A successor is in the middle of linking itself; wait for it.
+            loop {
+                next = node_ref.next.load(Ordering::Acquire);
+                if !next.is_null() {
+                    break;
+                }
+                hint::spin_loop();
+            }
+        }
+        let next_ref: &CachePadded<QNode> = &*next;
+        next_ref.locked.store(false, Ordering::Release);
+        drop(Box::from_raw(node));
+    }
+
+    fn is_locked(&self) -> bool {
+        !self.tail.load(Ordering::Relaxed).is_null()
+    }
+
+    fn name(&self) -> &'static str {
+        "mcs"
+    }
+}
+
+unsafe impl RawTryLock for McsLock {
+    fn try_lock(&self) -> bool {
+        if !self.tail.load(Ordering::Relaxed).is_null() {
+            return false;
+        }
+        let node = Box::into_raw(QNode::new());
+        match self.tail.compare_exchange(
+            ptr::null_mut(),
+            node,
+            Ordering::AcqRel,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => {
+                self.owner.store(node, Ordering::Relaxed);
+                true
+            }
+            Err(_) => {
+                // Lost the race; reclaim the speculative node.
+                unsafe { drop(Box::from_raw(node)) };
+                false
+            }
+        }
+    }
+}
+
+impl Drop for McsLock {
+    fn drop(&mut self) {
+        // If the lock is dropped while held (e.g. a guard was forgotten), free
+        // the stashed owner node to avoid leaking it.
+        let node = self.owner.load(Ordering::Relaxed);
+        if !node.is_null() {
+            unsafe { drop(Box::from_raw(node)) };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn basic_lock_unlock() {
+        let l = McsLock::new();
+        assert!(!l.is_locked());
+        l.lock();
+        assert!(l.is_locked());
+        unsafe { l.unlock() };
+        assert!(!l.is_locked());
+        assert_eq!(l.name(), "mcs");
+    }
+
+    #[test]
+    fn try_lock_behaviour() {
+        let l = McsLock::new();
+        assert!(l.try_lock());
+        assert!(!l.try_lock());
+        unsafe { l.unlock() };
+        assert!(l.try_lock());
+        unsafe { l.unlock() };
+    }
+
+    #[test]
+    fn repeated_acquire_release() {
+        let l = McsLock::new();
+        for _ in 0..10_000 {
+            l.lock();
+            unsafe { l.unlock() };
+        }
+        assert!(!l.is_locked());
+    }
+
+    #[test]
+    fn mutual_exclusion_under_contention() {
+        let lock = Arc::new(McsLock::new());
+        let counter = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let lock = Arc::clone(&lock);
+            let counter = Arc::clone(&counter);
+            handles.push(thread::spawn(move || {
+                for _ in 0..2_000 {
+                    lock.lock();
+                    let v = counter.load(Ordering::Relaxed);
+                    counter.store(v + 1, Ordering::Relaxed);
+                    unsafe { lock.unlock() };
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 16_000);
+    }
+
+    #[test]
+    fn drop_while_held_does_not_leak_or_crash() {
+        let l = McsLock::new();
+        l.lock();
+        drop(l);
+    }
+}

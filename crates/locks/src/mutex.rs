@@ -1,0 +1,246 @@
+//! An RAII mutex wrapper generic over any [`RawLock`].
+//!
+//! This is the user-facing way to protect data with any of the primitives in
+//! this crate (or with the load-controlled lock from `lc-core`): the lock
+//! algorithm is a type parameter, so workloads, latches and benchmarks can be
+//! written once and instantiated with every contention-management policy the
+//! paper compares.
+
+use crate::raw::{RawLock, RawTryLock};
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// A mutual-exclusion cell whose locking strategy is the type parameter `R`.
+///
+/// ```
+/// use lc_locks::{Mutex, McsLock};
+/// let m: Mutex<Vec<u32>, McsLock> = Mutex::new(vec![1, 2, 3]);
+/// m.lock().push(4);
+/// assert_eq!(m.lock().len(), 4);
+/// ```
+pub struct Mutex<T: ?Sized, R: RawLock> {
+    raw: R,
+    data: UnsafeCell<T>,
+}
+
+unsafe impl<T: ?Sized + Send, R: RawLock> Send for Mutex<T, R> {}
+unsafe impl<T: ?Sized + Send, R: RawLock> Sync for Mutex<T, R> {}
+
+impl<T, R: RawLock> Mutex<T, R> {
+    /// Wraps `value` in a mutex using a freshly constructed lock.
+    pub fn new(value: T) -> Self {
+        Self::with_raw(value, R::new())
+    }
+
+    /// Wraps `value` using a caller-configured lock instance.
+    pub fn with_raw(value: T, raw: R) -> Self {
+        Self {
+            raw,
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    /// Consumes the mutex and returns the protected value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T: ?Sized, R: RawLock> Mutex<T, R> {
+    /// Acquires the lock, blocking (or spinning) until it is available.
+    pub fn lock(&self) -> MutexGuard<'_, T, R> {
+        self.raw.lock();
+        MutexGuard { mutex: self }
+    }
+
+    /// Attempts to acquire the lock without waiting.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T, R>>
+    where
+        R: RawTryLock,
+    {
+        if self.raw.try_lock() {
+            Some(MutexGuard { mutex: self })
+        } else {
+            None
+        }
+    }
+
+    /// Returns a mutable reference to the data without locking.
+    ///
+    /// Safe because the exclusive borrow of the mutex guarantees no guards
+    /// exist.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+
+    /// Whether the lock currently appears held (racy; diagnostics only).
+    pub fn is_locked(&self) -> bool {
+        self.raw.is_locked()
+    }
+
+    /// The underlying raw lock (for statistics and configuration access).
+    pub fn raw(&self) -> &R {
+        &self.raw
+    }
+}
+
+impl<T: Default, R: RawLock> Default for Mutex<T, R> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug, R: RawLock + RawTryLock> fmt::Debug for Mutex<T, R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_lock() {
+            Some(guard) => f.debug_struct("Mutex").field("data", &&*guard).finish(),
+            None => f.debug_struct("Mutex").field("data", &"<locked>").finish(),
+        }
+    }
+}
+
+impl<T, R: RawLock> From<T> for Mutex<T, R> {
+    fn from(value: T) -> Self {
+        Self::new(value)
+    }
+}
+
+/// RAII guard returned by [`Mutex::lock`]; releases the lock on drop.
+pub struct MutexGuard<'a, T: ?Sized, R: RawLock> {
+    mutex: &'a Mutex<T, R>,
+}
+
+impl<T: ?Sized, R: RawLock> Deref for MutexGuard<'_, T, R> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        unsafe { &*self.mutex.data.get() }
+    }
+}
+
+impl<T: ?Sized, R: RawLock> DerefMut for MutexGuard<'_, T, R> {
+    fn deref_mut(&mut self) -> &mut T {
+        unsafe { &mut *self.mutex.data.get() }
+    }
+}
+
+impl<T: ?Sized, R: RawLock> Drop for MutexGuard<'_, T, R> {
+    fn drop(&mut self) {
+        unsafe { self.mutex.raw.unlock() };
+    }
+}
+
+impl<T: ?Sized + fmt::Debug, R: RawLock> fmt::Debug for MutexGuard<'_, T, R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+impl<T: ?Sized + fmt::Display, R: RawLock> fmt::Display for MutexGuard<'_, T, R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&**self, f)
+    }
+}
+
+/// Convenience aliases for the most common instantiations.
+pub mod aliases {
+    use super::Mutex;
+    use crate::{AdaptiveLock, BlockingLock, McsLock, TasLock, TicketLock, TimePublishedLock, TtasLock};
+
+    /// Mutex backed by the naive test-and-set spinlock.
+    pub type TasMutex<T> = Mutex<T, TasLock>;
+    /// Mutex backed by test-and-test-and-set with backoff.
+    pub type TtasMutex<T> = Mutex<T, TtasLock>;
+    /// Mutex backed by the FIFO ticket lock.
+    pub type TicketMutex<T> = Mutex<T, TicketLock>;
+    /// Mutex backed by the classic MCS queue lock.
+    pub type McsMutex<T> = Mutex<T, McsLock>;
+    /// Mutex backed by the time-published queue lock (TP-MCS analogue).
+    pub type TpMutex<T> = Mutex<T, TimePublishedLock>;
+    /// Mutex backed by the purely blocking lock.
+    pub type BlockingMutex<T> = Mutex<T, BlockingLock>;
+    /// Mutex backed by the spin-then-block adaptive lock.
+    pub type AdaptiveMutex<T> = Mutex<T, AdaptiveLock>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::aliases::*;
+    use super::*;
+    use crate::{TicketLock, TimePublishedLock};
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn guard_provides_exclusive_access() {
+        let m: Mutex<u64, TicketLock> = Mutex::new(7);
+        {
+            let mut g = m.lock();
+            *g += 1;
+        }
+        assert_eq!(*m.lock(), 8);
+    }
+
+    #[test]
+    fn try_lock_returns_none_while_held() {
+        let m: TpMutex<u32> = Mutex::new(0);
+        let g = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(g);
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn into_inner_and_get_mut() {
+        let mut m: TicketMutex<String> = Mutex::new("a".to_string());
+        m.get_mut().push('b');
+        assert_eq!(m.into_inner(), "ab");
+    }
+
+    #[test]
+    fn debug_formats_without_deadlock() {
+        let m: TasMutex<u32> = Mutex::new(42);
+        assert!(format!("{m:?}").contains("42"));
+        let g = m.lock();
+        assert!(format!("{m:?}").contains("locked"));
+        drop(g);
+    }
+
+    #[test]
+    fn from_value() {
+        let m: McsMutex<u8> = Mutex::from(5u8);
+        assert_eq!(*m.lock(), 5);
+    }
+
+    #[test]
+    fn default_constructs_default_value() {
+        let m: TtasMutex<u64> = Mutex::default();
+        assert_eq!(*m.lock(), 0);
+    }
+
+    #[test]
+    fn shared_counter_across_threads() {
+        let m: Arc<Mutex<u64, TimePublishedLock>> = Arc::new(Mutex::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let m = Arc::clone(&m);
+            handles.push(thread::spawn(move || {
+                for _ in 0..2_500 {
+                    *m.lock() += 1;
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*m.lock(), 20_000);
+    }
+
+    #[test]
+    fn adaptive_and_blocking_aliases_work() {
+        let a: AdaptiveMutex<u32> = Mutex::new(1);
+        let b: BlockingMutex<u32> = Mutex::new(2);
+        assert_eq!(*a.lock() + *b.lock(), 3);
+    }
+}

@@ -1,0 +1,194 @@
+//! A per-thread parking primitive — the user-space stand-in for
+//! `lwp_park`/`lwp_unpark` (Solaris) or `futex` (Linux).
+//!
+//! The paper (§3.2.1) deschedules and wakes threads with lightweight syscalls.
+//! This crate cannot assume a libc-private syscall, so [`Parker`] provides the
+//! same semantics portably with a mutex/condvar pair and a saturating permit:
+//!
+//! * [`Parker::park`] blocks the calling thread until a permit is available,
+//!   consuming it;
+//! * [`Parker::park_timeout`] additionally wakes after a deadline;
+//! * [`Parker::unpark`] deposits a permit and wakes the parked thread, and is
+//!   never lost even if it races with the decision to park (exactly the
+//!   property the sleep-slot protocol needs: the controller may clear a slot
+//!   *before* the thread has actually blocked, see paper §3.1.1).
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Outcome of a call to [`Parker::park_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParkResult {
+    /// The thread was woken by [`Parker::unpark`] (or a permit was already
+    /// available and the call returned immediately).
+    Unparked,
+    /// The timeout elapsed before any permit arrived.
+    TimedOut,
+}
+
+/// A saturating-permit thread parker.
+///
+/// One `Parker` is normally owned by (or associated with) a single waiting
+/// thread, while any number of other threads may call [`Parker::unpark`].
+pub struct Parker {
+    state: Mutex<bool>,
+    condvar: Condvar,
+    parks: AtomicU64,
+    unparks: AtomicU64,
+    timeouts: AtomicU64,
+}
+
+impl fmt::Debug for Parker {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Parker")
+            .field("permit", &*self.state.lock().unwrap())
+            .field("parks", &self.parks.load(Ordering::Relaxed))
+            .field("unparks", &self.unparks.load(Ordering::Relaxed))
+            .field("timeouts", &self.timeouts.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Default for Parker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Parker {
+    /// Creates a parker with no stored permit.
+    pub fn new() -> Self {
+        Self {
+            state: Mutex::new(false),
+            condvar: Condvar::new(),
+            parks: AtomicU64::new(0),
+            unparks: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+        }
+    }
+
+    /// Blocks the calling thread until a permit is available, then consumes it.
+    ///
+    /// If a permit is already stored the call returns immediately.
+    pub fn park(&self) {
+        self.parks.fetch_add(1, Ordering::Relaxed);
+        let mut permit = self.state.lock().unwrap();
+        while !*permit {
+            permit = self.condvar.wait(permit).unwrap();
+        }
+        *permit = false;
+    }
+
+    /// Blocks for at most `timeout`, consuming a permit if one arrives.
+    pub fn park_timeout(&self, timeout: Duration) -> ParkResult {
+        self.parks.fetch_add(1, Ordering::Relaxed);
+        let mut permit = self.state.lock().unwrap();
+        if *permit {
+            *permit = false;
+            return ParkResult::Unparked;
+        }
+        let (mut permit, wait) = self
+            .condvar
+            .wait_timeout_while(permit, timeout, |p| !*p)
+            .unwrap();
+        if *permit {
+            *permit = false;
+            ParkResult::Unparked
+        } else {
+            debug_assert!(wait.timed_out());
+            self.timeouts.fetch_add(1, Ordering::Relaxed);
+            ParkResult::TimedOut
+        }
+    }
+
+    /// Deposits a permit and wakes the parked thread, if any.
+    ///
+    /// Permits saturate at one: calling `unpark` several times before the
+    /// next `park` wakes it only once, matching `futex`/`lwp_unpark`
+    /// semantics.
+    pub fn unpark(&self) {
+        self.unparks.fetch_add(1, Ordering::Relaxed);
+        let mut permit = self.state.lock().unwrap();
+        *permit = true;
+        drop(permit);
+        self.condvar.notify_one();
+    }
+
+    /// Number of `park`/`park_timeout` calls so far.
+    pub fn park_count(&self) -> u64 {
+        self.parks.load(Ordering::Relaxed)
+    }
+
+    /// Number of `unpark` calls so far.
+    pub fn unpark_count(&self) -> u64 {
+        self.unparks.load(Ordering::Relaxed)
+    }
+
+    /// Number of `park_timeout` calls that expired without a wakeup.
+    pub fn timeout_count(&self) -> u64 {
+        self.timeouts.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+    use std::time::Instant;
+
+    #[test]
+    fn unpark_before_park_is_not_lost() {
+        let p = Parker::new();
+        p.unpark();
+        // Must return immediately.
+        let start = Instant::now();
+        p.park();
+        assert!(start.elapsed() < Duration::from_millis(100));
+    }
+
+    #[test]
+    fn park_timeout_expires() {
+        let p = Parker::new();
+        let r = p.park_timeout(Duration::from_millis(10));
+        assert_eq!(r, ParkResult::TimedOut);
+        assert_eq!(p.timeout_count(), 1);
+    }
+
+    #[test]
+    fn unpark_wakes_parked_thread() {
+        let p = Arc::new(Parker::new());
+        let p2 = Arc::clone(&p);
+        let h = thread::spawn(move || {
+            p2.park_timeout(Duration::from_secs(10))
+        });
+        // Give the thread a moment to actually park.
+        thread::sleep(Duration::from_millis(20));
+        p.unpark();
+        assert_eq!(h.join().unwrap(), ParkResult::Unparked);
+    }
+
+    #[test]
+    fn permits_saturate_at_one() {
+        let p = Parker::new();
+        p.unpark();
+        p.unpark();
+        p.unpark();
+        // One park consumes the single stored permit...
+        p.park();
+        // ...and the next one must time out.
+        assert_eq!(p.park_timeout(Duration::from_millis(5)), ParkResult::TimedOut);
+        assert_eq!(p.unpark_count(), 3);
+    }
+
+    #[test]
+    fn stats_count_parks() {
+        let p = Parker::new();
+        p.unpark();
+        p.park();
+        let _ = p.park_timeout(Duration::from_millis(1));
+        assert_eq!(p.park_count(), 2);
+    }
+}

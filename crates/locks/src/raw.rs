@@ -1,0 +1,186 @@
+//! The [`RawLock`] trait and the spin-policy hook interface.
+//!
+//! `RawLock` plays the same role as `lock_api::RawMutex`: a tokenless
+//! lock/unlock interface that the RAII [`crate::Mutex`] wrapper, the storage
+//! manager latches, and the benchmark drivers are generic over.  Locks that
+//! need per-acquisition state (MCS queue nodes, queue tickets) stash it inside
+//! the lock between `lock` and `unlock`; this is safe because there is exactly
+//! one owner at a time.
+//!
+//! The [`SpinPolicy`] trait is how the load-control mechanism hooks into a
+//! lock's waiting loop without being on the critical path of an uncontended
+//! acquire: primitives that support it expose `lock_with(&self, &mut policy)`
+//! and call [`SpinPolicy::on_spin`] once per polling iteration.  The policy
+//! can ask the lock to *abort* the attempt (leave the wait queue), which is
+//! exactly what a thread does when it claims a sleep slot and goes to sleep
+//! (paper §3.1.2).
+
+use core::fmt;
+
+/// A raw mutual-exclusion primitive.
+///
+/// # Safety
+///
+/// Implementations must guarantee mutual exclusion: between a return from
+/// [`RawLock::lock`] (or a `true` return from [`RawTryLock::try_lock`]) and
+/// the matching call to [`RawLock::unlock`], no other thread may be granted
+/// the lock.  `unlock` must only be called by the current owner.
+pub unsafe trait RawLock: Send + Sync {
+    /// Creates a new, unlocked instance.
+    fn new() -> Self
+    where
+        Self: Sized;
+
+    /// Acquires the lock, waiting (by spinning, blocking, or both, depending
+    /// on the implementation) until it is available.
+    fn lock(&self);
+
+    /// Releases the lock.
+    ///
+    /// # Safety
+    ///
+    /// Must only be called by the thread that currently owns the lock.
+    unsafe fn unlock(&self);
+
+    /// Returns `true` if the lock currently appears to be held.
+    ///
+    /// This is inherently racy and intended for statistics, assertions and
+    /// adaptive policies, not for synchronization decisions.
+    fn is_locked(&self) -> bool;
+
+    /// A short, stable, human-readable name (used in benchmark tables).
+    fn name(&self) -> &'static str;
+}
+
+/// A raw lock that also supports non-blocking acquisition.
+///
+/// # Safety
+///
+/// Same contract as [`RawLock`]: a `true` return grants exclusive ownership.
+pub unsafe trait RawTryLock: RawLock {
+    /// Attempts to acquire the lock without waiting.
+    ///
+    /// Returns `true` if the lock was acquired.
+    fn try_lock(&self) -> bool;
+}
+
+/// What a [`SpinPolicy`] asks the waiting loop to do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpinDecision {
+    /// Keep polling for the lock handoff.
+    Continue,
+    /// Abort the acquisition attempt: leave the wait queue and return control
+    /// to the policy (which typically parks the thread and retries later).
+    Abort,
+}
+
+/// A hook invoked by abort-capable locks on every iteration of their waiting
+/// loop.
+///
+/// The load-control client-side algorithm (paper Figure 7, right) is
+/// implemented as a `SpinPolicy` in `lc-core`: each call to `on_spin` checks
+/// the sleep-slot buffer, claims a slot when one is available, and returns
+/// [`SpinDecision::Abort`] so the thread can leave the queue and block.
+pub trait SpinPolicy {
+    /// Called once per polling iteration while waiting for the lock.
+    ///
+    /// `spins` is the number of iterations completed so far in this
+    /// acquisition attempt (reset after every abort/retry).
+    fn on_spin(&mut self, spins: u64) -> SpinDecision;
+
+    /// Called when an acquisition attempt was aborted at the policy's request
+    /// and the thread is about to retry from scratch.
+    ///
+    /// This is where a load-control policy parks the thread.  The default
+    /// does nothing, which turns an `Abort` into an immediate retry.
+    fn on_aborted(&mut self) {}
+
+    /// Called when the lock was finally acquired.
+    ///
+    /// `spins` is the total number of polling iterations across all attempts.
+    fn on_acquired(&mut self, spins: u64) {
+        let _ = spins;
+    }
+}
+
+/// A [`SpinPolicy`] that never aborts: plain spinning.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NeverAbort;
+
+impl SpinPolicy for NeverAbort {
+    #[inline]
+    fn on_spin(&mut self, _spins: u64) -> SpinDecision {
+        SpinDecision::Continue
+    }
+}
+
+/// A [`SpinPolicy`] that aborts after a fixed number of iterations.
+///
+/// Useful for tests and for building spin-then-block hybrids.
+#[derive(Debug, Clone, Copy)]
+pub struct AbortAfter {
+    limit: u64,
+    /// Number of times the policy has asked for an abort.
+    pub aborts: u64,
+}
+
+impl AbortAfter {
+    /// Creates a policy that aborts each attempt after `limit` iterations.
+    pub fn new(limit: u64) -> Self {
+        Self { limit, aborts: 0 }
+    }
+}
+
+impl SpinPolicy for AbortAfter {
+    #[inline]
+    fn on_spin(&mut self, spins: u64) -> SpinDecision {
+        if spins >= self.limit {
+            SpinDecision::Abort
+        } else {
+            SpinDecision::Continue
+        }
+    }
+
+    fn on_aborted(&mut self) {
+        self.aborts += 1;
+    }
+}
+
+impl fmt::Display for SpinDecision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpinDecision::Continue => write!(f, "continue"),
+            SpinDecision::Abort => write!(f, "abort"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_abort_always_continues() {
+        let mut p = NeverAbort;
+        for i in 0..1000 {
+            assert_eq!(p.on_spin(i), SpinDecision::Continue);
+        }
+    }
+
+    #[test]
+    fn abort_after_limit() {
+        let mut p = AbortAfter::new(10);
+        assert_eq!(p.on_spin(0), SpinDecision::Continue);
+        assert_eq!(p.on_spin(9), SpinDecision::Continue);
+        assert_eq!(p.on_spin(10), SpinDecision::Abort);
+        assert_eq!(p.on_spin(11), SpinDecision::Abort);
+        p.on_aborted();
+        assert_eq!(p.aborts, 1);
+    }
+
+    #[test]
+    fn spin_decision_display() {
+        assert_eq!(SpinDecision::Continue.to_string(), "continue");
+        assert_eq!(SpinDecision::Abort.to_string(), "abort");
+    }
+}

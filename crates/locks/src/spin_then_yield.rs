@@ -1,0 +1,148 @@
+//! Spin-then-yield: a spinlock that uses the OS scheduler as a backoff device.
+//!
+//! After a short burst of pure spinning the waiter calls
+//! `std::thread::yield_now`, giving the scheduler a chance to run whoever
+//! holds the lock (Ousterhout's "scheduling techniques for concurrent
+//! systems", reference [27]).  The paper groups this with the backoff family:
+//! it removes waiters from the CPU, but the waiter cannot be woken early, so
+//! handoff latency depends entirely on when the scheduler happens to run it
+//! again.
+
+use crate::raw::{RawLock, RawTryLock};
+use std::hint;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::thread;
+
+/// A test-and-test-and-set lock that yields to the OS after a spin budget.
+///
+/// ```
+/// use lc_locks::{RawLock, SpinThenYieldLock};
+/// let lock = SpinThenYieldLock::new();
+/// lock.lock();
+/// unsafe { lock.unlock() };
+/// ```
+#[derive(Debug)]
+pub struct SpinThenYieldLock {
+    locked: AtomicBool,
+    spin_budget: u32,
+}
+
+impl Default for SpinThenYieldLock {
+    fn default() -> Self {
+        <Self as RawLock>::new()
+    }
+}
+
+impl SpinThenYieldLock {
+    /// Default number of polling iterations before the first yield.
+    pub const DEFAULT_SPIN_BUDGET: u32 = 1_000;
+
+    /// Creates a lock with a custom spin budget.
+    pub fn with_spin_budget(spin_budget: u32) -> Self {
+        Self {
+            locked: AtomicBool::new(false),
+            spin_budget,
+        }
+    }
+
+    /// The configured spin budget.
+    pub fn spin_budget(&self) -> u32 {
+        self.spin_budget
+    }
+}
+
+unsafe impl RawLock for SpinThenYieldLock {
+    fn new() -> Self {
+        Self::with_spin_budget(Self::DEFAULT_SPIN_BUDGET)
+    }
+
+    #[inline]
+    fn lock(&self) {
+        if !self.locked.swap(true, Ordering::Acquire) {
+            return;
+        }
+        let mut spins = 0u32;
+        loop {
+            while self.locked.load(Ordering::Relaxed) {
+                if spins < self.spin_budget {
+                    spins += 1;
+                    hint::spin_loop();
+                } else {
+                    thread::yield_now();
+                }
+            }
+            if !self.locked.swap(true, Ordering::Acquire) {
+                return;
+            }
+        }
+    }
+
+    #[inline]
+    unsafe fn unlock(&self) {
+        self.locked.store(false, Ordering::Release);
+    }
+
+    fn is_locked(&self) -> bool {
+        self.locked.load(Ordering::Relaxed)
+    }
+
+    fn name(&self) -> &'static str {
+        "spin-then-yield"
+    }
+}
+
+unsafe impl RawTryLock for SpinThenYieldLock {
+    #[inline]
+    fn try_lock(&self) -> bool {
+        !self.locked.load(Ordering::Relaxed) && !self.locked.swap(true, Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    #[test]
+    fn basic_lock_unlock() {
+        let l = SpinThenYieldLock::new();
+        l.lock();
+        assert!(l.is_locked());
+        unsafe { l.unlock() };
+        assert!(!l.is_locked());
+        assert_eq!(l.name(), "spin-then-yield");
+        assert_eq!(l.spin_budget(), SpinThenYieldLock::DEFAULT_SPIN_BUDGET);
+    }
+
+    #[test]
+    fn try_lock_behaviour() {
+        let l = SpinThenYieldLock::with_spin_budget(10);
+        assert!(l.try_lock());
+        assert!(!l.try_lock());
+        unsafe { l.unlock() };
+    }
+
+    #[test]
+    fn mutual_exclusion_under_contention() {
+        let lock = Arc::new(SpinThenYieldLock::with_spin_budget(64));
+        let counter = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let lock = Arc::clone(&lock);
+            let counter = Arc::clone(&counter);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..2_000 {
+                    lock.lock();
+                    let v = counter.load(Ordering::Relaxed);
+                    counter.store(v + 1, Ordering::Relaxed);
+                    unsafe { lock.unlock() };
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 16_000);
+    }
+}

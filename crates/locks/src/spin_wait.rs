@@ -1,0 +1,168 @@
+//! Spin/backoff helpers shared by every spinning primitive in the suite.
+
+use std::hint;
+use std::thread;
+
+/// Exponential backoff for contended atomic operations.
+///
+/// Modeled on the classic test-and-test-and-set-with-backoff loop of Agarwal
+/// and Cherian (ISCA 1989, reference [1] in the paper): the delay between
+/// retries doubles up to a cap, which drains the "thundering herd" that forms
+/// when many waiters observe a release simultaneously.
+///
+/// ```
+/// use lc_locks::Backoff;
+/// let mut b = Backoff::new();
+/// for _ in 0..8 {
+///     b.spin();
+/// }
+/// assert!(b.rounds() >= 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    shift: u32,
+    max_shift: u32,
+    rounds: u64,
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Backoff {
+    /// Default cap: 2^10 = 1024 `spin_loop` hints per round.
+    pub const DEFAULT_MAX_SHIFT: u32 = 10;
+
+    /// Creates a backoff helper with the default cap.
+    pub fn new() -> Self {
+        Self::with_max_shift(Self::DEFAULT_MAX_SHIFT)
+    }
+
+    /// Creates a backoff helper whose longest pause is `2^max_shift` hints.
+    pub fn with_max_shift(max_shift: u32) -> Self {
+        Self {
+            shift: 0,
+            max_shift: max_shift.min(20),
+            rounds: 0,
+        }
+    }
+
+    /// Pauses for the current backoff interval and doubles it (up to the cap).
+    #[inline]
+    pub fn spin(&mut self) {
+        let iters = 1u64 << self.shift;
+        for _ in 0..iters {
+            hint::spin_loop();
+        }
+        if self.shift < self.max_shift {
+            self.shift += 1;
+        }
+        self.rounds += 1;
+    }
+
+    /// Resets the backoff interval to its minimum.
+    #[inline]
+    pub fn reset(&mut self) {
+        self.shift = 0;
+    }
+
+    /// Number of times [`Backoff::spin`] has been called.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Whether the backoff interval has reached its cap.
+    pub fn is_saturated(&self) -> bool {
+        self.shift >= self.max_shift
+    }
+}
+
+/// A polite spin-waiter: spins with `spin_loop` hints for a while, then mixes
+/// in `thread::yield_now` so an oversubscribed host machine keeps making
+/// progress.
+///
+/// This is the waiting loop used where the *suite's own plumbing* must wait
+/// (tests, harness warm-up barriers) — the measured primitives implement their
+/// own loops.
+#[derive(Debug, Clone, Default)]
+pub struct SpinWait {
+    counter: u32,
+}
+
+impl SpinWait {
+    /// Number of pure-spin rounds before yielding to the OS scheduler.
+    pub const SPIN_LIMIT: u32 = 6;
+
+    /// Creates a fresh spin-waiter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Performs one wait step: cheap spinning at first, then a `yield_now`.
+    ///
+    /// Returns `true` if this step yielded to the OS (useful for callers that
+    /// want to switch to blocking after the spinning phase).
+    #[inline]
+    pub fn spin(&mut self) -> bool {
+        if self.counter < Self::SPIN_LIMIT {
+            for _ in 0..(1u32 << self.counter) {
+                hint::spin_loop();
+            }
+            self.counter += 1;
+            false
+        } else {
+            thread::yield_now();
+            true
+        }
+    }
+
+    /// Resets the waiter to the pure-spin phase.
+    #[inline]
+    pub fn reset(&mut self) {
+        self.counter = 0;
+    }
+
+    /// Whether the waiter has started yielding to the OS.
+    pub fn is_yielding(&self) -> bool {
+        self.counter >= Self::SPIN_LIMIT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_and_saturates() {
+        let mut b = Backoff::with_max_shift(3);
+        assert!(!b.is_saturated());
+        for _ in 0..3 {
+            b.spin();
+        }
+        assert!(b.is_saturated());
+        assert_eq!(b.rounds(), 3);
+        b.reset();
+        assert!(!b.is_saturated());
+    }
+
+    #[test]
+    fn backoff_max_shift_is_clamped() {
+        let b = Backoff::with_max_shift(64);
+        assert_eq!(b.max_shift, 20);
+    }
+
+    #[test]
+    fn spin_wait_transitions_to_yielding() {
+        let mut s = SpinWait::new();
+        let mut yielded = false;
+        for _ in 0..(SpinWait::SPIN_LIMIT + 2) {
+            yielded |= s.spin();
+        }
+        assert!(yielded);
+        assert!(s.is_yielding());
+        s.reset();
+        assert!(!s.is_yielding());
+    }
+}

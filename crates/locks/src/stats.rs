@@ -1,0 +1,144 @@
+//! Lightweight per-lock statistics.
+//!
+//! Every lock in the suite optionally records how often it was acquired, how
+//! often an acquisition found the lock busy, and how much waiting happened.
+//! The counters are relaxed atomics off the critical path; the evaluation
+//! harness reads them between measurement intervals (the same way the paper
+//! instruments its spinlocks to separate contention from priority inversion,
+//! §2 / Figure 3).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Aggregate counters for one lock instance.
+#[derive(Debug, Default)]
+pub struct LockStats {
+    acquisitions: AtomicU64,
+    contended: AtomicU64,
+    spin_iterations: AtomicU64,
+    parks: AtomicU64,
+    aborts: AtomicU64,
+    skipped_waiters: AtomicU64,
+}
+
+/// A point-in-time copy of [`LockStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LockStatsSnapshot {
+    /// Total successful acquisitions.
+    pub acquisitions: u64,
+    /// Acquisitions that observed the lock held at least once.
+    pub contended: u64,
+    /// Total polling-loop iterations spent waiting.
+    pub spin_iterations: u64,
+    /// Times a waiter blocked (parked) while waiting.
+    pub parks: u64,
+    /// Acquisition attempts aborted at a spin policy's request.
+    pub aborts: u64,
+    /// Waiters skipped over at release time (time-published locks only).
+    pub skipped_waiters: u64,
+}
+
+impl LockStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one successful acquisition; `contended` says whether the lock
+    /// was observed busy, and `spins` how many polling iterations were spent.
+    #[inline]
+    pub fn record_acquire(&self, contended: bool, spins: u64) {
+        self.acquisitions.fetch_add(1, Ordering::Relaxed);
+        if contended {
+            self.contended.fetch_add(1, Ordering::Relaxed);
+        }
+        if spins > 0 {
+            self.spin_iterations.fetch_add(spins, Ordering::Relaxed);
+        }
+    }
+
+    /// Records that a waiter parked (blocked) once.
+    #[inline]
+    pub fn record_park(&self) {
+        self.parks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records that an acquisition attempt was aborted.
+    #[inline]
+    pub fn record_abort(&self) {
+        self.aborts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records that a releaser skipped over `n` apparently-preempted waiters.
+    #[inline]
+    pub fn record_skipped(&self, n: u64) {
+        if n > 0 {
+            self.skipped_waiters.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Takes a consistent-enough snapshot of all counters.
+    pub fn snapshot(&self) -> LockStatsSnapshot {
+        LockStatsSnapshot {
+            acquisitions: self.acquisitions.load(Ordering::Relaxed),
+            contended: self.contended.load(Ordering::Relaxed),
+            spin_iterations: self.spin_iterations.load(Ordering::Relaxed),
+            parks: self.parks.load(Ordering::Relaxed),
+            aborts: self.aborts.load(Ordering::Relaxed),
+            skipped_waiters: self.skipped_waiters.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        self.acquisitions.store(0, Ordering::Relaxed);
+        self.contended.store(0, Ordering::Relaxed);
+        self.spin_iterations.store(0, Ordering::Relaxed);
+        self.parks.store(0, Ordering::Relaxed);
+        self.aborts.store(0, Ordering::Relaxed);
+        self.skipped_waiters.store(0, Ordering::Relaxed);
+    }
+}
+
+impl LockStatsSnapshot {
+    /// Fraction of acquisitions that encountered contention, in `[0, 1]`.
+    pub fn contention_ratio(&self) -> f64 {
+        if self.acquisitions == 0 {
+            0.0
+        } else {
+            self.contended as f64 / self.acquisitions as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_snapshot() {
+        let s = LockStats::new();
+        s.record_acquire(false, 0);
+        s.record_acquire(true, 17);
+        s.record_park();
+        s.record_abort();
+        s.record_skipped(3);
+        s.record_skipped(0);
+        let snap = s.snapshot();
+        assert_eq!(snap.acquisitions, 2);
+        assert_eq!(snap.contended, 1);
+        assert_eq!(snap.spin_iterations, 17);
+        assert_eq!(snap.parks, 1);
+        assert_eq!(snap.aborts, 1);
+        assert_eq!(snap.skipped_waiters, 3);
+        assert!((snap.contention_ratio() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let s = LockStats::new();
+        s.record_acquire(true, 5);
+        s.reset();
+        assert_eq!(s.snapshot(), LockStatsSnapshot::default());
+        assert_eq!(s.snapshot().contention_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Test-and-set spinlock: the simplest (and least scalable) spinning primitive.
+//!
+//! Every waiter hammers the same cache line with atomic exchanges, so under
+//! contention the lock generates heavy coherence traffic and suffers from the
+//! "thundering herd" at every release (paper §2.1).  It is included as the
+//! baseline the fancier primitives are measured against.
+
+use crate::raw::{RawLock, RawTryLock};
+use std::hint;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// A naive test-and-set spinlock.
+///
+/// ```
+/// use lc_locks::{RawLock, RawTryLock, TasLock};
+/// let lock = TasLock::new();
+/// lock.lock();
+/// assert!(!lock.try_lock());
+/// unsafe { lock.unlock() };
+/// assert!(lock.try_lock());
+/// unsafe { lock.unlock() };
+/// ```
+#[derive(Debug)]
+pub struct TasLock {
+    locked: AtomicBool,
+}
+
+impl Default for TasLock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+unsafe impl RawLock for TasLock {
+    fn new() -> Self {
+        Self {
+            locked: AtomicBool::new(false),
+        }
+    }
+
+    #[inline]
+    fn lock(&self) {
+        while self.locked.swap(true, Ordering::Acquire) {
+            hint::spin_loop();
+        }
+    }
+
+    #[inline]
+    unsafe fn unlock(&self) {
+        self.locked.store(false, Ordering::Release);
+    }
+
+    fn is_locked(&self) -> bool {
+        self.locked.load(Ordering::Relaxed)
+    }
+
+    fn name(&self) -> &'static str {
+        "tas"
+    }
+}
+
+unsafe impl RawTryLock for TasLock {
+    #[inline]
+    fn try_lock(&self) -> bool {
+        !self.locked.swap(true, Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn basic_lock_unlock() {
+        let l = TasLock::new();
+        assert!(!l.is_locked());
+        l.lock();
+        assert!(l.is_locked());
+        unsafe { l.unlock() };
+        assert!(!l.is_locked());
+        assert_eq!(l.name(), "tas");
+    }
+
+    #[test]
+    fn try_lock_fails_when_held() {
+        let l = TasLock::new();
+        assert!(l.try_lock());
+        assert!(!l.try_lock());
+        unsafe { l.unlock() };
+        assert!(l.try_lock());
+        unsafe { l.unlock() };
+    }
+
+    #[test]
+    fn mutual_exclusion_under_contention() {
+        let lock = Arc::new(TasLock::new());
+        let counter = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let lock = Arc::clone(&lock);
+            let counter = Arc::clone(&counter);
+            handles.push(thread::spawn(move || {
+                for _ in 0..2_000 {
+                    lock.lock();
+                    // Non-atomic-style read-modify-write made safe by the lock.
+                    let v = counter.load(Ordering::Relaxed);
+                    counter.store(v + 1, Ordering::Relaxed);
+                    unsafe { lock.unlock() };
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 16_000);
+    }
+}

@@ -1,0 +1,151 @@
+//! Simulator configuration.
+
+use crate::{SimTime, MICROS, MILLIS, SECONDS};
+
+/// Load-control parameters for one simulated process.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadControlSimConfig {
+    /// Hardware contexts the controller aims to keep busy (defaults to the
+    /// machine's context count).
+    pub capacity: usize,
+    /// Controller update interval (paper default: 7 ms).
+    pub update_interval: SimTime,
+    /// Sleep timeout for parked threads (paper default: 100 ms).
+    pub sleep_timeout: SimTime,
+    /// How long a spinning thread takes to notice an open sleep slot
+    /// (models the slot-check period in the polling loop).
+    pub claim_latency: SimTime,
+    /// A scripted sequence of `(time, sleep target)` overrides.  When
+    /// non-empty the controller replays it instead of measuring load — this
+    /// drives the Figure 8 bump test.
+    pub manual_targets: Vec<(SimTime, usize)>,
+}
+
+impl LoadControlSimConfig {
+    /// Paper-default parameters for a machine with `capacity` contexts.
+    pub fn for_capacity(capacity: usize) -> Self {
+        Self {
+            capacity,
+            update_interval: 7 * MILLIS,
+            sleep_timeout: 100 * MILLIS,
+            claim_latency: 5 * MICROS,
+            manual_targets: Vec::new(),
+        }
+    }
+}
+
+/// Top-level simulator configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Number of hardware contexts.
+    pub contexts: usize,
+    /// Scheduler time slice (default 10 ms, a typical OS tick/quantum).
+    pub time_slice: SimTime,
+    /// Cost charged when a context switches between threads (default 12 µs,
+    /// the paper's 10–15 µs blocking overhead).
+    pub context_switch: SimTime,
+    /// Latency of handing a spinlock to a waiter that is on a CPU
+    /// (one or two cache-miss delays).
+    pub spin_handoff: SimTime,
+    /// Cost of a wake-up system call issued by a releasing thread.
+    pub wake_syscall: SimTime,
+    /// Total simulated duration.
+    pub duration: SimTime,
+    /// Interval at which the instantaneous-load timeline is sampled.
+    pub sample_interval: SimTime,
+    /// Seed for the deterministic random number generator.
+    pub seed: u64,
+    /// Load-control parameters (per simulated process/group).
+    pub load_control: LoadControlSimConfig,
+}
+
+impl SimConfig {
+    /// A configuration for a machine with `contexts` hardware contexts and
+    /// paper-like defaults everywhere else.
+    pub fn new(contexts: usize) -> Self {
+        Self {
+            contexts,
+            time_slice: 10 * MILLIS,
+            context_switch: 12 * MICROS,
+            spin_handoff: 200,
+            wake_syscall: 2 * MICROS,
+            duration: SECONDS,
+            sample_interval: 500 * MICROS,
+            seed: 0x5eed_1c0d_e001,
+            load_control: LoadControlSimConfig::for_capacity(contexts),
+        }
+    }
+
+    /// The paper's evaluation machine: 64 hardware contexts.
+    pub fn niagara() -> Self {
+        Self::new(64)
+    }
+
+    /// Sets the simulated duration in milliseconds.
+    pub fn with_duration_ms(mut self, ms: u64) -> Self {
+        self.duration = ms * MILLIS;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the controller update interval (in nanoseconds of simulated time).
+    pub fn with_controller_interval(mut self, interval: SimTime) -> Self {
+        self.load_control.update_interval = interval;
+        self
+    }
+
+    /// Sets the load-control capacity independently of the context count
+    /// (used by the Figure 5 experiment, which targets 32 of 64 contexts).
+    pub fn with_lc_capacity(mut self, capacity: usize) -> Self {
+        self.load_control.capacity = capacity;
+        self
+    }
+
+    /// Installs a scripted sleep-target schedule (Figure 8 bump test).
+    pub fn with_manual_targets(mut self, targets: Vec<(SimTime, usize)>) -> Self {
+        self.load_control.manual_targets = targets;
+        self
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self::niagara()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let c = SimConfig::niagara();
+        assert_eq!(c.contexts, 64);
+        assert_eq!(c.time_slice, 10 * MILLIS);
+        assert_eq!(c.context_switch, 12 * MICROS);
+        assert_eq!(c.load_control.update_interval, 7 * MILLIS);
+        assert_eq!(c.load_control.sleep_timeout, 100 * MILLIS);
+        assert_eq!(c.load_control.capacity, 64);
+    }
+
+    #[test]
+    fn builders_update_fields() {
+        let c = SimConfig::new(8)
+            .with_duration_ms(250)
+            .with_seed(7)
+            .with_controller_interval(3 * MILLIS)
+            .with_lc_capacity(4)
+            .with_manual_targets(vec![(0, 2)]);
+        assert_eq!(c.duration, 250 * MILLIS);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.load_control.update_interval, 3 * MILLIS);
+        assert_eq!(c.load_control.capacity, 4);
+        assert_eq!(c.load_control.manual_targets.len(), 1);
+    }
+}

@@ -1,0 +1,260 @@
+//! Transaction programs: how simulated threads describe their work.
+//!
+//! A thread executes a [`TransactionMix`] in a loop: each iteration draws one
+//! [`TransactionSpec`] (weighted), executes its [`Step`]s, and counts one
+//! completed transaction.  Steps cover the four behaviours the paper's
+//! workloads exhibit: on-CPU computation, critical sections protected by a
+//! shared lock, blocking I/O, and off-CPU think time.
+
+use crate::engine::LockId;
+use crate::SimTime;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A randomized duration, drawn per use.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Dist {
+    /// Always exactly this many nanoseconds.
+    Const(SimTime),
+    /// Uniformly distributed in `[lo, hi]`.
+    Uniform(SimTime, SimTime),
+    /// Exponentially distributed with the given mean.
+    Exponential(SimTime),
+}
+
+impl Dist {
+    /// Draws a sample using `rng`.
+    pub fn sample(&self, rng: &mut StdRng) -> SimTime {
+        match *self {
+            Dist::Const(v) => v,
+            Dist::Uniform(lo, hi) => {
+                if hi <= lo {
+                    lo
+                } else {
+                    rng.random_range(lo..=hi)
+                }
+            }
+            Dist::Exponential(mean) => {
+                if mean == 0 {
+                    return 0;
+                }
+                let u: f64 = rng.random_range(1e-12..1.0);
+                let v = -(mean as f64) * u.ln();
+                // Cap at 20x the mean to keep single draws from dominating.
+                v.min(mean as f64 * 20.0) as SimTime
+            }
+        }
+    }
+
+    /// The distribution's mean, in nanoseconds.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            Dist::Const(v) => v as f64,
+            Dist::Uniform(lo, hi) => (lo + hi) as f64 / 2.0,
+            Dist::Exponential(mean) => mean as f64,
+        }
+    }
+}
+
+/// One step of a transaction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Step {
+    /// On-CPU computation for the drawn duration.
+    Compute {
+        /// Duration distribution.
+        ns: Dist,
+    },
+    /// Acquire `lock`, hold it (on CPU) for the drawn duration, release it.
+    Critical {
+        /// Which simulated lock to acquire.
+        lock: LockId,
+        /// Critical-section length distribution.
+        hold: Dist,
+    },
+    /// Block off-CPU for the drawn duration (disk/log I/O).
+    Io {
+        /// I/O latency distribution.
+        ns: Dist,
+    },
+    /// Sleep off-CPU for the drawn duration (client think time); unlike I/O,
+    /// wake-ups are quantized to the scheduler tick, which is what makes
+    /// think-time benchmarks hard on load control (paper §6.1.1).
+    Think {
+        /// Think-time distribution.
+        ns: Dist,
+    },
+}
+
+/// A weighted transaction type: a name, a weight within the mix, and a list
+/// of steps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransactionSpec {
+    /// Human-readable name (shown in reports).
+    pub name: &'static str,
+    /// Relative weight within a [`TransactionMix`].
+    pub weight: u32,
+    /// The steps executed, in order.
+    pub steps: Vec<Step>,
+}
+
+impl TransactionSpec {
+    /// Creates a transaction with weight 1.
+    pub fn new(name: &'static str, steps: Vec<Step>) -> Self {
+        Self {
+            name,
+            weight: 1,
+            steps,
+        }
+    }
+
+    /// Sets the weight within the mix.
+    pub fn with_weight(mut self, weight: u32) -> Self {
+        self.weight = weight.max(1);
+        self
+    }
+
+    /// Approximate mean on-CPU service demand of this transaction, in ns.
+    pub fn mean_service_ns(&self) -> f64 {
+        self.steps
+            .iter()
+            .map(|s| match s {
+                Step::Compute { ns } => ns.mean(),
+                Step::Critical { hold, .. } => hold.mean(),
+                _ => 0.0,
+            })
+            .sum()
+    }
+}
+
+/// A weighted mix of transactions executed by one thread in a loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransactionMix {
+    /// The transaction types in this mix.
+    pub transactions: Vec<TransactionSpec>,
+}
+
+impl TransactionMix {
+    /// A mix containing a single transaction type.
+    pub fn single(spec: TransactionSpec) -> Self {
+        Self {
+            transactions: vec![spec],
+        }
+    }
+
+    /// A mix of several weighted transaction types.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `transactions` is empty.
+    pub fn new(transactions: Vec<TransactionSpec>) -> Self {
+        assert!(!transactions.is_empty(), "a mix needs at least one transaction");
+        Self { transactions }
+    }
+
+    /// Total weight of the mix.
+    pub fn total_weight(&self) -> u32 {
+        self.transactions.iter().map(|t| t.weight).sum()
+    }
+
+    /// Draws the index of the next transaction to run.
+    pub fn draw(&self, rng: &mut StdRng) -> usize {
+        let total = self.total_weight();
+        if self.transactions.len() == 1 || total == 0 {
+            return 0;
+        }
+        let mut pick = rng.random_range(0..total);
+        for (i, t) in self.transactions.iter().enumerate() {
+            if pick < t.weight {
+                return i;
+            }
+            pick -= t.weight;
+        }
+        self.transactions.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn const_dist_is_exact() {
+        let mut r = rng();
+        assert_eq!(Dist::Const(123).sample(&mut r), 123);
+        assert_eq!(Dist::Const(123).mean(), 123.0);
+    }
+
+    #[test]
+    fn uniform_dist_is_in_range() {
+        let mut r = rng();
+        for _ in 0..1_000 {
+            let v = Dist::Uniform(10, 20).sample(&mut r);
+            assert!((10..=20).contains(&v));
+        }
+        assert_eq!(Dist::Uniform(10, 20).mean(), 15.0);
+        // Degenerate range collapses to the lower bound.
+        assert_eq!(Dist::Uniform(5, 5).sample(&mut r), 5);
+    }
+
+    #[test]
+    fn exponential_dist_has_roughly_the_right_mean() {
+        let mut r = rng();
+        let n = 50_000;
+        let total: u128 = (0..n)
+            .map(|_| Dist::Exponential(1_000).sample(&mut r) as u128)
+            .sum();
+        let mean = total as f64 / n as f64;
+        assert!((900.0..1_100.0).contains(&mean), "mean was {mean}");
+        assert_eq!(Dist::Exponential(0).sample(&mut r), 0);
+    }
+
+    #[test]
+    fn transaction_mean_service_counts_cpu_steps_only() {
+        let spec = TransactionSpec::new(
+            "t",
+            vec![
+                Step::Compute { ns: Dist::Const(100) },
+                Step::Critical { lock: LockId(0), hold: Dist::Const(50) },
+                Step::Io { ns: Dist::Const(1_000_000) },
+                Step::Think { ns: Dist::Const(1_000_000) },
+            ],
+        );
+        assert_eq!(spec.mean_service_ns(), 150.0);
+    }
+
+    #[test]
+    fn mix_draw_respects_weights() {
+        let mix = TransactionMix::new(vec![
+            TransactionSpec::new("a", vec![]).with_weight(9),
+            TransactionSpec::new("b", vec![]).with_weight(1),
+        ]);
+        assert_eq!(mix.total_weight(), 10);
+        let mut r = rng();
+        let mut counts = [0usize; 2];
+        for _ in 0..10_000 {
+            counts[mix.draw(&mut r)] += 1;
+        }
+        assert!(counts[0] > 8_000, "heavy transaction drawn {} times", counts[0]);
+        assert!(counts[1] > 500, "light transaction drawn {} times", counts[1]);
+    }
+
+    #[test]
+    fn single_mix_always_draws_zero() {
+        let mix = TransactionMix::single(TransactionSpec::new("only", vec![]));
+        let mut r = rng();
+        for _ in 0..100 {
+            assert_eq!(mix.draw(&mut r), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one transaction")]
+    fn empty_mix_panics() {
+        let _ = TransactionMix::new(vec![]);
+    }
+}

@@ -1,0 +1,178 @@
+//! Real-thread workload drivers for the host machine.
+//!
+//! These exercise the *actual* lock implementations from `lc-locks` and
+//! `lc-core` (as opposed to the simulator models) and are used by the
+//! criterion benches, the examples and the integration tests.
+
+use lc_core::{LcMutex, LoadControl};
+use lc_locks::{Mutex, RawLock};
+use std::hint;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Configuration of the real-thread global-lock microbenchmark (§4 of the
+/// paper: M threads acquire and release one lock, busy-waiting in between).
+#[derive(Debug, Clone, Copy)]
+pub struct MicrobenchConfig {
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Approximate critical-section length (busy-wait iterations).
+    pub critical_iters: u32,
+    /// Approximate delay between acquisitions (busy-wait iterations).
+    pub delay_iters: u32,
+    /// Wall-clock measurement duration.
+    pub duration: Duration,
+}
+
+impl Default for MicrobenchConfig {
+    fn default() -> Self {
+        Self {
+            threads: 4,
+            critical_iters: 50,
+            delay_iters: 500,
+            duration: Duration::from_millis(200),
+        }
+    }
+}
+
+/// Result of one microbenchmark run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MicrobenchResult {
+    /// Total acquisitions across all threads.
+    pub acquisitions: u64,
+    /// Measured wall-clock duration.
+    pub elapsed: Duration,
+}
+
+impl MicrobenchResult {
+    /// Acquisitions per second.
+    pub fn throughput(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        self.acquisitions as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+#[inline]
+fn busy_work(iters: u32) {
+    for _ in 0..iters {
+        hint::spin_loop();
+    }
+}
+
+/// Runs the microbenchmark over any [`RawLock`]-backed mutex.
+pub fn run_microbench<R>(config: MicrobenchConfig) -> MicrobenchResult
+where
+    R: RawLock + 'static,
+{
+    let mutex: Arc<Mutex<u64, R>> = Arc::new(Mutex::with_raw(0, R::new()));
+    run_with(config, move |cfg| {
+        let m = Arc::clone(&mutex);
+        move || {
+            {
+                let mut g = m.lock();
+                *g += 1;
+                busy_work(cfg.critical_iters);
+            }
+            busy_work(cfg.delay_iters);
+        }
+    })
+}
+
+/// Runs the microbenchmark over the load-controlled mutex attached to
+/// `control`.
+pub fn run_microbench_lc(config: MicrobenchConfig, control: &Arc<LoadControl>) -> MicrobenchResult {
+    let mutex = Arc::new(LcMutex::new_with(0u64, control));
+    let control = Arc::clone(control);
+    run_with(config, move |cfg| {
+        let m = Arc::clone(&mutex);
+        let lc = Arc::clone(&control);
+        move || {
+            let _worker = &lc; // keep the control alive in the closure
+            {
+                let mut g = m.lock();
+                *g += 1;
+                busy_work(cfg.critical_iters);
+            }
+            busy_work(cfg.delay_iters);
+        }
+    })
+}
+
+/// Generic harness: spawns `config.threads` workers that repeatedly run one
+/// iteration produced by `make_iter`, for `config.duration`.
+fn run_with<F, G>(config: MicrobenchConfig, make_iter: F) -> MicrobenchResult
+where
+    F: Fn(MicrobenchConfig) -> G,
+    G: FnMut() + Send + 'static,
+{
+    let stop = Arc::new(AtomicBool::new(false));
+    let total = Arc::new(AtomicU64::new(0));
+    let mut handles = Vec::with_capacity(config.threads);
+    for _ in 0..config.threads {
+        let stop = Arc::clone(&stop);
+        let total = Arc::clone(&total);
+        let mut iter = make_iter(config);
+        handles.push(std::thread::spawn(move || {
+            let mut local = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                iter();
+                local += 1;
+            }
+            total.fetch_add(local, Ordering::Relaxed);
+        }));
+    }
+    let start = Instant::now();
+    std::thread::sleep(config.duration);
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().expect("microbench worker panicked");
+    }
+    MicrobenchResult {
+        acquisitions: total.load(Ordering::Relaxed),
+        elapsed: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lc_core::LoadControlConfig;
+    use lc_locks::{TicketLock, TimePublishedLock};
+
+    fn quick() -> MicrobenchConfig {
+        MicrobenchConfig {
+            threads: 4,
+            critical_iters: 10,
+            delay_iters: 50,
+            duration: Duration::from_millis(50),
+        }
+    }
+
+    #[test]
+    fn ticket_microbench_makes_progress() {
+        let r = run_microbench::<TicketLock>(quick());
+        assert!(r.acquisitions > 100, "only {} acquisitions", r.acquisitions);
+        assert!(r.throughput() > 0.0);
+    }
+
+    #[test]
+    fn tp_microbench_makes_progress() {
+        let r = run_microbench::<TimePublishedLock>(quick());
+        assert!(r.acquisitions > 100, "only {} acquisitions", r.acquisitions);
+    }
+
+    #[test]
+    fn lc_microbench_makes_progress_under_forced_overload() {
+        let control = LoadControl::start(
+            LoadControlConfig::for_capacity(2)
+                .with_update_interval(Duration::from_millis(1))
+                .with_sleep_timeout(Duration::from_millis(5)),
+        );
+        let r = run_microbench_lc(quick(), &control);
+        control.stop_controller();
+        assert!(r.acquisitions > 100, "only {} acquisitions", r.acquisitions);
+    }
+}

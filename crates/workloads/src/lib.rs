@@ -1,0 +1,28 @@
+//! # lc-workloads — the evaluation workloads
+//!
+//! This crate builds the three applications the paper evaluates (§4) in two
+//! forms:
+//!
+//! * **Simulator scenarios** ([`scenarios`]): transaction mixes plus lock sets
+//!   for the single-lock microbenchmark, a synthetic Raytrace-like irregular
+//!   renderer, the TM-1 telecom workload and the TPC-C order-processing
+//!   workload, parameterised by the contention-management policy under test.
+//!   These drive every figure reproduction in `lc-bench`.
+//! * **Real-thread drivers** ([`drivers`]): a host-machine microbenchmark that
+//!   exercises the actual lock implementations from `lc-locks`/`lc-core`
+//!   (used by the criterion benches and the examples).
+//!
+//! The simulator scenarios model the *lock footprint* of each application —
+//! how many latches a transaction touches, how long it holds them, how much
+//! computation happens between acquisitions, and where threads block for I/O
+//! or logical database locks — which is what determines the contention and
+//! scheduling behaviour the paper studies.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod drivers;
+pub mod scenarios;
+
+pub use drivers::{MicrobenchConfig, MicrobenchResult};
+pub use scenarios::{AppScenario, ScenarioKind};

@@ -1,0 +1,356 @@
+//! Simulator scenarios for the paper's workloads.
+//!
+//! Each builder installs the locks an application uses into a
+//! [`Simulation`] and returns the [`TransactionMix`] its client threads run.
+//! The latches (internal short critical sections) take the contention-
+//! management policy under evaluation; logical database locks and I/O are
+//! modeled the same way for every policy, exactly as in the paper where only
+//! the mutex implementation is swapped.
+
+use lc_sim::{Dist, LockId, LockPolicy, Simulation, Step, TransactionMix, TransactionSpec, MICROS, MILLIS};
+
+/// Which application to model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScenarioKind {
+    /// M threads repeatedly acquiring one global lock (§4, microbenchmark).
+    Microbenchmark,
+    /// SPLASH-2 Raytrace stand-in: irregular parallelism over a shared tile
+    /// queue plus a memory-allocator lock.
+    Raytrace,
+    /// TM-1 / TATP: seven tiny transactions, little logical contention but
+    /// heavy internal latching and a log write at commit.
+    Tm1,
+    /// TPC-C: larger transactions, heavy logical (database lock) contention
+    /// and intense commit I/O.
+    Tpcc,
+}
+
+impl ScenarioKind {
+    /// All scenarios, in the order the paper presents them.
+    pub const ALL: [ScenarioKind; 4] = [
+        ScenarioKind::Microbenchmark,
+        ScenarioKind::Raytrace,
+        ScenarioKind::Tm1,
+        ScenarioKind::Tpcc,
+    ];
+
+    /// Short label used in tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            ScenarioKind::Microbenchmark => "microbench",
+            ScenarioKind::Raytrace => "raytrace",
+            ScenarioKind::Tm1 => "tm1",
+            ScenarioKind::Tpcc => "tpcc",
+        }
+    }
+}
+
+/// A scenario installed into a simulation: the mix client threads run plus
+/// the ids of the locks it created (useful for per-lock statistics).
+#[derive(Debug, Clone)]
+pub struct AppScenario {
+    /// Which application this is.
+    pub kind: ScenarioKind,
+    /// The transaction mix each client thread executes in a loop.
+    pub mix: TransactionMix,
+    /// The latches created for this scenario (policy under test).
+    pub latches: Vec<LockId>,
+    /// Logical database locks (always blocking), empty for non-database apps.
+    pub db_locks: Vec<LockId>,
+}
+
+impl AppScenario {
+    /// Builds `kind` inside `sim`, using `policy` for every internal latch.
+    pub fn build(kind: ScenarioKind, sim: &mut Simulation, policy: LockPolicy) -> Self {
+        match kind {
+            ScenarioKind::Microbenchmark => microbenchmark(sim, policy, 60, 50 * MICROS),
+            ScenarioKind::Raytrace => raytrace(sim, policy),
+            ScenarioKind::Tm1 => tm1(sim, policy),
+            ScenarioKind::Tpcc => tpcc(sim, policy),
+        }
+    }
+}
+
+/// The single-global-lock microbenchmark (§4): the critical section is a
+/// `gethrtime` call (40–80 ns on the paper's machine) and threads busy-wait
+/// for `delay_ns` between acquisitions.
+pub fn microbenchmark(
+    sim: &mut Simulation,
+    policy: LockPolicy,
+    critical_ns: u64,
+    delay_ns: u64,
+) -> AppScenario {
+    let lock = sim.add_lock(policy);
+    let mix = TransactionMix::single(TransactionSpec::new(
+        "lock-and-delay",
+        vec![
+            Step::Critical {
+                lock,
+                hold: Dist::Uniform(critical_ns.max(1), critical_ns.max(1) * 2),
+            },
+            Step::Compute {
+                ns: Dist::Const(delay_ns.max(1)),
+            },
+        ],
+    ));
+    AppScenario {
+        kind: ScenarioKind::Microbenchmark,
+        mix,
+        latches: vec![lock],
+        db_locks: Vec::new(),
+    }
+}
+
+/// Synthetic Raytrace: each "transaction" renders one tile.  Tiles are taken
+/// from a shared work queue (contended latch), tile cost is heavy-tailed
+/// (irregular parallelism), and a shared allocator lock is touched a few
+/// times per tile.
+pub fn raytrace(sim: &mut Simulation, policy: LockPolicy) -> AppScenario {
+    let work_queue = sim.add_lock(policy);
+    let allocator = sim.add_lock(policy);
+    let mix = TransactionMix::single(TransactionSpec::new(
+        "render-tile",
+        vec![
+            // Take a tile off the shared queue.
+            Step::Critical {
+                lock: work_queue,
+                hold: Dist::Uniform(2 * MICROS, 6 * MICROS),
+            },
+            // Render: heavy-tailed compute burst (irregular parallelism).
+            Step::Compute {
+                ns: Dist::Exponential(250 * MICROS),
+            },
+            // A couple of allocator calls while building the result.
+            Step::Critical {
+                lock: allocator,
+                hold: Dist::Uniform(1 * MICROS, 4 * MICROS),
+            },
+            Step::Compute {
+                ns: Dist::Exponential(60 * MICROS),
+            },
+            Step::Critical {
+                lock: allocator,
+                hold: Dist::Uniform(1 * MICROS, 4 * MICROS),
+            },
+        ],
+    ));
+    AppScenario {
+        kind: ScenarioKind::Raytrace,
+        mix,
+        latches: vec![work_queue, allocator],
+        db_locks: Vec::new(),
+    }
+}
+
+/// TM-1 (TATP): seven very small transactions.  The workload has almost no
+/// logical contention but generates heavy *physical* contention on the
+/// storage manager's internal latches (paper §4), plus one log write on the
+/// update transactions.
+pub fn tm1(sim: &mut Simulation, policy: LockPolicy) -> AppScenario {
+    // Internal latches: lock manager, buffer pool, index root, log buffer.
+    let latch_lockmgr = sim.add_lock(policy);
+    let latch_buffer = sim.add_lock(policy);
+    let latch_index = sim.add_lock(policy);
+    let latch_log = sim.add_lock(policy);
+    let latches = vec![latch_lockmgr, latch_buffer, latch_index, latch_log];
+
+    let short_latch = |lock| Step::Critical {
+        lock,
+        hold: Dist::Uniform(2 * MICROS, 5 * MICROS),
+    };
+    // TM-1 is CPU-bound: essentially no I/O on the read transactions, so the
+    // number of runnable threads tracks the number of clients (this is what
+    // makes 64 clients = 100% load in the paper's figures).
+    let read_body = vec![
+        short_latch(latch_lockmgr),
+        Step::Compute { ns: Dist::Uniform(60 * MICROS, 140 * MICROS) },
+        short_latch(latch_index),
+        Step::Compute { ns: Dist::Uniform(80 * MICROS, 180 * MICROS) },
+        short_latch(latch_buffer),
+        Step::Compute { ns: Dist::Uniform(40 * MICROS, 100 * MICROS) },
+    ];
+    let mut update_body = read_body.clone();
+    update_body.push(short_latch(latch_log));
+    update_body.push(Step::Compute { ns: Dist::Uniform(40 * MICROS, 100 * MICROS) });
+    // Log commit: asynchronous group commit absorbs most of the latency, so
+    // only a short I/O lands on the transaction itself.
+    update_body.push(Step::Io { ns: Dist::Exponential(150 * MICROS) });
+
+    // The TATP mix: 80 % read transactions, 20 % updates (weights follow the
+    // benchmark's 35/10/35/2/14/2/2 split collapsed into read vs update).
+    let mix = TransactionMix::new(vec![
+        TransactionSpec::new("get-subscriber-data", read_body.clone()).with_weight(35),
+        TransactionSpec::new("get-new-destination", read_body.clone()).with_weight(10),
+        TransactionSpec::new("get-access-data", read_body).with_weight(35),
+        TransactionSpec::new("update-subscriber-data", update_body.clone()).with_weight(2),
+        TransactionSpec::new("update-location", update_body.clone()).with_weight(14),
+        TransactionSpec::new("insert-call-forwarding", update_body.clone()).with_weight(2),
+        TransactionSpec::new("delete-call-forwarding", update_body).with_weight(2),
+    ]);
+    AppScenario {
+        kind: ScenarioKind::Tm1,
+        mix,
+        latches,
+        db_locks: Vec::new(),
+    }
+}
+
+/// TPC-C: five transaction types with heavy logical contention (database
+/// locks are modeled as blocking locks — a transaction that conflicts simply
+/// waits) and a 6 ms "disk" latency at commit, per the paper's fake-I/O
+/// setup.
+pub fn tpcc(sim: &mut Simulation, policy: LockPolicy) -> AppScenario {
+    // Internal latches.
+    let latch_lockmgr = sim.add_lock(policy);
+    let latch_buffer = sim.add_lock(policy);
+    let latch_log = sim.add_lock(policy);
+    let latches = vec![latch_lockmgr, latch_buffer, latch_log];
+    // Logical locks: warehouse and district rows are the hot spots.  These
+    // always block (a database lock wait deschedules the thread) regardless
+    // of the latch policy under test.
+    let lock_warehouse = sim.add_lock(LockPolicy::blocking());
+    let lock_district = sim.add_lock(LockPolicy::blocking());
+    let db_locks = vec![lock_warehouse, lock_district];
+
+    let latch = |lock| Step::Critical {
+        lock,
+        hold: Dist::Uniform(2 * MICROS, 6 * MICROS),
+    };
+    // The paper forces every "disk request" to take at least 6 ms; group
+    // commit lets transactions share log writes, so the per-transaction
+    // commit wait is modeled as 2 ms.
+    let commit_io = Step::Io { ns: Dist::Const(2 * MILLIS) };
+
+    let new_order = vec![
+        latch(latch_lockmgr),
+        Step::Critical { lock: lock_district, hold: Dist::Uniform(60 * MICROS, 180 * MICROS) },
+        Step::Compute { ns: Dist::Uniform(300 * MICROS, 700 * MICROS) },
+        latch(latch_buffer),
+        Step::Compute { ns: Dist::Uniform(150 * MICROS, 400 * MICROS) },
+        latch(latch_log),
+        commit_io,
+    ];
+    let payment = vec![
+        latch(latch_lockmgr),
+        Step::Critical { lock: lock_warehouse, hold: Dist::Uniform(40 * MICROS, 120 * MICROS) },
+        Step::Compute { ns: Dist::Uniform(200 * MICROS, 500 * MICROS) },
+        latch(latch_buffer),
+        latch(latch_log),
+        commit_io,
+    ];
+    let order_status = vec![
+        latch(latch_lockmgr),
+        Step::Compute { ns: Dist::Uniform(200 * MICROS, 600 * MICROS) },
+        latch(latch_buffer),
+    ];
+    let delivery = vec![
+        latch(latch_lockmgr),
+        // Delivery is the badly-behaved transaction: it holds the district
+        // lock for a long time (paper §5.4).
+        Step::Critical { lock: lock_district, hold: Dist::Uniform(1 * MILLIS, 3 * MILLIS) },
+        Step::Compute { ns: Dist::Uniform(500 * MICROS, 1_200 * MICROS) },
+        latch(latch_buffer),
+        latch(latch_log),
+        commit_io,
+    ];
+    let stock_level = vec![
+        latch(latch_lockmgr),
+        Step::Compute { ns: Dist::Uniform(800 * MICROS, 2_000 * MICROS) },
+        latch(latch_buffer),
+    ];
+
+    let mix = TransactionMix::new(vec![
+        TransactionSpec::new("new-order", new_order).with_weight(45),
+        TransactionSpec::new("payment", payment).with_weight(43),
+        TransactionSpec::new("order-status", order_status).with_weight(4),
+        TransactionSpec::new("delivery", delivery).with_weight(4),
+        TransactionSpec::new("stock-level", stock_level).with_weight(4),
+    ]);
+    AppScenario {
+        kind: ScenarioKind::Tpcc,
+        mix,
+        latches,
+        db_locks,
+    }
+}
+
+/// TPC-C without the Delivery transaction (the paper verifies that removing
+/// it makes TPC-C behave like TM-1).
+pub fn tpcc_without_delivery(sim: &mut Simulation, policy: LockPolicy) -> AppScenario {
+    let mut scenario = tpcc(sim, policy);
+    scenario
+        .mix
+        .transactions
+        .retain(|t| t.name != "delivery");
+    scenario
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lc_sim::SimConfig;
+
+    fn run_scenario(kind: ScenarioKind, threads: usize, contexts: usize) -> lc_sim::SimReport {
+        let mut sim = Simulation::new(SimConfig::new(contexts).with_duration_ms(50));
+        let scenario = AppScenario::build(kind, &mut sim, LockPolicy::spin());
+        sim.spawn_n(threads, &scenario.mix);
+        sim.run()
+    }
+
+    #[test]
+    fn every_scenario_builds_and_completes_transactions() {
+        for kind in ScenarioKind::ALL {
+            let report = run_scenario(kind, 8, 16);
+            assert!(
+                report.transactions > 0,
+                "{} completed no transactions",
+                kind.label()
+            );
+        }
+    }
+
+    #[test]
+    fn microbenchmark_throughput_is_bounded_by_the_lock() {
+        let mut sim = Simulation::new(SimConfig::new(8).with_duration_ms(50));
+        let scenario = microbenchmark(&mut sim, LockPolicy::spin(), 10_000, 1);
+        sim.spawn_n(8, &scenario.mix);
+        let report = sim.run();
+        // Critical section 10–20 µs: at most ~5000 acquisitions in 50 ms.
+        assert!(report.transactions <= 5_200, "tx = {}", report.transactions);
+    }
+
+    #[test]
+    fn tm1_mix_has_seven_transactions() {
+        let mut sim = Simulation::new(SimConfig::new(4));
+        let s = tm1(&mut sim, LockPolicy::spin());
+        assert_eq!(s.mix.transactions.len(), 7);
+        assert_eq!(s.latches.len(), 4);
+        assert!(s.db_locks.is_empty());
+    }
+
+    #[test]
+    fn tpcc_mix_has_five_transactions_and_db_locks() {
+        let mut sim = Simulation::new(SimConfig::new(4));
+        let s = tpcc(&mut sim, LockPolicy::spin());
+        assert_eq!(s.mix.transactions.len(), 5);
+        assert_eq!(s.db_locks.len(), 2);
+        let without = tpcc_without_delivery(&mut Simulation::new(SimConfig::new(4)), LockPolicy::spin());
+        assert_eq!(without.mix.transactions.len(), 4);
+        assert!(without.mix.transactions.iter().all(|t| t.name != "delivery"));
+    }
+
+    #[test]
+    fn tpcc_spends_time_blocked_on_database_locks() {
+        let report = run_scenario(ScenarioKind::Tpcc, 32, 16);
+        assert!(report.micro_ns[lc_sim::MicroState::Blocked as usize] > 0);
+        assert!(report.micro_ns[lc_sim::MicroState::Io as usize] > 0);
+    }
+
+    #[test]
+    fn scenario_labels_are_unique() {
+        let mut labels: Vec<_> = ScenarioKind::ALL.iter().map(|k| k.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 4);
+    }
+}

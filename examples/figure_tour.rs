@@ -1,0 +1,60 @@
+//! A quick tour of every reproduced figure.
+//!
+//! Runs all ten figure reproductions in quick mode (small simulated
+//! durations) and prints their series — a one-command smoke test of the
+//! whole evaluation pipeline.  For full-size runs use the dedicated binary:
+//! `cargo run --release -p lc-bench --bin figures -- all`.
+//!
+//! ```text
+//! cargo run --release --example figure_tour
+//! ```
+
+fn main() {
+    // The figure implementations live in the bench crate; this example simply
+    // documents how to drive them from code.  To keep the root package free
+    // of a dependency on the harness crate, we re-run the two scenarios the
+    // README highlights directly against the simulator.
+    use lc_sim::{LockPolicy, SimConfig, Simulation};
+    use lc_workloads::scenarios::{AppScenario, ScenarioKind};
+
+    println!("figure tour: the two headline comparisons (quick mode)");
+    println!();
+    println!("1. TM-1 at 150% load (96 clients on 64 contexts):");
+    for (name, policy) in [
+        ("blocking/adaptive", LockPolicy::adaptive()),
+        ("tp spinlock", LockPolicy::spin()),
+        ("load control", LockPolicy::load_controlled()),
+    ] {
+        let mut sim = Simulation::new(SimConfig::new(64).with_duration_ms(40));
+        let scenario = AppScenario::build(ScenarioKind::Tm1, &mut sim, policy);
+        sim.spawn_n(96, &scenario.mix);
+        let report = sim.run();
+        println!(
+            "   {:<18} {:>9.1} ktps   ({} lc parks, {} preempted holders)",
+            name,
+            report.throughput_tps() / 1_000.0,
+            report.lc_parks,
+            report.preempted_holders
+        );
+    }
+
+    println!();
+    println!("2. Raytrace at 200% load (128 workers on 64 contexts):");
+    for (name, policy) in [
+        ("tp spinlock", LockPolicy::spin()),
+        ("load control", LockPolicy::load_controlled()),
+    ] {
+        let mut sim = Simulation::new(SimConfig::new(64).with_duration_ms(40));
+        let scenario = AppScenario::build(ScenarioKind::Raytrace, &mut sim, policy);
+        sim.spawn_n(128, &scenario.mix);
+        let report = sim.run();
+        println!(
+            "   {:<18} {:>9.1} k tiles/s",
+            name,
+            report.throughput_tps() / 1_000.0
+        );
+    }
+
+    println!();
+    println!("full evaluation: cargo run --release -p lc-bench --bin figures -- all");
+}

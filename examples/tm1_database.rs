@@ -1,0 +1,51 @@
+//! TM-1 on the simulator: the paper's headline database experiment.
+//!
+//! Runs the TM-1 (TATP) telecom workload on the simulated 64-context machine
+//! at a range of client counts, under the three contention-management
+//! policies Figure 11 compares, and prints a table of throughput plus the
+//! priority-inversion share — the quantity that explains *why* plain spinning
+//! collapses past 100 % load and load control does not.
+//!
+//! ```text
+//! cargo run --release --example tm1_database
+//! ```
+
+use lc_sim::{LockPolicy, MicroState, SimConfig, Simulation};
+use lc_workloads::scenarios::{AppScenario, ScenarioKind};
+
+fn run(policy: LockPolicy, clients: usize) -> (f64, f64) {
+    let mut sim = Simulation::new(SimConfig::new(64).with_duration_ms(60).with_seed(42));
+    let scenario = AppScenario::build(ScenarioKind::Tm1, &mut sim, policy);
+    sim.spawn_n(clients, &scenario.mix);
+    let report = sim.run();
+    (
+        report.throughput_tps() / 1_000.0,
+        report.cpu_fraction(MicroState::SpinPreempted) * 100.0,
+    )
+}
+
+fn main() {
+    println!("TM-1 on the simulated 64-context machine (throughput in ktps)");
+    println!();
+    println!(
+        "{:>8} | {:>10} {:>10} {:>10} | {:>14}",
+        "clients", "pthread", "tp-spin", "load-ctl", "tp prio-inv %"
+    );
+    println!("{}", "-".repeat(64));
+    for clients in [16usize, 32, 63, 80, 96, 128] {
+        let (pthread, _) = run(LockPolicy::adaptive(), clients);
+        let (tp, tp_inv) = run(LockPolicy::spin(), clients);
+        let (lc, _) = run(LockPolicy::load_controlled(), clients);
+        let load = clients as f64 / 64.0 * 100.0;
+        println!(
+            "{:>5} ({:>3.0}%) | {:>10.1} {:>10.1} {:>10.1} | {:>13.1}%",
+            clients, load, pthread, tp, lc, tp_inv
+        );
+    }
+    println!();
+    println!("expected shape (paper Figure 11, TM-1 cluster):");
+    println!("  - all three are close while load stays below 100%;");
+    println!("  - past 64 clients the spinlock loses most of its peak to priority inversion;");
+    println!("  - the blocking mutex saturates the scheduler;");
+    println!("  - load control keeps ~85-92% of its peak.");
+}

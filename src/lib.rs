@@ -1,0 +1,41 @@
+//! # load-control-suite — facade crate
+//!
+//! A reproduction of *Decoupling Contention Management from Scheduling*
+//! (Johnson, Stoica, Ailamaki, Mowry — ASPLOS 2010) as a Rust workspace.
+//! This facade re-exports the member crates so examples, integration tests
+//! and downstream users can depend on a single package:
+//!
+//! * [`locks`] — spinning and blocking lock primitives (TAS, TTAS+backoff,
+//!   ticket, MCS, time-published queue lock, spin-then-yield, blocking,
+//!   adaptive).
+//! * [`accounting`] — in-process microstate accounting (thread registry,
+//!   load samplers, transition traces).
+//! * [`core`] — the paper's contribution: the sleep slot buffer, the load
+//!   controller, and the load-controlled mutex.
+//! * [`sim`] — the deterministic multicore scheduler simulator used to
+//!   reproduce the paper's figures at 64-context scale.
+//! * [`workloads`] — the microbenchmark, Raytrace, TM-1 and TPC-C scenarios
+//!   plus real-thread drivers.
+//!
+//! See `README.md` for a tour and `EXPERIMENTS.md` for the reproduced
+//! evaluation.
+
+pub use lc_accounting as accounting;
+pub use lc_core as core;
+pub use lc_locks as locks;
+pub use lc_sim as sim;
+pub use lc_workloads as workloads;
+
+/// The paper this workspace reproduces.
+pub const PAPER: &str =
+    "Decoupling Contention Management from Scheduling, ASPLOS 2010 (Johnson, Stoica, Ailamaki, Mowry)";
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_are_wired() {
+        let _cfg = crate::core::LoadControlConfig::for_capacity(4);
+        let _sim_cfg = crate::sim::SimConfig::new(4);
+        assert!(crate::PAPER.contains("ASPLOS"));
+    }
+}

@@ -1,0 +1,154 @@
+//! Cross-crate integration tests: the real load-controlled lock on the host
+//! machine, the accounting registry feeding the controller, and the simulator
+//! reproducing the paper's headline comparisons end to end.
+
+use load_control_suite::core::{
+    ControllerMode, LcMutex, LoadControl, LoadControlConfig,
+};
+use load_control_suite::locks::{Mutex, RawLock, TicketLock, TimePublishedLock};
+use load_control_suite::sim::{LockPolicy, MicroState, SimConfig, Simulation};
+use load_control_suite::workloads::drivers::{run_microbench, MicrobenchConfig};
+use load_control_suite::workloads::scenarios::{AppScenario, ScenarioKind};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+#[test]
+fn lc_mutex_is_correct_under_heavy_oversubscription() {
+    // 12 worker threads on a pretend 2-context machine with an aggressive
+    // controller: the mechanism parks and wakes threads constantly, and the
+    // protected counter must still be exact.
+    let control = LoadControl::start(
+        LoadControlConfig::for_capacity(2)
+            .with_update_interval(Duration::from_millis(1))
+            .with_sleep_timeout(Duration::from_millis(5)),
+    );
+    let counter = Arc::new(LcMutex::new_with(0u64, &control));
+    let per_thread = 3_000u64;
+    let mut handles = Vec::new();
+    for _ in 0..12 {
+        let counter = Arc::clone(&counter);
+        let control = Arc::clone(&control);
+        handles.push(thread::spawn(move || {
+            let _worker = control.register_worker();
+            for _ in 0..per_thread {
+                *counter.lock() += 1;
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    control.stop_controller();
+    assert_eq!(*counter.lock(), 12 * per_thread);
+    // Every sleep-slot claim was balanced by a departure.
+    let stats = control.buffer().stats();
+    assert_eq!(stats.ever_slept, stats.woken_and_left);
+}
+
+#[test]
+fn controller_reacts_to_registered_worker_load() {
+    let control = LoadControl::new(LoadControlConfig::for_capacity(2));
+    control.set_mode(ControllerMode::Automatic);
+    // Register six runnable workers straight into the registry.
+    let handles: Vec<_> = (0..6).map(|_| control.registry().register()).collect();
+    let stats = control.run_cycle();
+    assert_eq!(stats.last_runnable, 6);
+    assert_eq!(stats.last_target, 4, "target must be load minus capacity");
+    drop(handles);
+    let stats = control.run_cycle();
+    assert_eq!(stats.last_runnable, 0);
+    assert_eq!(stats.last_target, 0);
+}
+
+#[test]
+fn generic_mutex_and_lc_mutex_interoperate() {
+    // The same worker body can run over any RawLock-backed mutex and over the
+    // load-controlled one.
+    fn hammer<R: RawLock + 'static>(m: Arc<Mutex<u64, R>>) -> u64 {
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let m = Arc::clone(&m);
+            handles.push(thread::spawn(move || {
+                for _ in 0..1_000 {
+                    *m.lock() += 1;
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let v = *m.lock();
+        v
+    }
+    assert_eq!(hammer(Arc::new(Mutex::<u64, TicketLock>::new(0))), 4_000);
+    assert_eq!(
+        hammer(Arc::new(Mutex::<u64, TimePublishedLock>::new(0))),
+        4_000
+    );
+}
+
+#[test]
+fn real_thread_microbench_ranks_spinning_reasonably() {
+    // Without oversubscription, a spinlock must not be slower than the
+    // blocking mutex by a large factor (sanity check of the drivers, not a
+    // performance assertion).
+    let cfg = MicrobenchConfig {
+        threads: 2,
+        critical_iters: 20,
+        delay_iters: 100,
+        duration: Duration::from_millis(80),
+    };
+    let spin = run_microbench::<TimePublishedLock>(cfg).throughput();
+    assert!(spin > 1_000.0, "spin throughput suspiciously low: {spin}");
+}
+
+#[test]
+fn simulator_reproduces_the_headline_result() {
+    // TM-1 at 150% load on the simulated 64-context machine: load control
+    // must clearly beat plain FIFO spinning, and must retain a healthy
+    // fraction of the under-loaded spinlock peak.
+    let run = |policy: LockPolicy, clients: usize| {
+        let mut sim = Simulation::new(SimConfig::new(64).with_duration_ms(40).with_seed(9));
+        let scenario = AppScenario::build(ScenarioKind::Tm1, &mut sim, policy);
+        sim.spawn_n(clients, &scenario.mix);
+        sim.run()
+    };
+    let peak_spin = run(LockPolicy::spin(), 63).throughput_tps();
+    let over_fifo = run(LockPolicy::spin_fifo(), 96).throughput_tps();
+    let over_lc = run(LockPolicy::load_controlled(), 96).throughput_tps();
+    assert!(
+        over_lc > over_fifo,
+        "load control ({over_lc:.0} tps) must beat FIFO spinning ({over_fifo:.0} tps) at 150% load"
+    );
+    assert!(
+        over_lc > 0.15 * peak_spin,
+        "load control at 150% load ({over_lc:.0}) should retain a meaningful fraction of the 98% peak ({peak_spin:.0})"
+    );
+}
+
+#[test]
+fn simulator_blocking_mutex_pays_context_switches() {
+    let mut sim = Simulation::new(SimConfig::new(64).with_duration_ms(30).with_seed(3));
+    let scenario = AppScenario::build(ScenarioKind::Tm1, &mut sim, LockPolicy::blocking());
+    sim.spawn_n(96, &scenario.mix);
+    let report = sim.run();
+    assert!(report.per_lock.iter().any(|l| l.blocking_handoffs > 0));
+    assert!(report.micro_ns[MicroState::Blocked as usize] > 0);
+}
+
+#[test]
+fn load_control_keeps_runnable_threads_near_capacity_in_sim() {
+    let mut sim = Simulation::new(SimConfig::new(16).with_duration_ms(120).with_seed(5));
+    let scenario = AppScenario::build(ScenarioKind::Tm1, &mut sim, LockPolicy::load_controlled());
+    sim.spawn_n(48, &scenario.mix); // 300% load
+    let report = sim.run();
+    // Mean runnable load should sit near the 16-context capacity rather than
+    // near the 48 offered threads.
+    let mean = report.mean_runnable();
+    assert!(
+        mean < 30.0,
+        "load control failed to rein in runnable threads (mean {mean:.1} of 48 offered)"
+    );
+    assert!(report.lc_parks > 0);
+}

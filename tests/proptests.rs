@@ -1,0 +1,223 @@
+//! Property-based tests of the suite's core data structures and invariants.
+
+use lc_core::slots::{ClaimOutcome, SleepSlotBuffer};
+use lc_core::LoadControlConfig;
+use lc_locks::Parker;
+use lc_sim::{Dist, SimConfig, Simulation, Step, TransactionMix, TransactionSpec};
+use load_control_suite::accounting::{Transition, TransitionTrace, ThreadState};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Sleep slot buffer: S/W bookkeeping never goes out of balance.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum SlotOp {
+    SetTarget(u64),
+    Claim(usize),
+    LeaveOldest,
+    WakeAll,
+}
+
+fn slot_op_strategy() -> impl Strategy<Value = SlotOp> {
+    prop_oneof![
+        (0u64..12).prop_map(SlotOp::SetTarget),
+        (0usize..8).prop_map(SlotOp::Claim),
+        Just(SlotOp::LeaveOldest),
+        Just(SlotOp::WakeAll),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn slot_buffer_claims_and_departures_always_balance(
+        ops in proptest::collection::vec(slot_op_strategy(), 1..200)
+    ) {
+        let buf = SleepSlotBuffer::new(16);
+        let sleepers: Vec<_> = (0..8)
+            .map(|_| buf.register_sleeper(Arc::new(Parker::new())))
+            .collect();
+        // (slot index, sleeper) pairs with an outstanding claim.
+        let mut outstanding: Vec<(usize, lc_core::slots::SleeperId)> = Vec::new();
+
+        for op in ops {
+            match op {
+                SlotOp::SetTarget(t) => {
+                    buf.set_target(t);
+                }
+                SlotOp::Claim(i) => {
+                    let id = sleepers[i];
+                    // A sleeper may only have one outstanding claim at a time.
+                    if outstanding.iter().any(|(_, s)| *s == id) {
+                        continue;
+                    }
+                    if let ClaimOutcome::Claimed(idx) = buf.try_claim(id) {
+                        outstanding.push((idx, id));
+                    }
+                }
+                SlotOp::LeaveOldest => {
+                    if !outstanding.is_empty() {
+                        let (idx, id) = outstanding.remove(0);
+                        buf.leave(idx, id);
+                    }
+                }
+                SlotOp::WakeAll => {
+                    buf.wake_all();
+                }
+            }
+            // Invariant: S - W equals the number of outstanding claims.
+            prop_assert_eq!(buf.sleepers(), outstanding.len() as u64);
+            // Invariant: the target never exceeds the buffer capacity.
+            prop_assert!(buf.target() <= buf.capacity() as u64);
+        }
+        // Drain and re-check final balance.
+        for (idx, id) in outstanding.drain(..) {
+            buf.leave(idx, id);
+        }
+        let stats = buf.stats();
+        prop_assert_eq!(stats.ever_slept, stats.woken_and_left);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Load-control configuration arithmetic.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn target_for_load_is_consistent(capacity in 1usize..256, load in 0usize..1024, headroom in 0usize..32) {
+        let cfg = LoadControlConfig::for_capacity(capacity).with_overload_headroom(headroom);
+        let target = cfg.target_for_load(load);
+        // Never more than the excess over capacity, never negative, capped.
+        prop_assert!(target <= load.saturating_sub(capacity));
+        prop_assert!(target <= cfg.max_sleepers);
+        if load <= capacity + headroom {
+            prop_assert_eq!(target, 0);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Simulator distributions and transaction mixes.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn uniform_samples_stay_in_bounds(lo in 0u64..10_000, width in 0u64..10_000, seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let hi = lo + width;
+        for _ in 0..50 {
+            let v = Dist::Uniform(lo, hi).sample(&mut rng);
+            prop_assert!(v >= lo && v <= hi);
+        }
+    }
+
+    #[test]
+    fn exponential_samples_are_bounded_by_twenty_means(mean in 1u64..1_000_000, seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let v = Dist::Exponential(mean).sample(&mut rng);
+            prop_assert!(v <= mean.saturating_mul(20));
+        }
+    }
+
+    #[test]
+    fn mix_draw_always_returns_a_valid_index(
+        weights in proptest::collection::vec(1u32..100, 1..8),
+        seed in any::<u64>()
+    ) {
+        use rand::SeedableRng;
+        let mix = TransactionMix::new(
+            weights
+                .iter()
+                .map(|w| TransactionSpec::new("t", vec![]).with_weight(*w))
+                .collect(),
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..100 {
+            let i = mix.draw(&mut rng);
+            prop_assert!(i < mix.transactions.len());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Simulator conservation laws on small random scenarios.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn simulation_accounting_conserves_time(
+        contexts in 1usize..6,
+        threads in 1usize..10,
+        compute_us in 1u64..200,
+        hold_us in 1u64..50,
+        seed in any::<u64>(),
+    ) {
+        let duration_ms = 20u64;
+        let mut sim = Simulation::new(
+            SimConfig::new(contexts).with_duration_ms(duration_ms).with_seed(seed),
+        );
+        let lock = sim.add_lock(lc_sim::LockPolicy::spin());
+        let mix = TransactionMix::single(TransactionSpec::new(
+            "random",
+            vec![
+                Step::Critical { lock, hold: Dist::Const(hold_us * 1_000) },
+                Step::Compute { ns: Dist::Const(compute_us * 1_000) },
+            ],
+        ));
+        sim.spawn_n(threads, &mix);
+        let report = sim.run();
+
+        // Every thread's accounted time equals the simulated duration.
+        for t in &report.per_thread {
+            let total: u64 = t.micro_ns.iter().sum();
+            let dur = report.duration_ns;
+            prop_assert!(
+                total <= dur + 1_000 && total + 1_000 >= dur,
+                "thread {} accounted {} of {} ns", t.thread, total, dur
+            );
+        }
+        // Transactions are conserved across the per-thread/per-group splits.
+        let sum_threads: u64 = report.per_thread.iter().map(|t| t.transactions).sum();
+        prop_assert_eq!(sum_threads, report.transactions);
+        let sum_groups: u64 = report.transactions_by_group.iter().sum();
+        prop_assert_eq!(sum_groups, report.transactions);
+        // Lock acquisitions can never exceed completed critical sections + threads in flight.
+        prop_assert!(report.per_lock[0].acquisitions >= report.transactions);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Transition trace ring buffer.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn transition_trace_keeps_the_most_recent_entries(
+        capacity in 1usize..32,
+        count in 0usize..100,
+    ) {
+        let trace = TransitionTrace::with_capacity(capacity);
+        for i in 0..count {
+            trace.push(Transition {
+                at_ns: i as u64,
+                thread_id: 0,
+                from: ThreadState::Running,
+                to: ThreadState::Spinning,
+            });
+        }
+        let snap = trace.snapshot();
+        prop_assert_eq!(snap.len(), count.min(capacity));
+        // Entries are the most recent ones, in chronological order.
+        for (j, t) in snap.iter().enumerate() {
+            let expected = count - snap.len() + j;
+            prop_assert_eq!(t.at_ns, expected as u64);
+        }
+        prop_assert_eq!(trace.dropped(), count.saturating_sub(capacity) as u64);
+    }
+}
