@@ -1,7 +1,7 @@
 //! Load samplers: how the controller measures "demanded CPUs".
 
-use crate::registry::ThreadRegistry;
 use crate::now_ns;
+use crate::registry::ThreadRegistry;
 use std::fmt;
 use std::sync::Arc;
 

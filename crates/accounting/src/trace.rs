@@ -189,7 +189,13 @@ mod tests {
             -1
         );
         assert_eq!(
-            t(0, 0, ThreadState::ParkedByLoadControl, ThreadState::Spinning).runnable_delta(),
+            t(
+                0,
+                0,
+                ThreadState::ParkedByLoadControl,
+                ThreadState::Spinning
+            )
+            .runnable_delta(),
             1
         );
         assert_eq!(

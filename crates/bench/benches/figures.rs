@@ -17,6 +17,9 @@ fn main() {
         let start = Instant::now();
         let result = runner(true);
         result.print();
-        println!("# {id} quick run took {:.2}s", start.elapsed().as_secs_f64());
+        println!(
+            "# {id} quick run took {:.2}s",
+            start.elapsed().as_secs_f64()
+        );
     }
 }

@@ -4,10 +4,10 @@
 //! the ablation of the slot-check period called out in DESIGN.md §7.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use lc_core::{LcLock, LoadControl, LoadControlConfig};
 use lc_core::slots::SleepSlotBuffer;
-use lc_locks::{Parker, RawLock};
-use lc_workloads::drivers::{run_microbench_lc, MicrobenchConfig};
+use lc_core::{LcLock, LoadControl, LoadControlConfig};
+use lc_locks::{Parker, RawLock, ABORTABLE_LOCK_NAMES};
+use lc_workloads::drivers::{run_microbench_lc, run_microbench_lc_named, MicrobenchConfig};
 use std::hint::black_box;
 use std::sync::Arc;
 use std::time::Duration;
@@ -42,13 +42,46 @@ fn bench_slot_buffer(c: &mut Criterion) {
 
 fn bench_lc_lock_uncontended(c: &mut Criterion) {
     let control = LoadControl::new(LoadControlConfig::for_capacity(64));
-    let lock = LcLock::new_with(&control);
+    let lock: LcLock = LcLock::new_with(&control);
     c.bench_function("lc_lock_uncontended_acquire_release", |b| {
         b.iter(|| {
             lock.lock();
             unsafe { lock.unlock() };
         })
     });
+}
+
+/// Load control composed with every abortable backend from the registry:
+/// the end-to-end cost of the paper's mechanism must be similar no matter
+/// which contention manager it rides on.
+fn bench_lc_backend_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lc_mutex_backend_sweep");
+    group.sample_size(10);
+    for &name in ABORTABLE_LOCK_NAMES {
+        group.bench_function(name, |b| {
+            let control = LoadControl::start(
+                LoadControlConfig::for_capacity(2)
+                    .with_update_interval(Duration::from_millis(2))
+                    .with_sleep_timeout(Duration::from_millis(10)),
+            );
+            b.iter(|| {
+                run_microbench_lc_named(
+                    name,
+                    MicrobenchConfig {
+                        threads: 6,
+                        critical_iters: 30,
+                        delay_iters: 200,
+                        duration: Duration::from_millis(50),
+                    },
+                    &control,
+                )
+                .expect("abortable backend")
+                .acquisitions
+            });
+            control.stop_controller();
+        });
+    }
+    group.finish();
 }
 
 fn bench_lc_end_to_end(c: &mut Criterion) {
@@ -115,6 +148,7 @@ criterion_group!(
     benches,
     bench_slot_buffer,
     bench_lc_lock_uncontended,
+    bench_lc_backend_sweep,
     bench_lc_end_to_end,
     bench_slot_check_period_ablation
 );

@@ -2,56 +2,59 @@
 //! uncontended acquire/release latency and contended throughput on the host
 //! machine (experiment E11 in DESIGN.md — a real-machine sanity check of the
 //! primitives the simulator models).
+//!
+//! Every lock family is constructed by name through
+//! [`lc_locks::registry::build`], so adding a lock to the registry adds it to
+//! these tables automatically.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lc_locks::{
     AdaptiveLock, BlockingLock, McsLock, RawLock, SpinThenYieldLock, TasLock, TicketLock,
-    TimePublishedLock, TtasLock,
+    TimePublishedLock, TtasLock, ALL_LOCK_NAMES,
 };
-use lc_workloads::drivers::{run_microbench, MicrobenchConfig};
+use lc_workloads::drivers::{run_microbench_named, MicrobenchConfig};
 use std::hint::black_box;
 use std::time::Duration;
 
-fn uncontended_pair<R: RawLock>(lock: &R) {
-    lock.lock();
-    unsafe { lock.unlock() };
+/// Uncontended latency is a handful of nanoseconds, so this group measures
+/// the *monomorphized* primitives — virtual dispatch through the registry's
+/// `Box<dyn DynLock>` would add comparable overhead and flatten the
+/// differences the table exists to show.  A runtime check keeps the macro
+/// list in sync with the registry names.
+macro_rules! bench_uncontended_families {
+    ($c:expr, $(($name:literal, $ty:ty)),+ $(,)?) => {{
+        let names: &[&str] = &[$($name),+];
+        assert_eq!(
+            names, ALL_LOCK_NAMES,
+            "uncontended bench families drifted from ALL_LOCK_NAMES"
+        );
+        let mut group = $c.benchmark_group("uncontended_acquire_release");
+        $(
+            group.bench_function($name, |b| {
+                let lock = <$ty as RawLock>::new();
+                b.iter(|| {
+                    let l = black_box(&lock);
+                    l.lock();
+                    unsafe { l.unlock() };
+                })
+            });
+        )+
+        group.finish();
+    }};
 }
 
 fn bench_uncontended(c: &mut Criterion) {
-    let mut group = c.benchmark_group("uncontended_acquire_release");
-    group.bench_function("tas", |b| {
-        let l = TasLock::new();
-        b.iter(|| uncontended_pair(black_box(&l)))
-    });
-    group.bench_function("ttas-backoff", |b| {
-        let l = TtasLock::new();
-        b.iter(|| uncontended_pair(black_box(&l)))
-    });
-    group.bench_function("ticket", |b| {
-        let l = TicketLock::new();
-        b.iter(|| uncontended_pair(black_box(&l)))
-    });
-    group.bench_function("mcs", |b| {
-        let l = McsLock::new();
-        b.iter(|| uncontended_pair(black_box(&l)))
-    });
-    group.bench_function("tp-queue", |b| {
-        let l = TimePublishedLock::new();
-        b.iter(|| uncontended_pair(black_box(&l)))
-    });
-    group.bench_function("spin-then-yield", |b| {
-        let l = SpinThenYieldLock::new();
-        b.iter(|| uncontended_pair(black_box(&l)))
-    });
-    group.bench_function("blocking", |b| {
-        let l = BlockingLock::new();
-        b.iter(|| uncontended_pair(black_box(&l)))
-    });
-    group.bench_function("adaptive", |b| {
-        let l = AdaptiveLock::new();
-        b.iter(|| uncontended_pair(black_box(&l)))
-    });
-    group.finish();
+    bench_uncontended_families!(
+        c,
+        ("tas", TasLock),
+        ("ttas-backoff", TtasLock),
+        ("ticket", TicketLock),
+        ("mcs", McsLock),
+        ("tp-queue", TimePublishedLock),
+        ("spin-then-yield", SpinThenYieldLock),
+        ("blocking", BlockingLock),
+        ("adaptive", AdaptiveLock),
+    );
 }
 
 fn contended_config(threads: usize) -> MicrobenchConfig {
@@ -63,22 +66,22 @@ fn contended_config(threads: usize) -> MicrobenchConfig {
     }
 }
 
+/// The families whose contended behaviour the paper compares head-to-head.
+const CONTENDED_FAMILIES: &[&str] = &["ticket", "tp-queue", "adaptive", "blocking"];
+
 fn bench_contended(c: &mut Criterion) {
     let mut group = c.benchmark_group("contended_throughput");
     group.sample_size(10);
     for threads in [2usize, 4, 8] {
-        group.bench_with_input(BenchmarkId::new("ticket", threads), &threads, |b, &t| {
-            b.iter(|| run_microbench::<TicketLock>(contended_config(t)).acquisitions)
-        });
-        group.bench_with_input(BenchmarkId::new("tp-queue", threads), &threads, |b, &t| {
-            b.iter(|| run_microbench::<TimePublishedLock>(contended_config(t)).acquisitions)
-        });
-        group.bench_with_input(BenchmarkId::new("adaptive", threads), &threads, |b, &t| {
-            b.iter(|| run_microbench::<AdaptiveLock>(contended_config(t)).acquisitions)
-        });
-        group.bench_with_input(BenchmarkId::new("blocking", threads), &threads, |b, &t| {
-            b.iter(|| run_microbench::<BlockingLock>(contended_config(t)).acquisitions)
-        });
+        for &name in CONTENDED_FAMILIES {
+            group.bench_with_input(BenchmarkId::new(name, threads), &threads, |b, &t| {
+                b.iter(|| {
+                    run_microbench_named(name, contended_config(t))
+                        .expect("registered lock")
+                        .acquisitions
+                })
+            });
+        }
     }
     group.finish();
 }

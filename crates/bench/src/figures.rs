@@ -46,13 +46,18 @@ impl FigureResult {
 
     /// Maximum of one column.
     pub fn max_of(&self, name: &str) -> f64 {
-        let Some(i) = self.column(name) else { return 0.0 };
+        let Some(i) = self.column(name) else {
+            return 0.0;
+        };
         self.rows.iter().map(|r| r[i]).fold(f64::MIN, f64::max)
     }
 }
 
+/// A figure-reproduction entry point: `quick` selects smoke-test sizing.
+pub type FigureRunner = fn(bool) -> FigureResult;
+
 /// The registry of all reproduced figures: `(id, runner)`.
-pub const FIGURES: &[(&str, fn(bool) -> FigureResult)] = &[
+pub const FIGURES: &[(&str, FigureRunner)] = &[
     ("fig01", fig01_motivation),
     ("fig03", fig03_priority_inversion),
     ("fig04", fig04_blocking_overload),
@@ -256,11 +261,8 @@ pub fn fig05_backoff_variability(quick: bool) -> FigureResult {
         .with_lc_capacity(32)
         .with_seed(51);
     let mut sim = Simulation::new(config);
-    let scenario = scenarios::AppScenario::build(
-        ScenarioKind::Tm1,
-        &mut sim,
-        LockPolicy::load_backoff(),
-    );
+    let scenario =
+        scenarios::AppScenario::build(ScenarioKind::Tm1, &mut sim, LockPolicy::load_backoff());
     sim.spawn_n(63, &scenario.mix);
     let report = sim.run();
     let rows: Vec<Vec<f64>> = report
@@ -290,13 +292,10 @@ pub fn fig05_backoff_variability(quick: bool) -> FigureResult {
 /// a 64-context machine over a half-second window.
 pub fn fig06_workload_variability(quick: bool) -> FigureResult {
     let dur = duration(quick, 500);
-    let mut config = SimConfig::new(CONTEXTS)
-        .with_duration_ms(dur)
-        .with_seed(66);
+    let mut config = SimConfig::new(CONTEXTS).with_duration_ms(dur).with_seed(66);
     config.sample_interval = MILLIS;
     let mut sim = Simulation::new(config);
-    let scenario =
-        scenarios::AppScenario::build(ScenarioKind::Tpcc, &mut sim, LockPolicy::spin());
+    let scenario = scenarios::AppScenario::build(ScenarioKind::Tpcc, &mut sim, LockPolicy::spin());
     sim.spawn_n(32, &scenario.mix);
     let report = sim.run();
     let rows: Vec<Vec<f64>> = report
@@ -341,7 +340,8 @@ pub fn fig08_bump_test(quick: bool) -> FigureResult {
         .with_seed(88);
     config.sample_interval = 250 * MICROS;
     let mut sim = Simulation::new(config);
-    let scenario = scenarios::microbenchmark(&mut sim, LockPolicy::load_controlled(), 80, 2 * MICROS);
+    let scenario =
+        scenarios::microbenchmark(&mut sim, LockPolicy::load_controlled(), 80, 2 * MICROS);
     sim.spawn_n(CONTEXTS, &scenario.mix);
     let report = sim.run();
     let target_at = |t_ns: u64| -> usize {
@@ -365,18 +365,18 @@ pub fn fig08_bump_test(quick: bool) -> FigureResult {
         })
         .collect();
     // Quantify tracking error between target and measured running threads.
-    let err: f64 = rows
-        .iter()
-        .map(|r| (r[1] - r[2]).abs())
-        .sum::<f64>()
-        / rows.len().max(1) as f64;
+    let err: f64 = rows.iter().map(|r| (r[1] - r[2]).abs()).sum::<f64>() / rows.len().max(1) as f64;
     let notes = vec![format!(
         "mean |target - measured| = {err:.1} threads (paper: settles within ~200 µs of each step)"
     )];
     FigureResult {
         id: "fig08",
         title: "Bump test: running threads track the sleep target (microbenchmark)",
-        header: vec!["time_ms".into(), "target_running".into(), "measured_running".into()],
+        header: vec![
+            "time_ms".into(),
+            "target_running".into(),
+            "measured_running".into(),
+        ],
         rows,
         notes,
     }
@@ -402,8 +402,7 @@ pub fn fig09_contention_sweep(quick: bool) -> FigureResult {
                 .with_duration_ms(dur)
                 .with_seed(delay_us * 7 + threads as u64);
             let mut sim = Simulation::new(config);
-            let scenario =
-                scenarios::microbenchmark(&mut sim, policy, 60, delay_us * MICROS);
+            let scenario = scenarios::microbenchmark(&mut sim, policy, 60, delay_us * MICROS);
             sim.spawn_n(threads, &scenario.mix);
             sim.run().throughput_tps() / 1_000.0
         };
@@ -414,7 +413,13 @@ pub fn fig09_contention_sweep(quick: bool) -> FigureResult {
     }
     let gain: Vec<String> = rows
         .iter()
-        .map(|r| format!("{}µs: LC {:.1}x over uncontrolled spinning at 150% load", r[0], r[3] / r[2].max(1e-9)))
+        .map(|r| {
+            format!(
+                "{}µs: LC {:.1}x over uncontrolled spinning at 150% load",
+                r[0],
+                r[3] / r[2].max(1e-9)
+            )
+        })
         .collect();
     FigureResult {
         id: "fig09",
@@ -473,7 +478,9 @@ pub fn fig10_update_interval(quick: bool) -> FigureResult {
             "ktps_150pct".into(),
         ],
         rows,
-        notes: vec!["the paper picks 7 ms: long enough to be cheap, short enough to stay current".into()],
+        notes: vec![
+            "the paper picks 7 ms: long enough to be cheap, short enough to stay current".into(),
+        ],
     }
 }
 
@@ -539,7 +546,8 @@ pub fn fig11_applications(quick: bool) -> FigureResult {
     }
     FigureResult {
         id: "fig11",
-        title: "Application performance as thread count varies (normalized, 64 threads = 100% load)",
+        title:
+            "Application performance as thread count varies (normalized, 64 threads = 100% load)",
         header: vec![
             "app_index".into(),
             "threads".into(),

@@ -17,7 +17,7 @@
 
 pub mod figures;
 
-pub use figures::{FigureResult, FIGURES};
+pub use figures::{FigureResult, FigureRunner, FIGURES};
 
 /// Formats a floating-point cell for CSV output.
 pub fn fmt(v: f64) -> String {

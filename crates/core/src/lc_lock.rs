@@ -1,10 +1,20 @@
-//! The load-controlled lock: a time-published queue lock whose waiters
+//! The load-controlled lock: any abortable spinning primitive whose waiters
 //! participate in load control (the user-visible half of the paper's
 //! mechanism, §3.1.2).
+//!
+//! Load management is *orthogonal* to contention management — that is the
+//! paper's central claim — so [`LcLock`] is generic over every
+//! [`AbortableLock`] in the suite: the backend manages contention (FIFO
+//! queueing, backoff, time publishing, …) while the [`LoadControl`] policy
+//! decides, identically for every backend, when spinning waiters should leave
+//! the CPU.  The default backend is the time-published queue lock the paper
+//! builds on.
 
 use crate::controller::LoadControl;
 use crate::thread_ctx::{current_ctx, LoadControlPolicy};
-use lc_locks::{LockStatsSnapshot, RawLock, RawTryLock, TimePublishedLock, TpConfig};
+use lc_locks::{
+    AbortableLock, LockStatsSnapshot, RawLock, RawTryLock, TimePublishedLock, TpConfig,
+};
 use std::cell::UnsafeCell;
 use std::fmt;
 use std::ops::{Deref, DerefMut};
@@ -13,15 +23,22 @@ use std::sync::Arc;
 /// A mutual-exclusion lock that spins for contention management and defers
 /// all load management to the shared [`LoadControl`] instance.
 ///
-/// Functionally it is a [`TimePublishedLock`] whose polling loop checks the
-/// sleep-slot buffer: when the controller wants threads off the CPU, a waiter
-/// claims a slot, aborts its queue position, parks, and retries once woken.
-pub struct LcLock {
-    inner: TimePublishedLock,
+/// `R` is the spinning primitive that manages contention; any
+/// [`AbortableLock`] works, because load control only needs the ability to
+/// pull a waiter out of the lock's waiting loop.  Functionally an
+/// `LcLock<R>` is an `R` whose polling loop checks the sleep-slot buffer:
+/// when the controller wants threads off the CPU, a waiter claims a slot,
+/// aborts its queue position, parks, and retries once woken.
+pub struct LcLock<R: AbortableLock = TimePublishedLock> {
+    inner: R,
     control: Arc<LoadControl>,
 }
 
-impl fmt::Debug for LcLock {
+/// The default load-controlled lock, backed by the time-published queue lock
+/// (the configuration the paper evaluates).
+pub type TpLcLock = LcLock<TimePublishedLock>;
+
+impl<R: AbortableLock + fmt::Debug> fmt::Debug for LcLock<R> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("LcLock")
             .field("inner", &self.inner)
@@ -30,20 +47,17 @@ impl fmt::Debug for LcLock {
     }
 }
 
-impl LcLock {
-    /// Creates a lock attached to `control`.
+impl<R: AbortableLock> LcLock<R> {
+    /// Creates a lock attached to `control`, with a default-constructed
+    /// backend.
     pub fn new_with(control: &Arc<LoadControl>) -> Self {
-        Self {
-            inner: TimePublishedLock::new(),
-            control: Arc::clone(control),
-        }
+        Self::from_raw(R::new(), control)
     }
 
-    /// Creates a lock attached to `control` with a custom queue-lock
-    /// configuration (patience, publish interval, strict-FIFO mode).
-    pub fn with_tp_config(control: &Arc<LoadControl>, config: TpConfig) -> Self {
+    /// Wraps a caller-configured backend instance, attaching it to `control`.
+    pub fn from_raw(inner: R, control: &Arc<LoadControl>) -> Self {
         Self {
-            inner: TimePublishedLock::with_config(config),
+            inner,
             control: Arc::clone(control),
         }
     }
@@ -53,13 +67,26 @@ impl LcLock {
         &self.control
     }
 
+    /// The underlying contention-management primitive.
+    pub fn inner(&self) -> &R {
+        &self.inner
+    }
+}
+
+impl LcLock<TimePublishedLock> {
+    /// Creates a lock attached to `control` with a custom queue-lock
+    /// configuration (patience, publish interval, strict-FIFO mode).
+    pub fn with_tp_config(control: &Arc<LoadControl>, config: TpConfig) -> Self {
+        Self::from_raw(TimePublishedLock::with_config(config), control)
+    }
+
     /// Statistics of the underlying queue lock.
     pub fn stats(&self) -> LockStatsSnapshot {
         self.inner.stats()
     }
 }
 
-unsafe impl RawLock for LcLock {
+unsafe impl<R: AbortableLock> RawLock for LcLock<R> {
     /// Creates a lock attached to the process-wide [`LoadControl::global`]
     /// instance — the paper's "transparent library" deployment.
     fn new() -> Self {
@@ -88,7 +115,7 @@ unsafe impl RawLock for LcLock {
     }
 }
 
-unsafe impl RawTryLock for LcLock {
+unsafe impl<R: AbortableLock + RawTryLock> RawTryLock for LcLock<R> {
     fn try_lock(&self) -> bool {
         if self.inner.try_lock() {
             current_ctx(&self.control).note_acquired();
@@ -99,7 +126,7 @@ unsafe impl RawTryLock for LcLock {
     }
 }
 
-/// A value protected by an [`LcLock`].
+/// A value protected by an [`LcLock`] over any abortable backend.
 ///
 /// This is a thin, self-contained analogue of [`lc_locks::Mutex`] so that a
 /// load-controlled mutex can be constructed against a specific
@@ -109,19 +136,31 @@ unsafe impl RawTryLock for LcLock {
 /// use lc_core::{LcMutex, LoadControl, LoadControlConfig};
 ///
 /// let control = LoadControl::new(LoadControlConfig::for_capacity(2));
-/// let m = LcMutex::new_with(10u32, &control);
+/// let m = LcMutex::<u32>::new_with(10, &control);
 /// *m.lock() += 5;
 /// assert_eq!(*m.lock(), 15);
 /// ```
-pub struct LcMutex<T: ?Sized> {
-    raw: LcLock,
+///
+/// Any other lock family gains load control the same way:
+///
+/// ```
+/// use lc_core::{LcMutex, LoadControl, LoadControlConfig};
+/// use lc_locks::McsLock;
+///
+/// let control = LoadControl::new(LoadControlConfig::for_capacity(2));
+/// let m: LcMutex<u32, McsLock> = LcMutex::new_with(10, &control);
+/// *m.lock() += 5;
+/// assert_eq!(*m.lock(), 15);
+/// ```
+pub struct LcMutex<T: ?Sized, R: AbortableLock = TimePublishedLock> {
+    raw: LcLock<R>,
     data: UnsafeCell<T>,
 }
 
-unsafe impl<T: ?Sized + Send> Send for LcMutex<T> {}
-unsafe impl<T: ?Sized + Send> Sync for LcMutex<T> {}
+unsafe impl<T: ?Sized + Send, R: AbortableLock> Send for LcMutex<T, R> {}
+unsafe impl<T: ?Sized + Send, R: AbortableLock> Sync for LcMutex<T, R> {}
 
-impl<T> LcMutex<T> {
+impl<T, R: AbortableLock> LcMutex<T, R> {
     /// Wraps `value`, attaching the lock to the global [`LoadControl`].
     pub fn new(value: T) -> Self {
         Self {
@@ -138,21 +177,32 @@ impl<T> LcMutex<T> {
         }
     }
 
+    /// Wraps `value` using a caller-configured backend instance.
+    pub fn from_raw(value: T, inner: R, control: &Arc<LoadControl>) -> Self {
+        Self {
+            raw: LcLock::from_raw(inner, control),
+            data: UnsafeCell::new(value),
+        }
+    }
+
     /// Consumes the mutex and returns the protected value.
     pub fn into_inner(self) -> T {
         self.data.into_inner()
     }
 }
 
-impl<T: ?Sized> LcMutex<T> {
+impl<T: ?Sized, R: AbortableLock> LcMutex<T, R> {
     /// Acquires the lock.
-    pub fn lock(&self) -> LcMutexGuard<'_, T> {
+    pub fn lock(&self) -> LcMutexGuard<'_, T, R> {
         self.raw.lock();
         LcMutexGuard { mutex: self }
     }
 
     /// Attempts to acquire the lock without waiting.
-    pub fn try_lock(&self) -> Option<LcMutexGuard<'_, T>> {
+    pub fn try_lock(&self) -> Option<LcMutexGuard<'_, T, R>>
+    where
+        R: RawTryLock,
+    {
         if self.raw.try_lock() {
             Some(LcMutexGuard { mutex: self })
         } else {
@@ -166,7 +216,7 @@ impl<T: ?Sized> LcMutex<T> {
     }
 
     /// The underlying raw lock.
-    pub fn raw(&self) -> &LcLock {
+    pub fn raw(&self) -> &LcLock<R> {
         &self.raw
     }
 
@@ -176,46 +226,49 @@ impl<T: ?Sized> LcMutex<T> {
     }
 }
 
-impl<T: Default> Default for LcMutex<T> {
+impl<T: Default, R: AbortableLock> Default for LcMutex<T, R> {
     fn default() -> Self {
         Self::new(T::default())
     }
 }
 
-impl<T: ?Sized + fmt::Debug> fmt::Debug for LcMutex<T> {
+impl<T: ?Sized + fmt::Debug, R: AbortableLock + RawTryLock> fmt::Debug for LcMutex<T, R> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.try_lock() {
             Some(g) => f.debug_struct("LcMutex").field("data", &&*g).finish(),
-            None => f.debug_struct("LcMutex").field("data", &"<locked>").finish(),
+            None => f
+                .debug_struct("LcMutex")
+                .field("data", &"<locked>")
+                .finish(),
         }
     }
 }
 
 /// RAII guard for [`LcMutex`].
-pub struct LcMutexGuard<'a, T: ?Sized> {
-    mutex: &'a LcMutex<T>,
+pub struct LcMutexGuard<'a, T: ?Sized, R: AbortableLock = TimePublishedLock> {
+    mutex: &'a LcMutex<T, R>,
 }
 
-impl<T: ?Sized> Deref for LcMutexGuard<'_, T> {
+impl<T: ?Sized, R: AbortableLock> Deref for LcMutexGuard<'_, T, R> {
     type Target = T;
     fn deref(&self) -> &T {
         unsafe { &*self.mutex.data.get() }
     }
 }
 
-impl<T: ?Sized> DerefMut for LcMutexGuard<'_, T> {
+impl<T: ?Sized, R: AbortableLock> DerefMut for LcMutexGuard<'_, T, R> {
     fn deref_mut(&mut self) -> &mut T {
         unsafe { &mut *self.mutex.data.get() }
     }
 }
 
-impl<T: ?Sized> Drop for LcMutexGuard<'_, T> {
+impl<T: ?Sized, R: AbortableLock> Drop for LcMutexGuard<'_, T, R> {
     fn drop(&mut self) {
         unsafe { self.mutex.raw.unlock() };
     }
 }
 
-impl<T: ?Sized + fmt::Debug> fmt::Debug for LcMutexGuard<'_, T> {
+impl<T: ?Sized + fmt::Debug, R: AbortableLock> fmt::Debug for LcMutexGuard<'_, T, R> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         fmt::Debug::fmt(&**self, f)
     }
@@ -226,6 +279,7 @@ mod tests {
     use super::*;
     use crate::config::LoadControlConfig;
     use crate::controller::ControllerMode;
+    use lc_locks::{McsLock, TicketLock, TtasLock};
     use std::thread;
     use std::time::Duration;
 
@@ -238,7 +292,7 @@ mod tests {
     #[test]
     fn basic_lock_unlock() {
         let lc = manual_control(2);
-        let lock = LcLock::new_with(&lc);
+        let lock: LcLock = LcLock::new_with(&lc);
         lock.lock();
         assert!(lock.is_locked());
         unsafe { lock.unlock() };
@@ -249,7 +303,7 @@ mod tests {
     #[test]
     fn try_lock_behaviour() {
         let lc = manual_control(2);
-        let lock = LcLock::new_with(&lc);
+        let lock: LcLock = LcLock::new_with(&lc);
         assert!(lock.try_lock());
         assert!(!lock.try_lock());
         unsafe { lock.unlock() };
@@ -258,7 +312,7 @@ mod tests {
     #[test]
     fn mutex_guard_gives_exclusive_access() {
         let lc = manual_control(2);
-        let m = LcMutex::new_with(vec![1u32, 2, 3], &lc);
+        let m = LcMutex::<Vec<u32>>::new_with(vec![1, 2, 3], &lc);
         m.lock().push(4);
         assert_eq!(m.lock().len(), 4);
         assert!(m.try_lock().is_some());
@@ -266,9 +320,24 @@ mod tests {
     }
 
     #[test]
+    fn non_default_backends_are_load_controlled_locks_too() {
+        let lc = manual_control(4);
+        let mcs: LcLock<McsLock> = LcLock::new_with(&lc);
+        let ticket: LcLock<TicketLock> = LcLock::new_with(&lc);
+        let ttas: LcLock<TtasLock> = LcLock::new_with(&lc);
+        for lock in [&mcs as &dyn RawLock, &ticket, &ttas] {
+            lock.lock();
+            assert!(lock.is_locked());
+            unsafe { lock.unlock() };
+            assert!(!lock.is_locked());
+            assert_eq!(lock.name(), "load-control");
+        }
+    }
+
+    #[test]
     fn mutual_exclusion_without_overload() {
         let lc = manual_control(64);
-        let m = Arc::new(LcMutex::new_with(0u64, &lc));
+        let m = Arc::new(LcMutex::<u64>::new_with(0, &lc));
         let mut handles = Vec::new();
         for _ in 0..8 {
             let m = Arc::clone(&m);
@@ -300,7 +369,7 @@ mod tests {
                 .with_sleep_timeout(Duration::from_millis(5)),
         );
         lc.start_controller();
-        let m = Arc::new(LcMutex::new_with(0u64, &lc));
+        let m = Arc::new(LcMutex::<u64>::new_with(0, &lc));
         let mut handles = Vec::new();
         for _ in 0..6 {
             let m = Arc::clone(&m);
@@ -325,7 +394,7 @@ mod tests {
     #[test]
     fn into_inner_and_get_mut() {
         let lc = manual_control(2);
-        let mut m = LcMutex::new_with(String::from("a"), &lc);
+        let mut m = LcMutex::<String>::new_with(String::from("a"), &lc);
         m.get_mut().push('b');
         assert_eq!(m.into_inner(), "ab");
     }
@@ -333,7 +402,7 @@ mod tests {
     #[test]
     fn debug_does_not_deadlock() {
         let lc = manual_control(2);
-        let m = LcMutex::new_with(1u8, &lc);
+        let m = LcMutex::<u8>::new_with(1, &lc);
         let _ = format!("{m:?}");
         let g = m.lock();
         assert!(format!("{m:?}").contains("locked"));

@@ -8,7 +8,8 @@
 //! conflate:
 //!
 //! * **Contention management** stays on the critical path and always spins
-//!   (the [`lc_locks::TimePublishedLock`] waiting loop).
+//!   (any [`lc_locks::AbortableLock`] waiting loop; the paper's
+//!   time-published queue lock is the default backend).
 //! * **Load management** happens off the critical path: a controller daemon
 //!   measures the process's runnable-thread count every few milliseconds and
 //!   publishes a *sleep target*; spinning threads observe the target through
@@ -31,7 +32,7 @@
 //!
 //! // One controller per process (here: pretend the machine has 4 contexts).
 //! let control = LoadControl::start(LoadControlConfig::for_capacity(4));
-//! let counter = Arc::new(LcMutex::new_with(0u64, &control));
+//! let counter = Arc::new(LcMutex::<u64>::new_with(0, &control));
 //!
 //! let mut handles = Vec::new();
 //! for _ in 0..8 {
@@ -63,7 +64,7 @@ pub mod thread_ctx;
 
 pub use config::LoadControlConfig;
 pub use controller::{ControllerMode, ControllerStats, LoadControl};
-pub use lc_lock::{LcLock, LcMutex};
+pub use lc_lock::{LcLock, LcMutex, LcMutexGuard, TpLcLock};
 pub use load_backoff::LoadTriggeredBackoffPolicy;
 pub use slots::{ClaimOutcome, SleepSlotBuffer, SlotBufferStats};
 pub use spin_hook::SpinHook;

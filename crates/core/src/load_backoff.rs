@@ -67,8 +67,8 @@ impl LoadTriggeredBackoffPolicy {
         x ^= x << 25;
         x ^= x >> 27;
         self.rng_state.set(x);
-        let uniform = ((x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64)
-            / ((1u64 << 53) as f64);
+        let uniform =
+            ((x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64) / ((1u64 << 53) as f64);
         let uniform = uniform.clamp(1e-12, 1.0 - 1e-12);
         let nanos = -(self.mean_sleep.as_nanos() as f64) * uniform.ln();
         // Cap individual sleeps at 20x the mean so a pathological draw cannot
@@ -80,7 +80,7 @@ impl LoadTriggeredBackoffPolicy {
 
 impl SpinPolicy for LoadTriggeredBackoffPolicy {
     fn on_spin(&mut self, spins: u64) -> SpinDecision {
-        if spins % u64::from(self.check_period) != 0 {
+        if !spins.is_multiple_of(u64::from(self.check_period)) {
             return SpinDecision::Continue;
         }
         if self.control.is_overloaded() {
@@ -149,8 +149,7 @@ mod tests {
     fn overload_triggers_abort_and_sleep() {
         let lc = control();
         lc.set_sleep_target(1); // signals overload
-        let mut p =
-            LoadTriggeredBackoffPolicy::with_mean_sleep(&lc, Duration::from_micros(200));
+        let mut p = LoadTriggeredBackoffPolicy::with_mean_sleep(&lc, Duration::from_micros(200));
         let period = u64::from(lc.config().slot_check_period);
         let mut decision = SpinDecision::Continue;
         for i in 1..=period {

@@ -105,11 +105,12 @@ impl ThreadCtx {
         }
         buffer.leave(slot_idx, self.sleeper);
         // Go back to spinning (or whatever we were doing before).
-        self.handle.set_state(if previous == ThreadState::ParkedByLoadControl {
-            ThreadState::Spinning
-        } else {
-            previous
-        });
+        self.handle
+            .set_state(if previous == ThreadState::ParkedByLoadControl {
+                ThreadState::Spinning
+            } else {
+                previous
+            });
     }
 }
 
@@ -230,7 +231,7 @@ impl SpinPolicy for LoadControlPolicy {
             // Defensive: we already asked to abort.
             return SpinDecision::Abort;
         }
-        if spins % u64::from(self.config.slot_check_period) != 0 {
+        if !spins.is_multiple_of(u64::from(self.config.slot_check_period)) {
             return SpinDecision::Continue;
         }
         // Never volunteer to sleep while holding another load-controlled lock

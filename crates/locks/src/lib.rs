@@ -21,8 +21,12 @@
 //!   futex-style spin-then-block hybrid).
 //!
 //! All primitives implement [`RawLock`], so they are interchangeable inside
-//! the RAII [`Mutex`] wrapper and everywhere else in the suite (latches in
-//! `lc-storage`, workload drivers in `lc-workloads`, benches in `lc-bench`).
+//! the RAII [`Mutex`] wrapper and everywhere else in the suite (the
+//! load-controlled lock in `lc-core`, workload drivers in `lc-workloads`,
+//! benches in `lc-bench`).  Every spinning primitive additionally implements
+//! [`AbortableLock`], the policy-parameterized acquire path that load control
+//! plugs into, and the [`registry`] constructs any family from its stable
+//! name at runtime.
 //!
 //! ## Quick example
 //!
@@ -56,6 +60,7 @@ pub mod mcs;
 pub mod mutex;
 pub mod parker;
 pub mod raw;
+pub mod registry;
 pub mod spin_then_yield;
 pub mod spin_wait;
 pub mod stats;
@@ -69,7 +74,11 @@ pub use blocking::BlockingLock;
 pub use mcs::McsLock;
 pub use mutex::{aliases, Mutex, MutexGuard};
 pub use parker::{ParkResult, Parker};
-pub use raw::{AbortAfter, NeverAbort, RawLock, RawTryLock, SpinDecision, SpinPolicy};
+pub use raw::{
+    AbortAfter, AbortableLock, BoundedAbort, NeverAbort, RawLock, RawTryLock, SpinDecision,
+    SpinPolicy,
+};
+pub use registry::{DynLock, DynMutex, DynMutexGuard, LockFactory};
 pub use spin_then_yield::SpinThenYieldLock;
 pub use spin_wait::{Backoff, SpinWait};
 pub use stats::{LockStats, LockStatsSnapshot};
@@ -81,7 +90,8 @@ pub use ttas::TtasLock;
 /// Names of every lock implementation in this crate, in a stable order.
 ///
 /// Benchmarks iterate over this list so that adding a lock automatically adds
-/// it to comparison tables.
+/// it to comparison tables; [`registry::build`] constructs any entry from its
+/// name (a test asserts the two stay in sync).
 pub const ALL_LOCK_NAMES: &[&str] = &[
     "tas",
     "ttas-backoff",
@@ -91,6 +101,20 @@ pub const ALL_LOCK_NAMES: &[&str] = &[
     "spin-then-yield",
     "blocking",
     "adaptive",
+];
+
+/// Names of the lock families that implement [`AbortableLock`] — the
+/// backends the load-controlled lock in `lc-core` composes with.
+///
+/// A subset of [`ALL_LOCK_NAMES`]: the purely blocking families park in the
+/// kernel and cannot abort a wait.
+pub const ABORTABLE_LOCK_NAMES: &[&str] = &[
+    "tas",
+    "ttas-backoff",
+    "ticket",
+    "mcs",
+    "tp-queue",
+    "spin-then-yield",
 ];
 
 #[cfg(test)]
@@ -105,5 +129,17 @@ mod crate_tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), 8);
+    }
+
+    #[test]
+    fn abortable_names_are_a_subset_of_all_names() {
+        for name in ABORTABLE_LOCK_NAMES {
+            assert!(
+                ALL_LOCK_NAMES.contains(name),
+                "{name} not in ALL_LOCK_NAMES"
+            );
+        }
+        assert!(!ABORTABLE_LOCK_NAMES.contains(&"blocking"));
+        assert!(!ABORTABLE_LOCK_NAMES.contains(&"adaptive"));
     }
 }

@@ -1,4 +1,5 @@
-//! Classic MCS queue spinlock (Mellor-Crummey & Scott, reference [24]).
+//! MCS queue spinlock (Mellor-Crummey & Scott, reference [24]) with an
+//! abortable waiting path.
 //!
 //! Waiters form an explicit FIFO linked list; each spins on a flag in its own
 //! queue node, so handoff touches exactly one remote cache line and there is
@@ -7,31 +8,65 @@
 //! preempts one, everything behind it stalls until it runs again.  The
 //! time-published variant in [`crate::time_published`] addresses that.
 //!
-//! Queue nodes are heap-allocated per acquisition and freed by the owner at
-//! release time, after the point where no other thread can reach them.
+//! # Abortable waiting
+//!
+//! Abortable MCS variants traditionally unlink the node from the middle of
+//! the list, which requires delicate neighbor coordination.  This
+//! implementation uses a simpler ownership-transfer scheme built on a
+//! three-state word per node (`WAITING → GRANTED | ABANDONED`):
+//!
+//! * an aborting waiter CASes its node `WAITING → ABANDONED` and walks away —
+//!   the node stays linked, and responsibility for freeing it passes to the
+//!   queue;
+//! * the releaser hands the lock to its successor with a
+//!   `WAITING → GRANTED` CAS; if that fails the successor has abandoned, and
+//!   the releaser *passes through* the dead node (adopting its queue
+//!   position, freeing it once its own successor is resolved) and retries
+//!   with the next node;
+//! * the two CASes target the same word, so a grant and an abort racing on
+//!   one node have exactly one winner: either the waiter owns the lock (its
+//!   abort failed) or the releaser skips it (its grant failed).
+//!
+//! Queue nodes are heap-allocated per acquisition; the node of the current
+//! holder is freed by its own release, and abandoned nodes are freed by
+//! whichever release passes through them.
 
-use crate::raw::{RawLock, RawTryLock};
+use crate::raw::{AbortableLock, RawLock, RawTryLock, SpinDecision, SpinPolicy};
 use crossbeam_utils::CachePadded;
 use std::hint;
 use std::ptr;
-use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+use std::sync::atomic::{AtomicPtr, AtomicU8, AtomicUsize, Ordering};
+
+const WAITING: u8 = 0;
+const GRANTED: u8 = 1;
+const ABANDONED: u8 = 2;
+
+/// Maximum number of abandoned nodes that may be awaiting reclamation.
+///
+/// Each abort-and-retry leaves one node in the queue until a release scan
+/// passes through it, so a policy that aborts on every poll while the lock
+/// is held could otherwise grow the queue (and the heap) without bound —
+/// and outpace the releaser's drain, livelocking the handoff.  Past this
+/// bound further aborts are simply refused (the waiter keeps spinning),
+/// which is always a correct answer to an abort request.
+const MAX_ABANDONED: usize = 1024;
 
 #[derive(Debug)]
 struct QNode {
-    locked: AtomicBool,
+    state: AtomicU8,
     next: AtomicPtr<CachePadded<QNode>>,
 }
 
 impl QNode {
-    fn new() -> Box<CachePadded<QNode>> {
+    fn new(state: u8) -> Box<CachePadded<QNode>> {
         Box::new(CachePadded::new(QNode {
-            locked: AtomicBool::new(true),
+            state: AtomicU8::new(state),
             next: AtomicPtr::new(ptr::null_mut()),
         }))
     }
 }
 
-/// Classic MCS queue lock.
+/// MCS queue lock with abortable waiting.
 ///
 /// ```
 /// use lc_locks::{McsLock, RawLock};
@@ -47,48 +82,31 @@ pub struct McsLock {
     /// The owner's queue node, stashed between `lock` and `unlock` so the
     /// trait interface does not need to thread a token through the caller.
     owner: AtomicPtr<CachePadded<QNode>>,
+    /// Abandoned nodes not yet reclaimed by a release scan.
+    abandoned: CachePadded<AtomicUsize>,
 }
 
 impl Default for McsLock {
     fn default() -> Self {
-        Self::new()
+        <Self as RawLock>::new()
     }
 }
 
 unsafe impl Send for McsLock {}
 unsafe impl Sync for McsLock {}
 
-unsafe impl RawLock for McsLock {
-    fn new() -> Self {
-        Self {
-            tail: CachePadded::new(AtomicPtr::new(ptr::null_mut())),
-            owner: AtomicPtr::new(ptr::null_mut()),
-        }
-    }
-
-    fn lock(&self) {
-        let node = Box::into_raw(QNode::new());
-        let prev = self.tail.swap(node, Ordering::AcqRel);
-        if !prev.is_null() {
-            // Queue was non-empty: link behind the predecessor and spin on our
-            // own node until the predecessor hands the lock over.
-            unsafe {
-                let prev_ref: &CachePadded<QNode> = &*prev;
-                prev_ref.next.store(node, Ordering::Release);
-                let node_ref: &CachePadded<QNode> = &*node;
-                while node_ref.locked.load(Ordering::Acquire) {
-                    hint::spin_loop();
-                }
-            }
-        }
-        self.owner.store(node, Ordering::Relaxed);
-    }
-
-    unsafe fn unlock(&self) {
-        let node = self.owner.load(Ordering::Relaxed);
-        debug_assert!(!node.is_null(), "unlock without a matching lock");
-        self.owner.store(ptr::null_mut(), Ordering::Relaxed);
-
+impl McsLock {
+    /// Resolves the successor of `node`, handling the tail race with an
+    /// in-progress enqueue, then frees `node`.
+    ///
+    /// Returns the successor pointer, or null if the queue emptied.
+    ///
+    /// # Safety
+    ///
+    /// `node` must be exclusively owned by the caller (the holder's node at
+    /// release time, or an abandoned node the release scan passed through),
+    /// with no other thread able to dereference it afterwards.
+    unsafe fn take_successor(&self, node: *mut CachePadded<QNode>) -> *mut CachePadded<QNode> {
         let node_ref: &CachePadded<QNode> = &*node;
         let mut next = node_ref.next.load(Ordering::Acquire);
         if next.is_null() {
@@ -99,7 +117,7 @@ unsafe impl RawLock for McsLock {
                 .is_ok()
             {
                 drop(Box::from_raw(node));
-                return;
+                return ptr::null_mut();
             }
             // A successor is in the middle of linking itself; wait for it.
             loop {
@@ -110,9 +128,51 @@ unsafe impl RawLock for McsLock {
                 hint::spin_loop();
             }
         }
-        let next_ref: &CachePadded<QNode> = &*next;
-        next_ref.locked.store(false, Ordering::Release);
         drop(Box::from_raw(node));
+        next
+    }
+}
+
+unsafe impl RawLock for McsLock {
+    fn new() -> Self {
+        Self {
+            tail: CachePadded::new(AtomicPtr::new(ptr::null_mut())),
+            owner: AtomicPtr::new(ptr::null_mut()),
+            abandoned: CachePadded::new(AtomicUsize::new(0)),
+        }
+    }
+
+    fn lock(&self) {
+        self.lock_with(&mut crate::raw::NeverAbort);
+    }
+
+    unsafe fn unlock(&self) {
+        let mut node = self.owner.load(Ordering::Relaxed);
+        debug_assert!(!node.is_null(), "unlock without a matching lock");
+        self.owner.store(ptr::null_mut(), Ordering::Relaxed);
+
+        loop {
+            let next = self.take_successor(node);
+            if next.is_null() {
+                return;
+            }
+            let next_ref: &CachePadded<QNode> = &*next;
+            match next_ref.state.compare_exchange(
+                WAITING,
+                GRANTED,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return,
+                Err(state) => {
+                    debug_assert_eq!(state, ABANDONED);
+                    // The successor walked away; adopt its queue position and
+                    // hand the lock to whoever is behind it.
+                    self.abandoned.fetch_sub(1, Ordering::Relaxed);
+                    node = next;
+                }
+            }
+        }
     }
 
     fn is_locked(&self) -> bool {
@@ -129,13 +189,11 @@ unsafe impl RawTryLock for McsLock {
         if !self.tail.load(Ordering::Relaxed).is_null() {
             return false;
         }
-        let node = Box::into_raw(QNode::new());
-        match self.tail.compare_exchange(
-            ptr::null_mut(),
-            node,
-            Ordering::AcqRel,
-            Ordering::Relaxed,
-        ) {
+        let node = Box::into_raw(QNode::new(WAITING));
+        match self
+            .tail
+            .compare_exchange(ptr::null_mut(), node, Ordering::AcqRel, Ordering::Relaxed)
+        {
             Ok(_) => {
                 self.owner.store(node, Ordering::Relaxed);
                 true
@@ -149,13 +207,87 @@ unsafe impl RawTryLock for McsLock {
     }
 }
 
+unsafe impl AbortableLock for McsLock {
+    fn lock_with<P: SpinPolicy + ?Sized>(&self, policy: &mut P) {
+        let mut spins = 0u64;
+        loop {
+            let node = Box::into_raw(QNode::new(WAITING));
+            let prev = self.tail.swap(node, Ordering::AcqRel);
+            if prev.is_null() {
+                // Queue was empty: we own the lock immediately.
+                self.owner.store(node, Ordering::Relaxed);
+                policy.on_acquired(spins);
+                return;
+            }
+            // Link behind the predecessor and spin on our own node.
+            unsafe {
+                let prev_ref: &CachePadded<QNode> = &*prev;
+                prev_ref.next.store(node, Ordering::Release);
+                let node_ref: &CachePadded<QNode> = &*node;
+                loop {
+                    if node_ref.state.load(Ordering::Acquire) == GRANTED {
+                        self.owner.store(node, Ordering::Relaxed);
+                        policy.on_acquired(spins);
+                        return;
+                    }
+                    spins += 1;
+                    match policy.on_spin(spins) {
+                        SpinDecision::Continue => hint::spin_loop(),
+                        SpinDecision::Abort => {
+                            // Refuse the abort if too many abandoned nodes
+                            // already await reclamation (keeps an
+                            // abort-happy policy from outgrowing the
+                            // release scan); the waiter just keeps spinning.
+                            if self
+                                .abandoned
+                                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+                                    (n < MAX_ABANDONED).then_some(n + 1)
+                                })
+                                .is_err()
+                            {
+                                hint::spin_loop();
+                                continue;
+                            }
+                            match node_ref.state.compare_exchange(
+                                WAITING,
+                                ABANDONED,
+                                Ordering::AcqRel,
+                                Ordering::Acquire,
+                            ) {
+                                Ok(_) => {
+                                    // The node now belongs to the queue; a
+                                    // release scan will free it.  Retry from
+                                    // scratch with a fresh node.
+                                    policy.on_aborted();
+                                    break;
+                                }
+                                Err(state) => {
+                                    // Too late to abort: we already own the
+                                    // lock (and abandoned nothing after all).
+                                    debug_assert_eq!(state, GRANTED);
+                                    self.abandoned.fetch_sub(1, Ordering::Relaxed);
+                                    self.owner.store(node, Ordering::Relaxed);
+                                    policy.on_acquired(spins);
+                                    return;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
 impl Drop for McsLock {
     fn drop(&mut self) {
-        // If the lock is dropped while held (e.g. a guard was forgotten), free
-        // the stashed owner node to avoid leaking it.
-        let node = self.owner.load(Ordering::Relaxed);
-        if !node.is_null() {
-            unsafe { drop(Box::from_raw(node)) };
+        // If the lock is dropped while held (e.g. a guard was forgotten),
+        // free the owner's node and any abandoned nodes still linked behind
+        // it.  `&mut self` guarantees no concurrent waiters exist.
+        let mut node = self.owner.load(Ordering::Relaxed);
+        while !node.is_null() {
+            let boxed = unsafe { Box::from_raw(node) };
+            node = boxed.next.load(Ordering::Relaxed);
         }
     }
 }
@@ -163,9 +295,11 @@ impl Drop for McsLock {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::raw::AbortAfter;
     use std::sync::atomic::AtomicU64;
     use std::sync::Arc;
     use std::thread;
+    use std::time::Duration;
 
     #[test]
     fn basic_lock_unlock() {
@@ -226,5 +360,50 @@ mod tests {
         let l = McsLock::new();
         l.lock();
         drop(l);
+    }
+
+    #[test]
+    fn aborting_policy_eventually_acquires() {
+        let lock = Arc::new(McsLock::new());
+        lock.lock();
+        let l2 = Arc::clone(&lock);
+        let h = thread::spawn(move || {
+            let mut policy = AbortAfter::new(50);
+            l2.lock_with(&mut policy);
+            unsafe { l2.unlock() };
+            policy.aborts
+        });
+        thread::sleep(Duration::from_millis(30));
+        unsafe { lock.unlock() };
+        let aborts = h.join().unwrap();
+        assert!(aborts >= 1, "the waiter should have aborted at least once");
+        assert!(!lock.is_locked());
+    }
+
+    #[test]
+    fn abandoned_nodes_are_passed_through() {
+        // Threads abort aggressively while hammering the lock; abandoned
+        // nodes must be skipped and reclaimed, and the count must stay exact.
+        let lock = Arc::new(McsLock::new());
+        let counter = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let lock = Arc::clone(&lock);
+            let counter = Arc::clone(&counter);
+            handles.push(thread::spawn(move || {
+                for _ in 0..2_000 {
+                    let mut policy = crate::raw::BoundedAbort::new(8, 4);
+                    lock.lock_with(&mut policy);
+                    let v = counter.load(Ordering::Relaxed);
+                    counter.store(v + 1, Ordering::Relaxed);
+                    unsafe { lock.unlock() };
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 8_000);
+        assert!(!lock.is_locked());
     }
 }

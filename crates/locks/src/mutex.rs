@@ -146,7 +146,9 @@ impl<T: ?Sized + fmt::Display, R: RawLock> fmt::Display for MutexGuard<'_, T, R>
 /// Convenience aliases for the most common instantiations.
 pub mod aliases {
     use super::Mutex;
-    use crate::{AdaptiveLock, BlockingLock, McsLock, TasLock, TicketLock, TimePublishedLock, TtasLock};
+    use crate::{
+        AdaptiveLock, BlockingLock, McsLock, TasLock, TicketLock, TimePublishedLock, TtasLock,
+    };
 
     /// Mutex backed by the naive test-and-set spinlock.
     pub type TasMutex<T> = Mutex<T, TasLock>;

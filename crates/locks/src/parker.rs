@@ -161,9 +161,7 @@ mod tests {
     fn unpark_wakes_parked_thread() {
         let p = Arc::new(Parker::new());
         let p2 = Arc::clone(&p);
-        let h = thread::spawn(move || {
-            p2.park_timeout(Duration::from_secs(10))
-        });
+        let h = thread::spawn(move || p2.park_timeout(Duration::from_secs(10)));
         // Give the thread a moment to actually park.
         thread::sleep(Duration::from_millis(20));
         p.unpark();
@@ -179,7 +177,10 @@ mod tests {
         // One park consumes the single stored permit...
         p.park();
         // ...and the next one must time out.
-        assert_eq!(p.park_timeout(Duration::from_millis(5)), ParkResult::TimedOut);
+        assert_eq!(
+            p.park_timeout(Duration::from_millis(5)),
+            ParkResult::TimedOut
+        );
         assert_eq!(p.unpark_count(), 3);
     }
 

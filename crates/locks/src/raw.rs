@@ -9,11 +9,14 @@
 //!
 //! The [`SpinPolicy`] trait is how the load-control mechanism hooks into a
 //! lock's waiting loop without being on the critical path of an uncontended
-//! acquire: primitives that support it expose `lock_with(&self, &mut policy)`
-//! and call [`SpinPolicy::on_spin`] once per polling iteration.  The policy
+//! acquire: every spinning primitive implements [`AbortableLock`], whose
+//! `lock_with(&self, &mut policy)` is the canonical acquire path.  The lock
+//! calls [`SpinPolicy::on_spin`] once per polling iteration, and the policy
 //! can ask the lock to *abort* the attempt (leave the wait queue), which is
 //! exactly what a thread does when it claims a sleep slot and goes to sleep
-//! (paper §3.1.2).
+//! (paper §3.1.2).  Because the hook is a trait on the lock rather than a
+//! special entry point of one implementation, load control composes with any
+//! lock family — the paper's central decoupling claim.
 
 use core::fmt;
 
@@ -64,6 +67,37 @@ pub unsafe trait RawTryLock: RawLock {
     fn try_lock(&self) -> bool;
 }
 
+/// A spinning lock whose waiting loop consults a [`SpinPolicy`] and supports
+/// *aborting* an in-progress acquisition.
+///
+/// This is the canonical acquire path of the suite: `lock_with` must invoke
+/// [`SpinPolicy::on_spin`] on every polling iteration while contended and
+/// honor [`SpinDecision::Abort`] by cleanly leaving whatever wait structure
+/// the lock uses (queue node, ticket, ring slot), running
+/// [`SpinPolicy::on_aborted`], and retrying from scratch.  The call returns
+/// only once the lock is held, at which point [`SpinPolicy::on_acquired`] has
+/// run.
+///
+/// The counter passed to `on_spin` increases monotonically across all
+/// attempts of one `lock_with` call (it is *not* reset on abort), so policies
+/// can implement "check every N iterations" logic with a simple modulus.
+///
+/// An uncontended acquire may skip the policy entirely except for the final
+/// `on_acquired(0)` call — keeping the hook off the fast path.
+///
+/// # Safety
+///
+/// Same contract as [`RawLock`]: a return from `lock_with` grants exclusive
+/// ownership until the matching [`RawLock::unlock`].  Aborted attempts must
+/// leave the lock in a consistent state: mutual exclusion, eventual handoff
+/// to remaining waiters, and the ability of the aborting thread to retry must
+/// all be preserved no matter where the abort lands relative to a concurrent
+/// release.
+pub unsafe trait AbortableLock: RawLock {
+    /// Acquires the lock, consulting `policy` on every polling iteration.
+    fn lock_with<P: SpinPolicy + ?Sized>(&self, policy: &mut P);
+}
+
 /// What a [`SpinPolicy`] asks the waiting loop to do next.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SpinDecision {
@@ -84,8 +118,9 @@ pub enum SpinDecision {
 pub trait SpinPolicy {
     /// Called once per polling iteration while waiting for the lock.
     ///
-    /// `spins` is the number of iterations completed so far in this
-    /// acquisition attempt (reset after every abort/retry).
+    /// `spins` is the number of polling iterations completed so far in this
+    /// acquisition (monotonic across abort/retry cycles of one
+    /// [`AbortableLock::lock_with`] call).
     fn on_spin(&mut self, spins: u64) -> SpinDecision;
 
     /// Called when an acquisition attempt was aborted at the policy's request
@@ -146,6 +181,55 @@ impl SpinPolicy for AbortAfter {
     }
 }
 
+/// A [`SpinPolicy`] that aborts at most `max_aborts` times, with at least
+/// `spin_limit` polling iterations between abort requests, then spins
+/// plainly.
+///
+/// [`AbortAfter`] keeps demanding an abort on every poll once its limit has
+/// passed, which is useful for hammering a lock's abort machinery but models
+/// no real client: a genuine load-control policy parks between aborts.  This
+/// policy is the well-behaved test double for contended many-thread tests —
+/// it exercises abort/retry without degenerating into permanent abort churn.
+#[derive(Debug, Clone, Copy)]
+pub struct BoundedAbort {
+    spin_limit: u64,
+    max_aborts: u64,
+    last_abort_at: u64,
+    /// Number of times the policy has actually been aborted.
+    pub aborts: u64,
+}
+
+impl BoundedAbort {
+    /// Creates a policy that requests an abort every `spin_limit` iterations,
+    /// up to `max_aborts` times per acquisition.
+    pub fn new(spin_limit: u64, max_aborts: u64) -> Self {
+        Self {
+            spin_limit,
+            max_aborts,
+            last_abort_at: 0,
+            aborts: 0,
+        }
+    }
+}
+
+impl SpinPolicy for BoundedAbort {
+    #[inline]
+    fn on_spin(&mut self, spins: u64) -> SpinDecision {
+        if self.aborts < self.max_aborts
+            && spins.saturating_sub(self.last_abort_at) >= self.spin_limit
+        {
+            self.last_abort_at = spins;
+            SpinDecision::Abort
+        } else {
+            SpinDecision::Continue
+        }
+    }
+
+    fn on_aborted(&mut self) {
+        self.aborts += 1;
+    }
+}
+
 impl fmt::Display for SpinDecision {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -176,6 +260,23 @@ mod tests {
         assert_eq!(p.on_spin(11), SpinDecision::Abort);
         p.on_aborted();
         assert_eq!(p.aborts, 1);
+    }
+
+    #[test]
+    fn bounded_abort_spaces_and_caps_aborts() {
+        let mut p = BoundedAbort::new(10, 2);
+        assert_eq!(p.on_spin(1), SpinDecision::Continue);
+        assert_eq!(p.on_spin(10), SpinDecision::Abort);
+        p.on_aborted();
+        // Spaced: nothing until 10 iterations after the last abort request.
+        assert_eq!(p.on_spin(11), SpinDecision::Continue);
+        assert_eq!(p.on_spin(20), SpinDecision::Abort);
+        p.on_aborted();
+        // Capped: after max_aborts the policy spins plainly forever.
+        for i in 21..2_000 {
+            assert_eq!(p.on_spin(i), SpinDecision::Continue);
+        }
+        assert_eq!(p.aborts, 2);
     }
 
     #[test]

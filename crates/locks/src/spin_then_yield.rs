@@ -8,7 +8,7 @@
 //! handoff latency depends entirely on when the scheduler happens to run it
 //! again.
 
-use crate::raw::{RawLock, RawTryLock};
+use crate::raw::{AbortableLock, RawLock, RawTryLock, SpinDecision, SpinPolicy};
 use std::hint;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::thread;
@@ -95,6 +95,42 @@ unsafe impl RawTryLock for SpinThenYieldLock {
     #[inline]
     fn try_lock(&self) -> bool {
         !self.locked.load(Ordering::Relaxed) && !self.locked.swap(true, Ordering::Acquire)
+    }
+}
+
+unsafe impl AbortableLock for SpinThenYieldLock {
+    /// No wait queue: an abort stops polling, runs `on_aborted`, and restarts
+    /// the attempt with a fresh spin budget.
+    fn lock_with<P: SpinPolicy + ?Sized>(&self, policy: &mut P) {
+        if !self.locked.swap(true, Ordering::Acquire) {
+            policy.on_acquired(0);
+            return;
+        }
+        let mut spins = 0u64;
+        let mut burst = 0u32;
+        loop {
+            while self.locked.load(Ordering::Relaxed) {
+                spins += 1;
+                match policy.on_spin(spins) {
+                    SpinDecision::Continue => {
+                        if burst < self.spin_budget {
+                            burst += 1;
+                            hint::spin_loop();
+                        } else {
+                            thread::yield_now();
+                        }
+                    }
+                    SpinDecision::Abort => {
+                        policy.on_aborted();
+                        burst = 0;
+                    }
+                }
+            }
+            if !self.locked.swap(true, Ordering::Acquire) {
+                policy.on_acquired(spins);
+                return;
+            }
+        }
     }
 }
 

@@ -5,7 +5,7 @@
 //! "thundering herd" at every release (paper §2.1).  It is included as the
 //! baseline the fancier primitives are measured against.
 
-use crate::raw::{RawLock, RawTryLock};
+use crate::raw::{AbortableLock, RawLock, RawTryLock, SpinDecision, SpinPolicy};
 use std::hint;
 use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -63,6 +63,31 @@ unsafe impl RawTryLock for TasLock {
     #[inline]
     fn try_lock(&self) -> bool {
         !self.locked.swap(true, Ordering::Acquire)
+    }
+}
+
+unsafe impl AbortableLock for TasLock {
+    /// A TAS lock has no wait queue, so an abort simply stops polling: the
+    /// policy's `on_aborted` hook runs (this is where load control parks the
+    /// thread) and the attempt restarts.
+    ///
+    /// The waiting loop retries the atomic exchange on every iteration, the
+    /// same swap-hammering behaviour as [`RawLock::lock`]: this lock is the
+    /// suite's coherence-traffic baseline, and the policy hook must not
+    /// quietly upgrade it to test-and-test-and-set.
+    fn lock_with<P: SpinPolicy + ?Sized>(&self, policy: &mut P) {
+        let mut spins = 0u64;
+        loop {
+            if !self.locked.swap(true, Ordering::Acquire) {
+                policy.on_acquired(spins);
+                return;
+            }
+            spins += 1;
+            match policy.on_spin(spins) {
+                SpinDecision::Continue => hint::spin_loop(),
+                SpinDecision::Abort => policy.on_aborted(),
+            }
+        }
     }
 }
 

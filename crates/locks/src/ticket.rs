@@ -1,4 +1,5 @@
-//! Ticket lock: FIFO handoff through a pair of counters.
+//! Ticket lock: FIFO handoff through a pair of counters — now with a real
+//! abort path.
 //!
 //! Reed & Kanodia's eventcount/sequencer scheme (reference [29] in the paper).
 //! Arrivals take a ticket with `fetch_add`; the lock is held by the thread
@@ -6,13 +7,57 @@
 //! starvation and the thundering herd, but — exactly as the paper notes for
 //! all strict-FIFO spinlocks — a preempted waiter stalls everyone queued
 //! behind it, so load must stay below 100% for it to perform well.
+//!
+//! # Abortable waiting
+//!
+//! A classic ticket lock cannot abandon a wait: once a ticket is taken, the
+//! releaser will eventually hand the lock to exactly that ticket, so a waiter
+//! that walks away deadlocks everyone behind it.  To support
+//! [`AbortableLock`] (the hook load control needs), this implementation adds
+//! an *abandoned-ticket ring*: a small table of packed `(ticket, marked)`
+//! words.
+//!
+//! * A waiter that wants to abort publishes `(ticket, marked)` in slot
+//!   `ticket % RING` (CAS from the empty word, so unconsumed markers from
+//!   older tickets are never clobbered — if the slot is busy the waiter
+//!   simply keeps spinning and may retry the abort later).
+//! * The releaser advances `now_serving` one ticket at a time; whenever the
+//!   next ticket's marker is present it *consumes* the marker (CAS back to
+//!   empty) and skips past the abandoned ticket.
+//! * The hole in the handoff race — a waiter abandoning exactly when the
+//!   releaser publishes its ticket — is closed the same way as in
+//!   [`crate::TimePublishedLock`]: after marking, the aborting waiter checks
+//!   whether it has already been made the holder (`now_serving == ticket`)
+//!   and, if it can consume its *own* marker, takes over the release scan.
+//!   Exactly one side wins the consuming CAS, so the lock is handed on
+//!   exactly once.
 
-use crate::raw::{RawLock, RawTryLock};
+use crate::raw::{AbortableLock, RawLock, RawTryLock, SpinDecision, SpinPolicy};
 use crossbeam_utils::CachePadded;
 use std::hint;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// A FIFO ticket spinlock.
+/// Number of abandoned-ticket marker slots.
+///
+/// Bounds the number of *unconsumed* abandoned tickets, not the number of
+/// waiters: markers are consumed the next time the release scan passes them,
+/// so the population is bounded by the threads aborting between two release
+/// scans.  When the ring is momentarily full the only consequence is that
+/// further aborts are refused (the waiter keeps spinning), never a
+/// correctness loss.  Kept small (512 B per lock) so a plain non-abortable
+/// ticket lock stays cheap to instantiate in fine-grained latch patterns.
+const RING: usize = 64;
+
+const EMPTY_WORD: u64 = 0;
+
+/// Packs ticket `t` into a marker word.  The low bit is the "marked" flag, so
+/// the empty word (0) is distinguishable from every marker.
+#[inline]
+fn marker(ticket: u64) -> u64 {
+    (ticket << 1) | 1
+}
+
+/// A FIFO ticket spinlock with abortable waiting.
 ///
 /// ```
 /// use lc_locks::{RawLock, TicketLock};
@@ -24,11 +69,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub struct TicketLock {
     next_ticket: CachePadded<AtomicU64>,
     now_serving: CachePadded<AtomicU64>,
+    /// Abandoned-ticket markers, indexed by `ticket % RING`.
+    abandoned: Box<[AtomicU64]>,
 }
 
 impl Default for TicketLock {
     fn default() -> Self {
-        Self::new()
+        <Self as RawLock>::new()
     }
 }
 
@@ -44,6 +91,51 @@ impl TicketLock {
             .load(Ordering::Relaxed)
             .saturating_sub(self.now_serving.load(Ordering::Relaxed))
     }
+
+    #[inline]
+    fn slot(&self, ticket: u64) -> &AtomicU64 {
+        &self.abandoned[(ticket as usize) % RING]
+    }
+
+    /// Atomically consumes the abandoned marker for `ticket`, if present.
+    ///
+    /// Pre-checks with a load so the common no-marker release stays
+    /// read-only on the ring.  The load must be SeqCst: the abort-handoff
+    /// race closure relies on the releaser's publish-then-inspect and the
+    /// aborter's mark-then-inspect being in one total order.
+    #[inline]
+    fn consume_marker(&self, ticket: u64) -> bool {
+        let slot = self.slot(ticket);
+        slot.load(Ordering::SeqCst) == marker(ticket)
+            && slot
+                .compare_exchange(
+                    marker(ticket),
+                    EMPTY_WORD,
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                )
+                .is_ok()
+    }
+
+    /// The release scan: publishes `from + 1` as the serving ticket and keeps
+    /// advancing past consecutively abandoned tickets.  Stops at the first
+    /// ticket with no marker — either a live waiter (which will observe
+    /// `now_serving` and acquire) or a not-yet-issued ticket (lock free).
+    fn advance(&self, from: u64) {
+        let mut serving = from + 1;
+        loop {
+            // `fetch_max` keeps `now_serving` monotonic even if an aborting
+            // waiter's takeover scan and a stale releaser race.
+            self.now_serving.fetch_max(serving, Ordering::SeqCst);
+            if self.consume_marker(serving) {
+                // Ticket `serving` was abandoned; skip past it.  If its owner
+                // raced us here, the consuming CAS above decided the winner.
+                serving += 1;
+            } else {
+                return;
+            }
+        }
+    }
 }
 
 unsafe impl RawLock for TicketLock {
@@ -51,6 +143,7 @@ unsafe impl RawLock for TicketLock {
         Self {
             next_ticket: CachePadded::new(AtomicU64::new(0)),
             now_serving: CachePadded::new(AtomicU64::new(0)),
+            abandoned: (0..RING).map(|_| AtomicU64::new(EMPTY_WORD)).collect(),
         }
     }
 
@@ -64,9 +157,10 @@ unsafe impl RawLock for TicketLock {
 
     #[inline]
     unsafe fn unlock(&self) {
-        // Only the holder calls this, so a plain add (not CAS) is fine.
+        // Only the holder calls this, and while the lock is held
+        // `now_serving` equals the holder's ticket.
         let current = self.now_serving.load(Ordering::Relaxed);
-        self.now_serving.store(current + 1, Ordering::Release);
+        self.advance(current);
     }
 
     fn is_locked(&self) -> bool {
@@ -81,19 +175,76 @@ unsafe impl RawLock for TicketLock {
 unsafe impl RawTryLock for TicketLock {
     #[inline]
     fn try_lock(&self) -> bool {
-        let serving = self.now_serving.load(Ordering::Relaxed);
+        // Acquire on `now_serving`: the releaser's critical-section writes
+        // are published by its `advance` store to this counter, not by any
+        // write to `next_ticket` (whose last writer may long predate the
+        // release).
+        let serving = self.now_serving.load(Ordering::Acquire);
         self.next_ticket
             .compare_exchange(serving, serving + 1, Ordering::Acquire, Ordering::Relaxed)
             .is_ok()
     }
 }
 
+unsafe impl AbortableLock for TicketLock {
+    fn lock_with<P: SpinPolicy + ?Sized>(&self, policy: &mut P) {
+        let mut spins = 0u64;
+        loop {
+            let ticket = self.next_ticket.fetch_add(1, Ordering::SeqCst);
+            loop {
+                if self.now_serving.load(Ordering::SeqCst) == ticket {
+                    policy.on_acquired(spins);
+                    return;
+                }
+                spins += 1;
+                match policy.on_spin(spins) {
+                    SpinDecision::Continue => hint::spin_loop(),
+                    SpinDecision::Abort => {
+                        // Publish the abandonment.  A failed CAS means the
+                        // ring slot still holds an unconsumed marker from an
+                        // older ticket; aborting is refused and we keep
+                        // waiting (correctness never depends on an abort
+                        // being accepted).
+                        if self
+                            .slot(ticket)
+                            .compare_exchange(
+                                EMPTY_WORD,
+                                marker(ticket),
+                                Ordering::SeqCst,
+                                Ordering::SeqCst,
+                            )
+                            .is_err()
+                        {
+                            continue;
+                        }
+                        // Closing the handoff race: if the releaser published
+                        // our ticket before seeing the marker, it has stopped
+                        // scanning and believes we own the lock.  Whoever
+                        // consumes the marker — us or a concurrent release
+                        // scan — carries the handoff forward.
+                        if self.now_serving.load(Ordering::SeqCst) == ticket
+                            && self.consume_marker(ticket)
+                        {
+                            self.advance(ticket);
+                        }
+                        policy.on_aborted();
+                        // Retry from scratch with a fresh ticket.
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::raw::AbortAfter;
     use std::sync::atomic::AtomicU64 as StdAtomicU64;
     use std::sync::Arc;
     use std::thread;
+    use std::time::Duration;
 
     #[test]
     fn basic_lock_unlock() {
@@ -149,5 +300,50 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(counter.load(Ordering::Relaxed), 16_000);
+    }
+
+    #[test]
+    fn aborting_policy_eventually_acquires() {
+        let lock = Arc::new(TicketLock::new());
+        lock.lock();
+        let l2 = Arc::clone(&lock);
+        let h = thread::spawn(move || {
+            let mut policy = AbortAfter::new(50);
+            l2.lock_with(&mut policy);
+            unsafe { l2.unlock() };
+            policy.aborts
+        });
+        thread::sleep(Duration::from_millis(30));
+        unsafe { lock.unlock() };
+        let aborts = h.join().unwrap();
+        assert!(aborts >= 1, "the waiter should have aborted at least once");
+        assert!(!lock.is_locked());
+    }
+
+    #[test]
+    fn abandoned_tickets_do_not_stall_later_waiters() {
+        // Threads abort and re-enqueue while hammering the lock; the
+        // abandoned tickets must be skipped, not handed the lock.
+        let lock = Arc::new(TicketLock::new());
+        let counter = Arc::new(StdAtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let lock = Arc::clone(&lock);
+            let counter = Arc::clone(&counter);
+            handles.push(thread::spawn(move || {
+                for _ in 0..2_000 {
+                    let mut policy = crate::raw::BoundedAbort::new(8, 4);
+                    lock.lock_with(&mut policy);
+                    let v = counter.load(Ordering::Relaxed);
+                    counter.store(v + 1, Ordering::Relaxed);
+                    unsafe { lock.unlock() };
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 8_000);
+        assert!(!lock.is_locked());
     }
 }

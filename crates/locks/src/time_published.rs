@@ -37,8 +37,8 @@
 //! *concurrently waiting* threads to [`SLOTS`] (4096), which is far beyond the
 //! thread counts the paper (or any sane deployment) uses.
 
-use crate::raw::{RawLock, RawTryLock, SpinDecision, SpinPolicy};
 use crate::raw::NeverAbort;
+use crate::raw::{AbortableLock, RawLock, RawTryLock, SpinDecision, SpinPolicy};
 use crate::stats::{LockStats, LockStatsSnapshot};
 use crossbeam_utils::CachePadded;
 use std::fmt;
@@ -237,41 +237,6 @@ impl TimePublishedLock {
         }
     }
 
-    /// Acquires the lock, consulting `policy` on every polling iteration.
-    ///
-    /// The policy may abort an attempt ([`SpinDecision::Abort`]); the waiter
-    /// then leaves the queue, the policy's `on_aborted` hook runs (this is
-    /// where load control parks the thread), and the acquisition restarts from
-    /// scratch.  The call only returns once the lock is actually held.
-    pub fn lock_with<P: SpinPolicy + ?Sized>(&self, policy: &mut P) {
-        if self.try_fast_path() {
-            self.stats.record_acquire(false, 0);
-            policy.on_acquired(0);
-            return;
-        }
-        let mut total_spins: u64 = 0;
-        loop {
-            match self.wait_one_attempt(policy, &mut total_spins) {
-                Attempt::Acquired(ticket) => {
-                    self.owner_ticket.store(ticket, Ordering::Relaxed);
-                    self.stats.record_acquire(true, total_spins);
-                    policy.on_acquired(total_spins);
-                    return;
-                }
-                Attempt::Aborted => {
-                    self.stats.record_abort();
-                    policy.on_aborted();
-                    // Retry from scratch (fast path may now succeed).
-                    if self.try_fast_path() {
-                        self.stats.record_acquire(true, total_spins);
-                        policy.on_acquired(total_spins);
-                        return;
-                    }
-                }
-            }
-        }
-    }
-
     /// One enqueue-and-wait attempt.  Returns when granted, self-granted, or
     /// aborted at the policy's request.
     fn wait_one_attempt<P: SpinPolicy + ?Sized>(
@@ -289,7 +254,12 @@ impl TimePublishedLock {
             if state == STATE_EMPTY {
                 if slot
                     .word
-                    .compare_exchange(w, pack(ticket, STATE_WAITING), Ordering::SeqCst, Ordering::SeqCst)
+                    .compare_exchange(
+                        w,
+                        pack(ticket, STATE_WAITING),
+                        Ordering::SeqCst,
+                        Ordering::SeqCst,
+                    )
                     .is_ok()
                 {
                     break;
@@ -353,7 +323,7 @@ impl TimePublishedLock {
 
             *total_spins += 1;
             local_spins = local_spins.wrapping_add(1);
-            if local_spins % self.config.publish_every == 0 {
+            if local_spins.is_multiple_of(self.config.publish_every) {
                 slot.published.store(now_ns(), Ordering::Relaxed);
             }
 
@@ -443,7 +413,12 @@ impl TimePublishedLock {
                 if w == pack(s, STATE_ABANDONED)
                     && slot
                         .word
-                        .compare_exchange(w, pack(s, STATE_EMPTY), Ordering::SeqCst, Ordering::SeqCst)
+                        .compare_exchange(
+                            w,
+                            pack(s, STATE_EMPTY),
+                            Ordering::SeqCst,
+                            Ordering::SeqCst,
+                        )
                         .is_ok()
                 {
                     s += 1;
@@ -535,6 +510,43 @@ impl TimePublishedLock {
     }
 }
 
+unsafe impl AbortableLock for TimePublishedLock {
+    /// Acquires the lock, consulting `policy` on every polling iteration.
+    ///
+    /// The policy may abort an attempt ([`SpinDecision::Abort`]); the waiter
+    /// then leaves the queue, the policy's `on_aborted` hook runs (this is
+    /// where load control parks the thread), and the acquisition restarts from
+    /// scratch.  The call only returns once the lock is actually held.
+    fn lock_with<P: SpinPolicy + ?Sized>(&self, policy: &mut P) {
+        if self.try_fast_path() {
+            self.stats.record_acquire(false, 0);
+            policy.on_acquired(0);
+            return;
+        }
+        let mut total_spins: u64 = 0;
+        loop {
+            match self.wait_one_attempt(policy, &mut total_spins) {
+                Attempt::Acquired(ticket) => {
+                    self.owner_ticket.store(ticket, Ordering::Relaxed);
+                    self.stats.record_acquire(true, total_spins);
+                    policy.on_acquired(total_spins);
+                    return;
+                }
+                Attempt::Aborted => {
+                    self.stats.record_abort();
+                    policy.on_aborted();
+                    // Retry from scratch (fast path may now succeed).
+                    if self.try_fast_path() {
+                        self.stats.record_acquire(true, total_spins);
+                        policy.on_acquired(total_spins);
+                        return;
+                    }
+                }
+            }
+        }
+    }
+}
+
 unsafe impl RawLock for TimePublishedLock {
     fn new() -> Self {
         Self::with_config(TpConfig::default())
@@ -611,7 +623,13 @@ mod tests {
     #[test]
     fn pack_unpack_roundtrip() {
         for t in [0u64, 1, 4095, 4096, 1 << 40] {
-            for s in [STATE_EMPTY, STATE_WAITING, STATE_GRANTED, STATE_ABANDONED, STATE_SKIPPED] {
+            for s in [
+                STATE_EMPTY,
+                STATE_WAITING,
+                STATE_GRANTED,
+                STATE_ABANDONED,
+                STATE_SKIPPED,
+            ] {
                 assert_eq!(unpack(pack(t, s)), (t, s));
             }
         }

@@ -7,7 +7,7 @@
 //! backoff tuning trade-off the paper discusses in §2.2: long backoffs waste
 //! handoff latency, short ones waste CPU.
 
-use crate::raw::{RawLock, RawTryLock};
+use crate::raw::{AbortableLock, RawLock, RawTryLock, SpinDecision, SpinPolicy};
 use crate::spin_wait::Backoff;
 use std::hint;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -86,6 +86,39 @@ unsafe impl RawTryLock for TtasLock {
     #[inline]
     fn try_lock(&self) -> bool {
         !self.locked.load(Ordering::Relaxed) && !self.locked.swap(true, Ordering::Acquire)
+    }
+}
+
+unsafe impl AbortableLock for TtasLock {
+    /// Backoff locks have no wait queue, so an abort stops polling, runs the
+    /// policy's `on_aborted` hook, and restarts the attempt with the backoff
+    /// interval reset (a freshly returning waiter should probe promptly).
+    fn lock_with<P: SpinPolicy + ?Sized>(&self, policy: &mut P) {
+        if !self.locked.swap(true, Ordering::Acquire) {
+            policy.on_acquired(0);
+            return;
+        }
+        let mut spins = 0u64;
+        let mut backoff = Backoff::with_max_shift(self.max_backoff_shift);
+        loop {
+            // Test phase: read-only polling keeps the line shared.
+            while self.locked.load(Ordering::Relaxed) {
+                spins += 1;
+                match policy.on_spin(spins) {
+                    SpinDecision::Continue => hint::spin_loop(),
+                    SpinDecision::Abort => {
+                        policy.on_aborted();
+                        backoff.reset();
+                    }
+                }
+            }
+            // Test-and-set phase.
+            if !self.locked.swap(true, Ordering::Acquire) {
+                policy.on_acquired(spins);
+                return;
+            }
+            backoff.spin();
+        }
     }
 }
 

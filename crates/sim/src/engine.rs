@@ -86,6 +86,39 @@ impl LockPolicy {
             mean_sleep: 10 * crate::MILLIS,
         }
     }
+
+    /// The stable label of this policy, aligned with the lock-registry names
+    /// in `lc-locks` where a real implementation exists.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LockPolicy::SpinFifo => "mcs",
+            LockPolicy::SpinTimePublished => "tp-queue",
+            LockPolicy::Blocking => "blocking",
+            LockPolicy::Adaptive { .. } => "adaptive",
+            LockPolicy::LoadControlled => "load-control",
+            LockPolicy::LoadBackoff { .. } => "load-backoff",
+        }
+    }
+
+    /// Constructs the policy labelled `name` with its default parameters, or
+    /// `None` for an unknown label.
+    ///
+    /// Accepts every label produced by [`LockPolicy::name`], so experiment
+    /// configurations can select simulator policies and real lock backends
+    /// with the same strings.  `"ticket"` is accepted as an alias of the
+    /// strict-FIFO model (the simulator does not distinguish the two FIFO
+    /// spinlocks).
+    pub fn from_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "mcs" | "ticket" => LockPolicy::spin_fifo(),
+            "tp-queue" => LockPolicy::spin(),
+            "blocking" => LockPolicy::blocking(),
+            "adaptive" => LockPolicy::adaptive(),
+            "load-control" => LockPolicy::load_controlled(),
+            "load-backoff" => LockPolicy::load_backoff(),
+            _ => return None,
+        })
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -247,12 +280,7 @@ impl Simulation {
     ///
     /// `load_control_enabled = false` models a process that does not use the
     /// mechanism (the "other" process of Figure 12).
-    pub fn configure_group(
-        &mut self,
-        group: usize,
-        capacity: usize,
-        load_control_enabled: bool,
-    ) {
+    pub fn configure_group(&mut self, group: usize, capacity: usize, load_control_enabled: bool) {
         while self.groups.len() <= group {
             self.groups.push(Group {
                 capacity: self.config.load_control.capacity,
@@ -459,7 +487,10 @@ impl Simulation {
             self.reclassify_spinners(lock);
         }
         let generation = self.threads[t].cpu_gen;
-        self.push_event(self.threads[t].slice_end, EvKind::SliceExpire { t, generation });
+        self.push_event(
+            self.threads[t].slice_end,
+            EvKind::SliceExpire { t, generation },
+        );
         // The thread resumes what it was doing after the switch cost.
         let resume_at = self.now + switch;
         let th = &self.threads[t];
@@ -584,13 +615,7 @@ impl Simulation {
 
     /// Moves an on-CPU thread off CPU into a timed wait (I/O, think, block,
     /// park, backoff) and schedules its wake-up if `wake_at > 0`.
-    fn go_off_cpu_waiting(
-        &mut self,
-        t: usize,
-        state: TState,
-        micro: MicroState,
-        wake_at: SimTime,
-    ) {
+    fn go_off_cpu_waiting(&mut self, t: usize, state: TState, micro: MicroState, wake_at: SimTime) {
         self.vacate_cpu(t);
         self.set_micro(t, micro);
         let th = &mut self.threads[t];
@@ -608,7 +633,7 @@ impl Simulation {
     fn attempt_acquire(&mut self, t: usize, lock: LockId, hold: SimTime, start: SimTime) {
         let free_for_us = {
             let l = &self.locks[lock.0];
-            l.holder.is_none() && l.reserved_for.map_or(true, |r| r == t)
+            l.holder.is_none() && l.reserved_for.is_none_or(|r| r == t)
         };
         if free_for_us {
             let was_waiting = {
@@ -625,7 +650,11 @@ impl Simulation {
                     false
                 }
             };
-            let handoff = if was_waiting { self.config.spin_handoff } else { 0 };
+            let handoff = if was_waiting {
+                self.config.spin_handoff
+            } else {
+                0
+            };
             let th = &mut self.threads[t];
             th.holding = Some(lock);
             th.waiting_for = None;
@@ -704,7 +733,9 @@ impl Simulation {
     }
 
     fn backoff_sleep(&mut self, t: usize, mean_sleep: SimTime) {
-        let d = crate::program::Dist::Exponential(mean_sleep).sample(&mut self.rng).max(1);
+        let d = crate::program::Dist::Exponential(mean_sleep)
+            .sample(&mut self.rng)
+            .max(1);
         self.go_off_cpu_waiting(t, TState::BackoffSleep, MicroState::Parked, self.now + d);
     }
 
@@ -767,7 +798,7 @@ impl Simulation {
         // Re-attempt the acquisition: if the lock is free or reserved for us,
         // take it; otherwise fall back to the policy's waiting behaviour.
         let l = &self.locks[lock.0];
-        let can_take = l.holder.is_none() && l.reserved_for.map_or(true, |r| r == t);
+        let can_take = l.holder.is_none() && l.reserved_for.is_none_or(|r| r == t);
         if can_take {
             // Remove ourselves from the waiters before re-acquiring.
             self.attempt_acquire(t, lock, hold, start);
@@ -834,10 +865,9 @@ impl Simulation {
             LockPolicy::Adaptive { .. } => {
                 let spinner = {
                     let l = &self.locks[lock.0];
-                    l.waiters
-                        .iter()
-                        .copied()
-                        .find(|&w| self.threads[w].on_cpu && self.threads[w].state == TState::Spinning)
+                    l.waiters.iter().copied().find(|&w| {
+                        self.threads[w].on_cpu && self.threads[w].state == TState::Spinning
+                    })
                 };
                 if let Some(w) = spinner {
                     self.locks[lock.0].reserved_for = Some(w);
@@ -911,12 +941,7 @@ impl Simulation {
                         && matches!(th.state, TState::Spinning | TState::SpinPreempted)
                         && th
                             .waiting_for
-                            .map(|l| {
-                                matches!(
-                                    self.locks[l.0].policy,
-                                    LockPolicy::LoadControlled
-                                )
-                            })
+                            .map(|l| matches!(self.locks[l.0].policy, LockPolicy::LoadControlled))
                             .unwrap_or(false)
                 })
                 .collect();
@@ -1142,7 +1167,9 @@ mod tests {
     fn compute_only_mix(ns: u64) -> TransactionMix {
         TransactionMix::single(TransactionSpec::new(
             "compute",
-            vec![Step::Compute { ns: Dist::Const(ns) }],
+            vec![Step::Compute {
+                ns: Dist::Const(ns),
+            }],
         ))
     }
 
@@ -1150,8 +1177,13 @@ mod tests {
         TransactionMix::single(TransactionSpec::new(
             "locked",
             vec![
-                Step::Critical { lock, hold: Dist::Const(hold) },
-                Step::Compute { ns: Dist::Const(delay) },
+                Step::Critical {
+                    lock,
+                    hold: Dist::Const(hold),
+                },
+                Step::Compute {
+                    ns: Dist::Const(delay),
+                },
             ],
         ))
     }
@@ -1162,10 +1194,36 @@ mod tests {
         sim.spawn(&compute_only_mix(10 * MICROS));
         let report = sim.run();
         // 10 ms / 10 µs = ~1000 transactions (minus the initial dispatch cost).
-        assert!(report.transactions >= 950 && report.transactions <= 1_000,
-            "got {}", report.transactions);
+        assert!(
+            report.transactions >= 950 && report.transactions <= 1_000,
+            "got {}",
+            report.transactions
+        );
         assert_eq!(report.threads, 1);
         assert!(report.micro_ns[MicroState::Work as usize] > 9 * MILLIS);
+    }
+
+    #[test]
+    fn policy_names_round_trip_through_from_name() {
+        let policies = [
+            LockPolicy::spin_fifo(),
+            LockPolicy::spin(),
+            LockPolicy::blocking(),
+            LockPolicy::adaptive(),
+            LockPolicy::load_controlled(),
+            LockPolicy::load_backoff(),
+        ];
+        for policy in policies {
+            let rebuilt = LockPolicy::from_name(policy.name())
+                .unwrap_or_else(|| panic!("{} must be constructible by name", policy.name()));
+            assert_eq!(rebuilt, policy);
+        }
+        // The real ticket lock maps onto the simulator's FIFO-spin model.
+        assert_eq!(
+            LockPolicy::from_name("ticket"),
+            Some(LockPolicy::spin_fifo())
+        );
+        assert_eq!(LockPolicy::from_name("no-such-policy"), None);
     }
 
     #[test]
@@ -1199,7 +1257,11 @@ mod tests {
         let mut sim = Simulation::new(SimConfig::new(2).with_duration_ms(100));
         sim.spawn_n(6, &compute_only_mix(30 * MILLIS));
         let report = sim.run();
-        assert!(report.context_switches > 4, "switches: {}", report.context_switches);
+        assert!(
+            report.context_switches > 4,
+            "switches: {}",
+            report.context_switches
+        );
         assert!(report.micro_ns[MicroState::RunQueue as usize] > 0);
     }
 
@@ -1224,7 +1286,7 @@ mod tests {
         // behind them.
         let mut sim = Simulation::new(SimConfig::new(4).with_duration_ms(300));
         let lock = sim.add_lock(LockPolicy::spin_fifo());
-        sim.spawn_n(12, &lock_mix(lock, 2 * MILLIS, 1 * MILLIS));
+        sim.spawn_n(12, &lock_mix(lock, 2 * MILLIS, MILLIS));
         let report = sim.run();
         assert!(report.preempted_holders > 0);
         assert!(report.micro_ns[MicroState::SpinPreempted as usize] > 0);
@@ -1243,9 +1305,7 @@ mod tests {
 
     #[test]
     fn load_control_parks_threads_under_overload() {
-        let mut sim = Simulation::new(
-            SimConfig::new(4).with_duration_ms(200).with_lc_capacity(4),
-        );
+        let mut sim = Simulation::new(SimConfig::new(4).with_duration_ms(200).with_lc_capacity(4));
         let lock = sim.add_lock(LockPolicy::load_controlled());
         sim.spawn_n(12, &lock_mix(lock, 5 * MICROS, 10 * MICROS));
         let report = sim.run();
@@ -1283,10 +1343,18 @@ mod tests {
         sim.spawn_n(8, &lock_mix(lock, 2 * MICROS, 5 * MICROS));
         let report = sim.run();
         // At some point threads were parked, and by the end they were woken.
-        let max_parked = report.parked_timeline.iter().map(|(_, p)| *p).max().unwrap_or(0);
+        let max_parked = report
+            .parked_timeline
+            .iter()
+            .map(|(_, p)| *p)
+            .max()
+            .unwrap_or(0);
         assert!(max_parked > 0, "the manual target never parked anyone");
         let final_parked = report.parked_timeline.last().map(|(_, p)| *p).unwrap_or(0);
-        assert_eq!(final_parked, 0, "everyone should be awake after the target drops");
+        assert_eq!(
+            final_parked, 0,
+            "everyone should be awake after the target drops"
+        );
     }
 
     #[test]
@@ -1294,9 +1362,15 @@ mod tests {
         let mix = TransactionMix::single(TransactionSpec::new(
             "io",
             vec![
-                Step::Compute { ns: Dist::Const(5 * MICROS) },
-                Step::Io { ns: Dist::Const(1 * MILLIS) },
-                Step::Think { ns: Dist::Const(2 * MILLIS) },
+                Step::Compute {
+                    ns: Dist::Const(5 * MICROS),
+                },
+                Step::Io {
+                    ns: Dist::Const(MILLIS),
+                },
+                Step::Think {
+                    ns: Dist::Const(2 * MILLIS),
+                },
             ],
         ));
         let mut sim = Simulation::new(SimConfig::new(4).with_duration_ms(100));

@@ -1,14 +1,13 @@
 //! Simulation results: microstate breakdowns, timelines and summary reports.
 
 use crate::SimTime;
-use serde::Serialize;
 
 /// The accounting categories tracked per simulated thread.
 ///
 /// These mirror the classifications the paper's instrumentation uses:
 /// Figure 3 plots `Work`, `SpinContention` and `SpinPreempted` (priority
 /// inversion); the blocking figures rely on `Blocked` and `Switch`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(usize)]
 pub enum MicroState {
     /// On a CPU doing useful work (including inside critical sections).
@@ -66,7 +65,7 @@ impl MicroState {
 }
 
 /// Per-thread results.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ThreadReport {
     /// Thread index.
     pub thread: usize,
@@ -86,7 +85,7 @@ impl ThreadReport {
 }
 
 /// Per-lock results.
-#[derive(Debug, Clone, Copy, Default, Serialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct LockReport {
     /// Total acquisitions.
     pub acquisitions: u64,
@@ -100,7 +99,7 @@ pub struct LockReport {
 }
 
 /// The complete result of one simulation run.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SimReport {
     /// Simulated duration in nanoseconds.
     pub duration_ns: SimTime,
@@ -182,7 +181,10 @@ impl SimReport {
         if self.load_timeline.is_empty() {
             return 0.0;
         }
-        self.load_timeline.iter().map(|(_, n)| *n as f64).sum::<f64>()
+        self.load_timeline
+            .iter()
+            .map(|(_, n)| *n as f64)
+            .sum::<f64>()
             / self.load_timeline.len() as f64
     }
 

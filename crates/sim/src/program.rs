@@ -147,7 +147,10 @@ impl TransactionMix {
     ///
     /// Panics if `transactions` is empty.
     pub fn new(transactions: Vec<TransactionSpec>) -> Self {
-        assert!(!transactions.is_empty(), "a mix needs at least one transaction");
+        assert!(
+            !transactions.is_empty(),
+            "a mix needs at least one transaction"
+        );
         Self { transactions }
     }
 
@@ -218,10 +221,19 @@ mod tests {
         let spec = TransactionSpec::new(
             "t",
             vec![
-                Step::Compute { ns: Dist::Const(100) },
-                Step::Critical { lock: LockId(0), hold: Dist::Const(50) },
-                Step::Io { ns: Dist::Const(1_000_000) },
-                Step::Think { ns: Dist::Const(1_000_000) },
+                Step::Compute {
+                    ns: Dist::Const(100),
+                },
+                Step::Critical {
+                    lock: LockId(0),
+                    hold: Dist::Const(50),
+                },
+                Step::Io {
+                    ns: Dist::Const(1_000_000),
+                },
+                Step::Think {
+                    ns: Dist::Const(1_000_000),
+                },
             ],
         );
         assert_eq!(spec.mean_service_ns(), 150.0);
@@ -239,8 +251,16 @@ mod tests {
         for _ in 0..10_000 {
             counts[mix.draw(&mut r)] += 1;
         }
-        assert!(counts[0] > 8_000, "heavy transaction drawn {} times", counts[0]);
-        assert!(counts[1] > 500, "light transaction drawn {} times", counts[1]);
+        assert!(
+            counts[0] > 8_000,
+            "heavy transaction drawn {} times",
+            counts[0]
+        );
+        assert!(
+            counts[1] > 500,
+            "light transaction drawn {} times",
+            counts[1]
+        );
     }
 
     #[test]

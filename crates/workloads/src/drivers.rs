@@ -5,7 +5,11 @@
 //! criterion benches, the examples and the integration tests.
 
 use lc_core::{LcMutex, LoadControl};
-use lc_locks::{Mutex, RawLock};
+use lc_locks::registry::DynMutex;
+use lc_locks::{
+    AbortableLock, McsLock, Mutex, RawLock, SpinThenYieldLock, TasLock, TicketLock,
+    TimePublishedLock, TtasLock,
+};
 use std::hint;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -81,10 +85,43 @@ where
     })
 }
 
+/// Runs the microbenchmark over the lock registered under `name` in
+/// [`lc_locks::registry`], or `None` for an unknown name.
+///
+/// This is how the benches sweep every family in
+/// [`lc_locks::ALL_LOCK_NAMES`] without enumerating concrete types.
+pub fn run_microbench_named(name: &str, config: MicrobenchConfig) -> Option<MicrobenchResult> {
+    let mutex = Arc::new(DynMutex::build(name, 0u64)?);
+    Some(run_with(config, move |cfg| {
+        let m = Arc::clone(&mutex);
+        move || {
+            {
+                let mut g = m.lock();
+                *g += 1;
+                busy_work(cfg.critical_iters);
+            }
+            busy_work(cfg.delay_iters);
+        }
+    }))
+}
+
 /// Runs the microbenchmark over the load-controlled mutex attached to
-/// `control`.
+/// `control`, using the paper's default time-published backend.
 pub fn run_microbench_lc(config: MicrobenchConfig, control: &Arc<LoadControl>) -> MicrobenchResult {
-    let mutex = Arc::new(LcMutex::new_with(0u64, control));
+    run_microbench_lc_backend::<TimePublishedLock>(config, control)
+}
+
+/// Runs the microbenchmark over a load-controlled mutex built on any
+/// abortable backend — the composability the redesigned acquisition API
+/// exists for.
+pub fn run_microbench_lc_backend<R>(
+    config: MicrobenchConfig,
+    control: &Arc<LoadControl>,
+) -> MicrobenchResult
+where
+    R: AbortableLock + 'static,
+{
+    let mutex = Arc::new(LcMutex::<u64, R>::new_with(0, control));
     let control = Arc::clone(control);
     run_with(config, move |cfg| {
         let m = Arc::clone(&mutex);
@@ -98,6 +135,29 @@ pub fn run_microbench_lc(config: MicrobenchConfig, control: &Arc<LoadControl>) -
             }
             busy_work(cfg.delay_iters);
         }
+    })
+}
+
+/// Runs the load-controlled microbenchmark over the abortable backend named
+/// `name` (see [`lc_locks::ABORTABLE_LOCK_NAMES`]), or `None` for a name that
+/// is unknown or not abortable.
+///
+/// This is the one place where registry names meet the generic
+/// [`LcMutex<T, R>`]: everything downstream (benches, sweeps, figure
+/// drivers) selects load-controlled backends by name.
+pub fn run_microbench_lc_named(
+    name: &str,
+    config: MicrobenchConfig,
+    control: &Arc<LoadControl>,
+) -> Option<MicrobenchResult> {
+    Some(match name {
+        "tas" => run_microbench_lc_backend::<TasLock>(config, control),
+        "ttas-backoff" => run_microbench_lc_backend::<TtasLock>(config, control),
+        "ticket" => run_microbench_lc_backend::<TicketLock>(config, control),
+        "mcs" => run_microbench_lc_backend::<McsLock>(config, control),
+        "tp-queue" => run_microbench_lc_backend::<TimePublishedLock>(config, control),
+        "spin-then-yield" => run_microbench_lc_backend::<SpinThenYieldLock>(config, control),
+        _ => return None,
     })
 }
 
@@ -172,6 +232,51 @@ mod tests {
                 .with_sleep_timeout(Duration::from_millis(5)),
         );
         let r = run_microbench_lc(quick(), &control);
+        control.stop_controller();
+        assert!(r.acquisitions > 100, "only {} acquisitions", r.acquisitions);
+    }
+
+    #[test]
+    fn named_microbench_covers_the_registry() {
+        for name in ["ticket", "mcs"] {
+            let r = run_microbench_named(name, quick()).expect("registered lock");
+            assert!(
+                r.acquisitions > 100,
+                "{name}: only {} acquisitions",
+                r.acquisitions
+            );
+        }
+        assert!(run_microbench_named("no-such-lock", quick()).is_none());
+    }
+
+    #[test]
+    fn lc_named_dispatch_covers_every_abortable_backend() {
+        // The one hand-written name->type match must not drift from the
+        // advertised abortable-name list.
+        let control = LoadControl::new(lc_core::LoadControlConfig::for_capacity(8));
+        let tiny = MicrobenchConfig {
+            threads: 2,
+            critical_iters: 5,
+            delay_iters: 20,
+            duration: Duration::from_millis(10),
+        };
+        for &name in lc_locks::ABORTABLE_LOCK_NAMES {
+            let r = run_microbench_lc_named(name, tiny, &control)
+                .unwrap_or_else(|| panic!("{name} missing from the LC dispatch"));
+            assert!(r.acquisitions > 0, "{name}: no progress");
+        }
+        assert!(run_microbench_lc_named("blocking", tiny, &control).is_none());
+        assert!(run_microbench_lc_named("bogus", tiny, &control).is_none());
+    }
+
+    #[test]
+    fn lc_microbench_runs_over_a_non_default_backend() {
+        let control = LoadControl::start(
+            LoadControlConfig::for_capacity(2)
+                .with_update_interval(Duration::from_millis(1))
+                .with_sleep_timeout(Duration::from_millis(5)),
+        );
+        let r = run_microbench_lc_backend::<lc_locks::McsLock>(quick(), &control);
         control.stop_controller();
         assert!(r.acquisitions > 100, "only {} acquisitions", r.acquisitions);
     }

@@ -7,7 +7,9 @@
 //! modeled the same way for every policy, exactly as in the paper where only
 //! the mutex implementation is swapped.
 
-use lc_sim::{Dist, LockId, LockPolicy, Simulation, Step, TransactionMix, TransactionSpec, MICROS, MILLIS};
+use lc_sim::{
+    Dist, LockId, LockPolicy, Simulation, Step, TransactionMix, TransactionSpec, MICROS, MILLIS,
+};
 
 /// Which application to model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -123,14 +125,14 @@ pub fn raytrace(sim: &mut Simulation, policy: LockPolicy) -> AppScenario {
             // A couple of allocator calls while building the result.
             Step::Critical {
                 lock: allocator,
-                hold: Dist::Uniform(1 * MICROS, 4 * MICROS),
+                hold: Dist::Uniform(MICROS, 4 * MICROS),
             },
             Step::Compute {
                 ns: Dist::Exponential(60 * MICROS),
             },
             Step::Critical {
                 lock: allocator,
-                hold: Dist::Uniform(1 * MICROS, 4 * MICROS),
+                hold: Dist::Uniform(MICROS, 4 * MICROS),
             },
         ],
     ));
@@ -163,18 +165,28 @@ pub fn tm1(sim: &mut Simulation, policy: LockPolicy) -> AppScenario {
     // makes 64 clients = 100% load in the paper's figures).
     let read_body = vec![
         short_latch(latch_lockmgr),
-        Step::Compute { ns: Dist::Uniform(60 * MICROS, 140 * MICROS) },
+        Step::Compute {
+            ns: Dist::Uniform(60 * MICROS, 140 * MICROS),
+        },
         short_latch(latch_index),
-        Step::Compute { ns: Dist::Uniform(80 * MICROS, 180 * MICROS) },
+        Step::Compute {
+            ns: Dist::Uniform(80 * MICROS, 180 * MICROS),
+        },
         short_latch(latch_buffer),
-        Step::Compute { ns: Dist::Uniform(40 * MICROS, 100 * MICROS) },
+        Step::Compute {
+            ns: Dist::Uniform(40 * MICROS, 100 * MICROS),
+        },
     ];
     let mut update_body = read_body.clone();
     update_body.push(short_latch(latch_log));
-    update_body.push(Step::Compute { ns: Dist::Uniform(40 * MICROS, 100 * MICROS) });
+    update_body.push(Step::Compute {
+        ns: Dist::Uniform(40 * MICROS, 100 * MICROS),
+    });
     // Log commit: asynchronous group commit absorbs most of the latency, so
     // only a short I/O lands on the transaction itself.
-    update_body.push(Step::Io { ns: Dist::Exponential(150 * MICROS) });
+    update_body.push(Step::Io {
+        ns: Dist::Exponential(150 * MICROS),
+    });
 
     // The TATP mix: 80 % read transactions, 20 % updates (weights follow the
     // benchmark's 35/10/35/2/14/2/2 split collapsed into read vs update).
@@ -219,43 +231,66 @@ pub fn tpcc(sim: &mut Simulation, policy: LockPolicy) -> AppScenario {
     // The paper forces every "disk request" to take at least 6 ms; group
     // commit lets transactions share log writes, so the per-transaction
     // commit wait is modeled as 2 ms.
-    let commit_io = Step::Io { ns: Dist::Const(2 * MILLIS) };
+    let commit_io = Step::Io {
+        ns: Dist::Const(2 * MILLIS),
+    };
 
     let new_order = vec![
         latch(latch_lockmgr),
-        Step::Critical { lock: lock_district, hold: Dist::Uniform(60 * MICROS, 180 * MICROS) },
-        Step::Compute { ns: Dist::Uniform(300 * MICROS, 700 * MICROS) },
+        Step::Critical {
+            lock: lock_district,
+            hold: Dist::Uniform(60 * MICROS, 180 * MICROS),
+        },
+        Step::Compute {
+            ns: Dist::Uniform(300 * MICROS, 700 * MICROS),
+        },
         latch(latch_buffer),
-        Step::Compute { ns: Dist::Uniform(150 * MICROS, 400 * MICROS) },
+        Step::Compute {
+            ns: Dist::Uniform(150 * MICROS, 400 * MICROS),
+        },
         latch(latch_log),
         commit_io,
     ];
     let payment = vec![
         latch(latch_lockmgr),
-        Step::Critical { lock: lock_warehouse, hold: Dist::Uniform(40 * MICROS, 120 * MICROS) },
-        Step::Compute { ns: Dist::Uniform(200 * MICROS, 500 * MICROS) },
+        Step::Critical {
+            lock: lock_warehouse,
+            hold: Dist::Uniform(40 * MICROS, 120 * MICROS),
+        },
+        Step::Compute {
+            ns: Dist::Uniform(200 * MICROS, 500 * MICROS),
+        },
         latch(latch_buffer),
         latch(latch_log),
         commit_io,
     ];
     let order_status = vec![
         latch(latch_lockmgr),
-        Step::Compute { ns: Dist::Uniform(200 * MICROS, 600 * MICROS) },
+        Step::Compute {
+            ns: Dist::Uniform(200 * MICROS, 600 * MICROS),
+        },
         latch(latch_buffer),
     ];
     let delivery = vec![
         latch(latch_lockmgr),
         // Delivery is the badly-behaved transaction: it holds the district
         // lock for a long time (paper §5.4).
-        Step::Critical { lock: lock_district, hold: Dist::Uniform(1 * MILLIS, 3 * MILLIS) },
-        Step::Compute { ns: Dist::Uniform(500 * MICROS, 1_200 * MICROS) },
+        Step::Critical {
+            lock: lock_district,
+            hold: Dist::Uniform(MILLIS, 3 * MILLIS),
+        },
+        Step::Compute {
+            ns: Dist::Uniform(500 * MICROS, 1_200 * MICROS),
+        },
         latch(latch_buffer),
         latch(latch_log),
         commit_io,
     ];
     let stock_level = vec![
         latch(latch_lockmgr),
-        Step::Compute { ns: Dist::Uniform(800 * MICROS, 2_000 * MICROS) },
+        Step::Compute {
+            ns: Dist::Uniform(800 * MICROS, 2_000 * MICROS),
+        },
         latch(latch_buffer),
     ];
 
@@ -278,10 +313,7 @@ pub fn tpcc(sim: &mut Simulation, policy: LockPolicy) -> AppScenario {
 /// it makes TPC-C behave like TM-1).
 pub fn tpcc_without_delivery(sim: &mut Simulation, policy: LockPolicy) -> AppScenario {
     let mut scenario = tpcc(sim, policy);
-    scenario
-        .mix
-        .transactions
-        .retain(|t| t.name != "delivery");
+    scenario.mix.transactions.retain(|t| t.name != "delivery");
     scenario
 }
 
@@ -334,9 +366,14 @@ mod tests {
         let s = tpcc(&mut sim, LockPolicy::spin());
         assert_eq!(s.mix.transactions.len(), 5);
         assert_eq!(s.db_locks.len(), 2);
-        let without = tpcc_without_delivery(&mut Simulation::new(SimConfig::new(4)), LockPolicy::spin());
+        let without =
+            tpcc_without_delivery(&mut Simulation::new(SimConfig::new(4)), LockPolicy::spin());
         assert_eq!(without.mix.transactions.len(), 4);
-        assert!(without.mix.transactions.iter().all(|t| t.name != "delivery"));
+        assert!(without
+            .mix
+            .transactions
+            .iter()
+            .all(|t| t.name != "delivery"));
     }
 
     #[test]

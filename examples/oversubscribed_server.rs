@@ -13,8 +13,7 @@
 //! ```
 
 use lc_core::{LoadControl, LoadControlConfig};
-use lc_locks::{AdaptiveLock, BlockingLock, TicketLock, TimePublishedLock};
-use lc_workloads::drivers::{run_microbench, run_microbench_lc, MicrobenchConfig};
+use lc_workloads::drivers::{run_microbench_lc, run_microbench_named, MicrobenchConfig};
 use std::time::Duration;
 
 fn main() {
@@ -34,33 +33,31 @@ fn main() {
     println!();
     println!("{:<18} {:>16} {:>12}", "mutex", "requests/sec", "vs best");
 
-    let mut results: Vec<(&str, f64)> = Vec::new();
-
-    results.push(("ticket (spin)", run_microbench::<TicketLock>(config).throughput()));
-    results.push((
-        "tp-queue (spin)",
-        run_microbench::<TimePublishedLock>(config).throughput(),
-    ));
-    results.push(("blocking", run_microbench::<BlockingLock>(config).throughput()));
-    results.push(("adaptive", run_microbench::<AdaptiveLock>(config).throughput()));
+    // Every comparison lock is constructed by name from the registry, so
+    // adding a family there adds it to this table.
+    let mut results: Vec<(&str, f64)> = ["ticket", "tp-queue", "blocking", "adaptive"]
+        .into_iter()
+        .map(|name| {
+            let result = run_microbench_named(name, config).expect("registered lock");
+            (name, result.throughput())
+        })
+        .collect();
 
     let control = LoadControl::start(
         LoadControlConfig::for_capacity(host_cores)
             .with_update_interval(Duration::from_millis(3))
             .with_sleep_timeout(Duration::from_millis(50)),
     );
-    results.push(("load-control", run_microbench_lc(config, &control).throughput()));
+    results.push((
+        "load-control",
+        run_microbench_lc(config, &control).throughput(),
+    ));
     let lc_stats = control.buffer().stats();
     control.stop_controller();
 
     let best = results.iter().map(|(_, v)| *v).fold(f64::MIN, f64::max);
     for (name, tput) in &results {
-        println!(
-            "{:<18} {:>16.0} {:>11.0}%",
-            name,
-            tput,
-            tput / best * 100.0
-        );
+        println!("{:<18} {:>16.0} {:>11.0}%", name, tput, tput / best * 100.0);
     }
     println!();
     println!(

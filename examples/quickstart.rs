@@ -26,7 +26,7 @@ fn main() {
             .with_update_interval(Duration::from_millis(2))
             .with_sleep_timeout(Duration::from_millis(20)),
     );
-    let counter = Arc::new(LcMutex::new_with(0u64, &control));
+    let counter = Arc::new(LcMutex::<u64>::new_with(0, &control));
 
     println!("spawning {workers} workers on a {capacity}-context budget...");
     let mut handles = Vec::new();
@@ -56,7 +56,10 @@ fn main() {
     println!("final counter        : {}", *counter.lock());
     println!("expected             : {}", workers as u64 * iterations);
     println!("controller cycles    : {}", stats.cycles);
-    println!("last measured load   : {} runnable threads", stats.last_runnable);
+    println!(
+        "last measured load   : {} runnable threads",
+        stats.last_runnable
+    );
     println!("threads put to sleep : {}", buffer.ever_slept);
     println!("woken by controller  : {}", buffer.controller_wakes);
     assert_eq!(*counter.lock(), workers as u64 * iterations);

@@ -1,53 +1,50 @@
-//! Property-based tests of the suite's core data structures and invariants.
+//! Property-style tests of the suite's core data structures and invariants.
+//!
+//! The container has no registry access, so instead of the `proptest` crate
+//! these run each property over many seeded-random cases drawn from the
+//! vendored [`rand`] shim.  Failures print the offending seed/case so a run
+//! can be reproduced exactly.
 
-use lc_core::slots::{ClaimOutcome, SleepSlotBuffer};
+use lc_core::slots::{ClaimOutcome, SleepSlotBuffer, SleeperId};
 use lc_core::LoadControlConfig;
 use lc_locks::Parker;
 use lc_sim::{Dist, SimConfig, Simulation, Step, TransactionMix, TransactionSpec};
-use load_control_suite::accounting::{Transition, TransitionTrace, ThreadState};
-use proptest::prelude::*;
+use load_control_suite::accounting::{ThreadState, Transition, TransitionTrace};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::sync::Arc;
+
+/// Runs `body` for `cases` seeded cases, labelling failures with the seed.
+fn for_each_seed(cases: u64, body: impl Fn(u64, &mut StdRng)) {
+    for case in 0..cases {
+        let seed = 0xdeca_f000 + case;
+        let mut rng = StdRng::seed_from_u64(seed);
+        body(seed, &mut rng);
+    }
+}
 
 // ---------------------------------------------------------------------------
 // Sleep slot buffer: S/W bookkeeping never goes out of balance.
 // ---------------------------------------------------------------------------
 
-#[derive(Debug, Clone)]
-enum SlotOp {
-    SetTarget(u64),
-    Claim(usize),
-    LeaveOldest,
-    WakeAll,
-}
-
-fn slot_op_strategy() -> impl Strategy<Value = SlotOp> {
-    prop_oneof![
-        (0u64..12).prop_map(SlotOp::SetTarget),
-        (0usize..8).prop_map(SlotOp::Claim),
-        Just(SlotOp::LeaveOldest),
-        Just(SlotOp::WakeAll),
-    ]
-}
-
-proptest! {
-    #[test]
-    fn slot_buffer_claims_and_departures_always_balance(
-        ops in proptest::collection::vec(slot_op_strategy(), 1..200)
-    ) {
+#[test]
+fn slot_buffer_claims_and_departures_always_balance() {
+    for_each_seed(64, |seed, rng| {
         let buf = SleepSlotBuffer::new(16);
         let sleepers: Vec<_> = (0..8)
             .map(|_| buf.register_sleeper(Arc::new(Parker::new())))
             .collect();
         // (slot index, sleeper) pairs with an outstanding claim.
-        let mut outstanding: Vec<(usize, lc_core::slots::SleeperId)> = Vec::new();
+        let mut outstanding: Vec<(usize, SleeperId)> = Vec::new();
 
-        for op in ops {
-            match op {
-                SlotOp::SetTarget(t) => {
-                    buf.set_target(t);
+        let ops = rng.random_range(1usize..200);
+        for op in 0..ops {
+            match rng.random_range(0u32..4) {
+                0 => {
+                    buf.set_target(rng.random_range(0u64..12));
                 }
-                SlotOp::Claim(i) => {
-                    let id = sleepers[i];
+                1 => {
+                    let id = sleepers[rng.random_range(0usize..sleepers.len())];
                     // A sleeper may only have one outstanding claim at a time.
                     if outstanding.iter().any(|(_, s)| *s == id) {
                         continue;
@@ -56,118 +53,127 @@ proptest! {
                         outstanding.push((idx, id));
                     }
                 }
-                SlotOp::LeaveOldest => {
+                2 => {
                     if !outstanding.is_empty() {
                         let (idx, id) = outstanding.remove(0);
                         buf.leave(idx, id);
                     }
                 }
-                SlotOp::WakeAll => {
+                _ => {
                     buf.wake_all();
                 }
             }
             // Invariant: S - W equals the number of outstanding claims.
-            prop_assert_eq!(buf.sleepers(), outstanding.len() as u64);
+            assert_eq!(
+                buf.sleepers(),
+                outstanding.len() as u64,
+                "seed {seed} op {op}: sleeper count diverged from claims"
+            );
             // Invariant: the target never exceeds the buffer capacity.
-            prop_assert!(buf.target() <= buf.capacity() as u64);
+            assert!(buf.target() <= buf.capacity() as u64, "seed {seed} op {op}");
         }
         // Drain and re-check final balance.
         for (idx, id) in outstanding.drain(..) {
             buf.leave(idx, id);
         }
         let stats = buf.stats();
-        prop_assert_eq!(stats.ever_slept, stats.woken_and_left);
-    }
+        assert_eq!(stats.ever_slept, stats.woken_and_left, "seed {seed}");
+    });
 }
 
 // ---------------------------------------------------------------------------
 // Load-control configuration arithmetic.
 // ---------------------------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn target_for_load_is_consistent(capacity in 1usize..256, load in 0usize..1024, headroom in 0usize..32) {
+#[test]
+fn target_for_load_is_consistent() {
+    for_each_seed(512, |seed, rng| {
+        let capacity = rng.random_range(1usize..256);
+        let load = rng.random_range(0usize..1024);
+        let headroom = rng.random_range(0usize..32);
         let cfg = LoadControlConfig::for_capacity(capacity).with_overload_headroom(headroom);
         let target = cfg.target_for_load(load);
         // Never more than the excess over capacity, never negative, capped.
-        prop_assert!(target <= load.saturating_sub(capacity));
-        prop_assert!(target <= cfg.max_sleepers);
+        assert!(target <= load.saturating_sub(capacity), "seed {seed}");
+        assert!(target <= cfg.max_sleepers, "seed {seed}");
         if load <= capacity + headroom {
-            prop_assert_eq!(target, 0);
+            assert_eq!(target, 0, "seed {seed}");
         }
-    }
+    });
 }
 
 // ---------------------------------------------------------------------------
 // Simulator distributions and transaction mixes.
 // ---------------------------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn uniform_samples_stay_in_bounds(lo in 0u64..10_000, width in 0u64..10_000, seed in any::<u64>()) {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let hi = lo + width;
+#[test]
+fn uniform_samples_stay_in_bounds() {
+    for_each_seed(128, |seed, rng| {
+        let lo = rng.random_range(0u64..10_000);
+        let hi = lo + rng.random_range(0u64..10_000);
         for _ in 0..50 {
-            let v = Dist::Uniform(lo, hi).sample(&mut rng);
-            prop_assert!(v >= lo && v <= hi);
+            let v = Dist::Uniform(lo, hi).sample(rng);
+            assert!(v >= lo && v <= hi, "seed {seed}: {v} outside {lo}..={hi}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn exponential_samples_are_bounded_by_twenty_means(mean in 1u64..1_000_000, seed in any::<u64>()) {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+#[test]
+fn exponential_samples_are_bounded_by_twenty_means() {
+    for_each_seed(128, |seed, rng| {
+        let mean = rng.random_range(1u64..1_000_000);
         for _ in 0..50 {
-            let v = Dist::Exponential(mean).sample(&mut rng);
-            prop_assert!(v <= mean.saturating_mul(20));
+            let v = Dist::Exponential(mean).sample(rng);
+            assert!(v <= mean.saturating_mul(20), "seed {seed}: {v} > 20×{mean}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn mix_draw_always_returns_a_valid_index(
-        weights in proptest::collection::vec(1u32..100, 1..8),
-        seed in any::<u64>()
-    ) {
-        use rand::SeedableRng;
+#[test]
+fn mix_draw_always_returns_a_valid_index() {
+    for_each_seed(128, |seed, rng| {
+        let count = rng.random_range(1usize..8);
         let mix = TransactionMix::new(
-            weights
-                .iter()
-                .map(|w| TransactionSpec::new("t", vec![]).with_weight(*w))
+            (0..count)
+                .map(|_| TransactionSpec::new("t", vec![]).with_weight(rng.random_range(1u32..100)))
                 .collect(),
         );
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         for _ in 0..100 {
-            let i = mix.draw(&mut rng);
-            prop_assert!(i < mix.transactions.len());
+            let i = mix.draw(rng);
+            assert!(i < mix.transactions.len(), "seed {seed}");
         }
-    }
+    });
 }
 
 // ---------------------------------------------------------------------------
 // Simulator conservation laws on small random scenarios.
 // ---------------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-    #[test]
-    fn simulation_accounting_conserves_time(
-        contexts in 1usize..6,
-        threads in 1usize..10,
-        compute_us in 1u64..200,
-        hold_us in 1u64..50,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn simulation_accounting_conserves_time() {
+    for_each_seed(16, |seed, rng| {
+        let contexts = rng.random_range(1usize..6);
+        let threads = rng.random_range(1usize..10);
+        let compute_us = rng.random_range(1u64..200);
+        let hold_us = rng.random_range(1u64..50);
+
         let duration_ms = 20u64;
         let mut sim = Simulation::new(
-            SimConfig::new(contexts).with_duration_ms(duration_ms).with_seed(seed),
+            SimConfig::new(contexts)
+                .with_duration_ms(duration_ms)
+                .with_seed(seed),
         );
         let lock = sim.add_lock(lc_sim::LockPolicy::spin());
         let mix = TransactionMix::single(TransactionSpec::new(
             "random",
             vec![
-                Step::Critical { lock, hold: Dist::Const(hold_us * 1_000) },
-                Step::Compute { ns: Dist::Const(compute_us * 1_000) },
+                Step::Critical {
+                    lock,
+                    hold: Dist::Const(hold_us * 1_000),
+                },
+                Step::Compute {
+                    ns: Dist::Const(compute_us * 1_000),
+                },
             ],
         ));
         sim.spawn_n(threads, &mix);
@@ -177,31 +183,37 @@ proptest! {
         for t in &report.per_thread {
             let total: u64 = t.micro_ns.iter().sum();
             let dur = report.duration_ns;
-            prop_assert!(
+            assert!(
                 total <= dur + 1_000 && total + 1_000 >= dur,
-                "thread {} accounted {} of {} ns", t.thread, total, dur
+                "seed {seed}: thread {} accounted {} of {} ns",
+                t.thread,
+                total,
+                dur
             );
         }
         // Transactions are conserved across the per-thread/per-group splits.
         let sum_threads: u64 = report.per_thread.iter().map(|t| t.transactions).sum();
-        prop_assert_eq!(sum_threads, report.transactions);
+        assert_eq!(sum_threads, report.transactions, "seed {seed}");
         let sum_groups: u64 = report.transactions_by_group.iter().sum();
-        prop_assert_eq!(sum_groups, report.transactions);
-        // Lock acquisitions can never exceed completed critical sections + threads in flight.
-        prop_assert!(report.per_lock[0].acquisitions >= report.transactions);
-    }
+        assert_eq!(sum_groups, report.transactions, "seed {seed}");
+        // Lock acquisitions can never exceed completed critical sections +
+        // threads in flight.
+        assert!(
+            report.per_lock[0].acquisitions >= report.transactions,
+            "seed {seed}"
+        );
+    });
 }
 
 // ---------------------------------------------------------------------------
 // Transition trace ring buffer.
 // ---------------------------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn transition_trace_keeps_the_most_recent_entries(
-        capacity in 1usize..32,
-        count in 0usize..100,
-    ) {
+#[test]
+fn transition_trace_keeps_the_most_recent_entries() {
+    for_each_seed(64, |seed, rng| {
+        let capacity = rng.random_range(1usize..32);
+        let count = rng.random_range(0usize..100);
         let trace = TransitionTrace::with_capacity(capacity);
         for i in 0..count {
             trace.push(Transition {
@@ -212,12 +224,16 @@ proptest! {
             });
         }
         let snap = trace.snapshot();
-        prop_assert_eq!(snap.len(), count.min(capacity));
+        assert_eq!(snap.len(), count.min(capacity), "seed {seed}");
         // Entries are the most recent ones, in chronological order.
         for (j, t) in snap.iter().enumerate() {
             let expected = count - snap.len() + j;
-            prop_assert_eq!(t.at_ns, expected as u64);
+            assert_eq!(t.at_ns, expected as u64, "seed {seed}");
         }
-        prop_assert_eq!(trace.dropped(), count.saturating_sub(capacity) as u64);
-    }
+        assert_eq!(
+            trace.dropped(),
+            count.saturating_sub(capacity) as u64,
+            "seed {seed}"
+        );
+    });
 }

@@ -1,0 +1,220 @@
+//! Vendored, dependency-free stand-in for the subset of `criterion` this
+//! workspace's benches use: [`Criterion`], benchmark groups,
+//! [`BenchmarkId`], `Bencher::iter`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple — batched wall-clock timing with a
+//! fixed per-benchmark budget and a mean-nanoseconds report — because the
+//! workspace only needs relative comparisons and the ability to run
+//! `cargo bench` without network access.  Command-line filters
+//! (`cargo bench -- <substring>`) are honored.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Per-benchmark wall-clock budget.
+const BUDGET: Duration = Duration::from_millis(25);
+
+/// Re-export so benches may use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` passes the filter as a free argument.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    fn matches(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    /// Runs one benchmark function.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self, name.to_string(), f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+fn run_one<F>(criterion: &Criterion, name: String, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    if !criterion.matches(&name) {
+        return;
+    }
+    let mut bencher = Bencher {
+        iterations: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    if bencher.iterations == 0 {
+        println!("{name:<60} (no iterations)");
+        return;
+    }
+    let ns = bencher.elapsed.as_nanos() as f64 / bencher.iterations as f64;
+    println!(
+        "{name:<60} {ns:>14.1} ns/iter ({} iters)",
+        bencher.iterations
+    );
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the vendored harness sizes runs by a
+    /// wall-clock budget instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: fmt::Display,
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.name, id);
+        run_one(self.criterion, name, f);
+        self
+    }
+
+    /// Runs one parameterized benchmark inside the group.
+    pub fn bench_with_input<I, P, F>(&mut self, id: I, input: &P, mut f: F) -> &mut Self
+    where
+        I: fmt::Display,
+        F: FnMut(&mut Bencher, &P),
+    {
+        let name = format!("{}/{}", self.name, id);
+        run_one(self.criterion, name, |b| f(b, input));
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies one parameterized benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self {
+            function: function.to_string(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Passed to every benchmark closure; measures the routine under test.
+#[derive(Debug)]
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine` until the per-benchmark budget is
+    /// spent (always at least one call).
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        let mut batch = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.elapsed += start.elapsed();
+            self.iterations += batch;
+            if self.elapsed >= BUDGET {
+                return;
+            }
+            // Grow batches so cheap routines are not dominated by timer reads.
+            batch = batch.saturating_mul(2).min(1 << 20);
+        }
+    }
+}
+
+/// Bundles benchmark functions into a runnable group, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` for a bench target, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_at_least_once() {
+        let mut b = Bencher {
+            iterations: 0,
+            elapsed: Duration::ZERO,
+        };
+        let mut calls = 0u64;
+        b.iter(|| {
+            calls += 1;
+            std::thread::sleep(Duration::from_millis(30));
+        });
+        assert_eq!(calls, 1);
+        assert_eq!(b.iterations, 1);
+    }
+
+    #[test]
+    fn benchmark_id_formats_like_criterion() {
+        assert_eq!(BenchmarkId::new("ticket", 8).to_string(), "ticket/8");
+    }
+}
