@@ -5,9 +5,12 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lc_core::slots::SleepSlotBuffer;
-use lc_core::{LcLock, LoadControl, LoadControlConfig};
+use lc_core::{policy, LcLock, LoadControl, LoadControlConfig};
 use lc_locks::{Parker, RawLock, ABORTABLE_LOCK_NAMES};
-use lc_workloads::drivers::{run_microbench_lc, run_microbench_lc_named, MicrobenchConfig};
+use lc_workloads::drivers::{
+    run_microbench_lc, run_microbench_lc_named, run_rw_microbench_lc, MicrobenchConfig,
+    RwMicrobenchConfig,
+};
 use std::hint::black_box;
 use std::sync::Arc;
 use std::time::Duration;
@@ -112,6 +115,72 @@ fn bench_lc_end_to_end(c: &mut Criterion) {
     group.finish();
 }
 
+/// Control-policy comparison: the same oversubscribed microbenchmark under
+/// every registered [`lc_core::policy::ControlPolicy`] — the decision rule is
+/// swapped while mechanism and workload stay fixed, which is exactly what the
+/// pluggable policy plane exists for.
+fn bench_policy_comparison(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lc_control_policy_sweep");
+    group.sample_size(10);
+    for &name in policy::ALL_POLICY_NAMES {
+        group.bench_function(name, |b| {
+            let control = LoadControl::builder(
+                LoadControlConfig::for_capacity(2)
+                    .with_update_interval(Duration::from_millis(2))
+                    .with_sleep_timeout(Duration::from_millis(10)),
+            )
+            .policy_named(name)
+            .expect("registered policy")
+            .start_daemon()
+            .build();
+            b.iter(|| {
+                run_microbench_lc(
+                    MicrobenchConfig {
+                        threads: 6,
+                        critical_iters: 30,
+                        delay_iters: 200,
+                        duration: Duration::from_millis(50),
+                    },
+                    &control,
+                )
+                .acquisitions
+            });
+            control.stop_controller();
+        });
+    }
+    group.finish();
+}
+
+/// The new sync surface under oversubscription: reader-heavy and mixed
+/// read/write traffic through the load-controlled rwlock.
+type RwScenario = (&'static str, fn(usize) -> RwMicrobenchConfig);
+
+fn bench_rw_oversubscription(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lc_rwlock_oversubscribed");
+    group.sample_size(10);
+    let scenarios: [RwScenario; 2] = [
+        ("reader_heavy", RwMicrobenchConfig::reader_heavy),
+        ("mixed", RwMicrobenchConfig::mixed),
+    ];
+    for (label, make) in scenarios {
+        group.bench_function(label, |b| {
+            let control = LoadControl::start(
+                LoadControlConfig::for_capacity(2)
+                    .with_update_interval(Duration::from_millis(2))
+                    .with_sleep_timeout(Duration::from_millis(10)),
+            );
+            b.iter(|| {
+                let mut cfg = make(6);
+                cfg.duration = Duration::from_millis(50);
+                let r = run_rw_microbench_lc(cfg, &control);
+                r.reads + r.writes
+            });
+            control.stop_controller();
+        });
+    }
+    group.finish();
+}
+
 /// Ablation: how often the polling loop consults the slot buffer
 /// (paper §3.2.3 — checking too often slows handoffs, too rarely slows the
 /// response to the controller).
@@ -150,6 +219,8 @@ criterion_group!(
     bench_lc_lock_uncontended,
     bench_lc_backend_sweep,
     bench_lc_end_to_end,
+    bench_policy_comparison,
+    bench_rw_oversubscription,
     bench_slot_check_period_ablation
 );
 criterion_main!(benches);

@@ -9,8 +9,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lc_locks::{
-    AdaptiveLock, BlockingLock, McsLock, RawLock, SpinThenYieldLock, TasLock, TicketLock,
-    TimePublishedLock, TtasLock, ALL_LOCK_NAMES,
+    AdaptiveLock, BlockingLock, McsLock, RawLock, RawRwLock, RawSemaphore, SpinThenYieldLock,
+    TasLock, TicketLock, TimePublishedLock, TtasLock, ALL_LOCK_NAMES,
 };
 use lc_workloads::drivers::{run_microbench_named, MicrobenchConfig};
 use std::hint::black_box;
@@ -52,6 +52,8 @@ fn bench_uncontended(c: &mut Criterion) {
         ("mcs", McsLock),
         ("tp-queue", TimePublishedLock),
         ("spin-then-yield", SpinThenYieldLock),
+        ("rw-lock", RawRwLock),
+        ("semaphore", RawSemaphore),
         ("blocking", BlockingLock),
         ("adaptive", AdaptiveLock),
     );

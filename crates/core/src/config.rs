@@ -92,10 +92,20 @@ impl LoadControlConfig {
     /// The sleep target implied by a measurement of `runnable` threads:
     /// the number of threads that should be asleep so that runnable load
     /// returns to `capacity` (the paper's `T = load − 100 %`).
+    ///
+    /// Delegates to [`crate::policy::PaperPolicy`] — the one place the
+    /// paper's rule is written down — then applies this configuration's
+    /// `max_sleepers` clamp, exactly as the controller does each cycle.
     pub fn target_for_load(&self, runnable: usize) -> usize {
-        runnable
-            .saturating_sub(self.capacity + self.overload_headroom)
-            .min(self.max_sleepers)
+        use crate::policy::{ControlPolicy, PaperPolicy, PolicyInputs};
+        let target = PaperPolicy.target(&PolicyInputs {
+            load: runnable,
+            capacity: self.capacity,
+            headroom: self.overload_headroom,
+            current_target: 0,
+            stats: crate::controller::ControllerStats::default(),
+        });
+        (target as usize).min(self.max_sleepers)
     }
 }
 

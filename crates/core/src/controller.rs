@@ -1,7 +1,15 @@
 //! The load controller: a daemon thread that measures load and steers the
 //! sleep slot buffer (paper §3.1.1, Figure 7 left).
+//!
+//! The controller is pure *data plane*: every update interval it samples
+//! load, asks its [`ControlPolicy`] for the next sleep target, and publishes
+//! the answer in the slot buffer.  The decision rule itself lives behind the
+//! [`ControlPolicy`] trait (see [`crate::policy`]) so deployments can swap it
+//! — the paper's `T = load − capacity` rule ([`PaperPolicy`]) is simply the
+//! default.
 
 use crate::config::LoadControlConfig;
+use crate::policy::{self, ControlPolicy, PaperPolicy, PolicyInputs};
 use crate::slots::SleepSlotBuffer;
 use crate::thread_ctx::{current_ctx, WorkerRegistration};
 use lc_accounting::{LoadSampler, RegistryLoadSampler, ThreadRegistry};
@@ -10,17 +18,6 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
-
-/// How the controller decides the sleep target.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ControllerMode {
-    /// Measure load every update interval and set `T = load − capacity`
-    /// (the paper's policy).
-    Automatic,
-    /// The target is set manually through [`LoadControl::set_sleep_target`]
-    /// (used by the Figure 8 bump test and by unit tests).
-    Manual,
-}
 
 /// Counters describing the controller's activity.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -40,7 +37,7 @@ struct Shared {
     buffer: SleepSlotBuffer,
     registry: Arc<ThreadRegistry>,
     sampler: Box<dyn LoadSampler>,
-    mode: Mutex<ControllerMode>,
+    policy: Mutex<Box<dyn ControlPolicy>>,
     running: AtomicBool,
     cycles: AtomicU64,
     last_runnable: AtomicUsize,
@@ -48,10 +45,12 @@ struct Shared {
 
 /// The process-wide load-control facility.
 ///
-/// One `LoadControl` owns the sleep slot buffer, the thread registry, and the
-/// controller daemon.  Locks created with [`crate::LcLock::new_with`] share
-/// it; worker threads register through [`LoadControl::register_worker`] so
-/// the controller can see them.
+/// One `LoadControl` owns the sleep slot buffer, the thread registry, the
+/// control policy and the controller daemon.  Locks created with
+/// [`crate::LcLock::new_with`] — and the rest of the sync surface
+/// ([`crate::LcRwLock`], [`crate::LcSemaphore`], [`crate::LcCondvar`]) —
+/// share it; worker threads register through
+/// [`LoadControl::register_worker`] so the controller can see them.
 pub struct LoadControl {
     shared: Arc<Shared>,
     daemon: Mutex<Option<JoinHandle<()>>>,
@@ -61,18 +60,133 @@ impl fmt::Debug for LoadControl {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("LoadControl")
             .field("config", &self.shared.config)
+            .field("policy", &self.policy_name())
             .field("stats", &self.stats())
             .finish()
     }
 }
 
+/// Builder-style construction of a [`LoadControl`]: pick the control policy
+/// (by value or by registry name), optionally a custom sampler, and whether
+/// the controller daemon starts immediately.
+///
+/// ```
+/// use lc_core::{LoadControl, LoadControlConfig};
+///
+/// let control = LoadControl::builder(LoadControlConfig::for_capacity(4))
+///     .policy_named("hysteresis")
+///     .expect("registered policy")
+///     .build();
+/// assert_eq!(control.policy_name(), "hysteresis");
+/// ```
+pub struct LoadControlBuilder {
+    config: LoadControlConfig,
+    policy: Box<dyn ControlPolicy>,
+    sampler: Option<(Arc<ThreadRegistry>, Box<dyn LoadSampler>)>,
+    start: bool,
+}
+
+impl fmt::Debug for LoadControlBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LoadControlBuilder")
+            .field("config", &self.config)
+            .field("policy", &self.policy.name())
+            .field("start", &self.start)
+            .finish()
+    }
+}
+
+impl LoadControlBuilder {
+    fn new(config: LoadControlConfig) -> Self {
+        Self {
+            config,
+            policy: Box::new(PaperPolicy),
+            sampler: None,
+            start: false,
+        }
+    }
+
+    /// Uses `policy` as the control policy (default: [`PaperPolicy`]).
+    pub fn policy(mut self, policy: impl ControlPolicy + 'static) -> Self {
+        self.policy = Box::new(policy);
+        self
+    }
+
+    /// Uses an already-boxed control policy.
+    pub fn boxed_policy(mut self, policy: Box<dyn ControlPolicy>) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Selects the control policy from the registry by its stable name
+    /// (see [`crate::policy::ALL_POLICY_NAMES`]); `None` for an unknown name.
+    pub fn policy_named(self, name: &str) -> Option<Self> {
+        policy::build(name).map(|p| self.boxed_policy(p))
+    }
+
+    /// Uses a caller-supplied thread registry and load sampler instead of the
+    /// default registry-backed sampler.
+    pub fn sampler(mut self, registry: Arc<ThreadRegistry>, sampler: Box<dyn LoadSampler>) -> Self {
+        self.sampler = Some((registry, sampler));
+        self
+    }
+
+    /// Starts the controller daemon as part of [`LoadControlBuilder::build`].
+    pub fn start_daemon(mut self) -> Self {
+        self.start = true;
+        self
+    }
+
+    /// Constructs the [`LoadControl`] instance.
+    pub fn build(self) -> Arc<LoadControl> {
+        let (registry, sampler) = match self.sampler {
+            Some((registry, sampler)) => (registry, sampler),
+            None => {
+                let registry = Arc::new(ThreadRegistry::new());
+                let sampler: Box<dyn LoadSampler> =
+                    Box::new(RegistryLoadSampler::new(Arc::clone(&registry)));
+                (registry, sampler)
+            }
+        };
+        let shared = Arc::new(Shared {
+            buffer: SleepSlotBuffer::new(self.config.max_sleepers),
+            config: self.config,
+            registry,
+            sampler,
+            policy: Mutex::new(self.policy),
+            running: AtomicBool::new(false),
+            cycles: AtomicU64::new(0),
+            last_runnable: AtomicUsize::new(0),
+        });
+        let lc = Arc::new(LoadControl {
+            shared,
+            daemon: Mutex::new(None),
+        });
+        if self.start {
+            lc.start_controller();
+        }
+        lc
+    }
+}
+
 impl LoadControl {
-    /// Creates a load-control instance *without* starting the controller
-    /// daemon (useful for tests and for manual/bump-test driving).
+    /// Creates a load-control instance with the default [`PaperPolicy`],
+    /// *without* starting the controller daemon (useful for tests and for
+    /// manually driven experiments).
     pub fn new(config: LoadControlConfig) -> Arc<Self> {
-        let registry = Arc::new(ThreadRegistry::new());
-        let sampler = Box::new(RegistryLoadSampler::new(Arc::clone(&registry)));
-        Self::with_sampler(config, registry, sampler)
+        Self::builder(config).build()
+    }
+
+    /// Begins builder-style construction (policy selection, custom sampler,
+    /// daemon autostart).
+    pub fn builder(config: LoadControlConfig) -> LoadControlBuilder {
+        LoadControlBuilder::new(config)
+    }
+
+    /// Creates a load-control instance steered by `policy`, daemon not
+    /// started.
+    pub fn with_policy(config: LoadControlConfig, policy: Box<dyn ControlPolicy>) -> Arc<Self> {
+        Self::builder(config).boxed_policy(policy).build()
     }
 
     /// Creates a load-control instance with a caller-supplied load sampler.
@@ -81,31 +195,16 @@ impl LoadControl {
         registry: Arc<ThreadRegistry>,
         sampler: Box<dyn LoadSampler>,
     ) -> Arc<Self> {
-        let shared = Arc::new(Shared {
-            buffer: SleepSlotBuffer::new(config.max_sleepers),
-            config,
-            registry,
-            sampler,
-            mode: Mutex::new(ControllerMode::Automatic),
-            running: AtomicBool::new(false),
-            cycles: AtomicU64::new(0),
-            last_runnable: AtomicUsize::new(0),
-        });
-        Arc::new(Self {
-            shared,
-            daemon: Mutex::new(None),
-        })
+        Self::builder(config).sampler(registry, sampler).build()
     }
 
     /// Creates a load-control instance and starts its controller daemon.
     pub fn start(config: LoadControlConfig) -> Arc<Self> {
-        let lc = Self::new(config);
-        lc.start_controller();
-        lc
+        Self::builder(config).start_daemon().build()
     }
 
     /// The process-wide default instance (capacity = available parallelism),
-    /// with its controller running.  This is what [`crate::LcLock::new`] uses,
+    /// with its controller running.  This is what [`crate::LcLock`]'s `RawLock::new` uses,
     /// mirroring the paper's "drop-in library" deployment model.
     pub fn global() -> Arc<Self> {
         static GLOBAL: std::sync::OnceLock<Arc<LoadControl>> = std::sync::OnceLock::new();
@@ -136,19 +235,22 @@ impl LoadControl {
         WorkerRegistration::new(current_ctx(self))
     }
 
-    /// Switches between automatic (measured) and manual target control.
-    pub fn set_mode(&self, mode: ControllerMode) {
-        *self.shared.mode.lock().unwrap() = mode;
+    /// Replaces the control policy; takes effect on the next cycle.
+    pub fn set_policy(&self, policy: Box<dyn ControlPolicy>) {
+        *self.shared.policy.lock().unwrap() = policy;
     }
 
-    /// The current control mode.
-    pub fn mode(&self) -> ControllerMode {
-        *self.shared.mode.lock().unwrap()
+    /// The registry name of the current control policy.
+    pub fn policy_name(&self) -> &'static str {
+        self.shared.policy.lock().unwrap().name()
     }
 
-    /// Manually sets the sleep target (bump test / experiments).  Implies
-    /// nothing about the mode: in automatic mode the next controller cycle
-    /// will overwrite it.
+    /// Manually sets the sleep target.
+    ///
+    /// Under a load-following policy the next controller cycle will overwrite
+    /// it; combined with [`crate::policy::FixedPolicy::manual`] the value
+    /// persists across cycles (the bump-test / experiment-driving setup that
+    /// used to be `ControllerMode::Manual`).
     pub fn set_sleep_target(&self, target: u64) -> usize {
         self.shared.buffer.set_target(target)
     }
@@ -168,7 +270,8 @@ impl LoadControl {
         self.shared.buffer.target() > 0
     }
 
-    /// Runs one controller cycle immediately (measure load, update target).
+    /// Runs one controller cycle immediately: measure load, consult the
+    /// policy, publish the target.
     ///
     /// This is what the daemon does every `update_interval`; tests and the
     /// simulator-driven experiments call it directly.
@@ -177,12 +280,25 @@ impl LoadControl {
         self.shared
             .last_runnable
             .store(sample.runnable, Ordering::Relaxed);
-        if self.mode() == ControllerMode::Automatic {
-            // Demand = runnable threads plus the ones currently asleep in the
-            // slot buffer; using total demand keeps the target stable instead
-            // of mass-waking sleepers whenever runnable load dips briefly.
-            let demand = sample.runnable + self.shared.buffer.sleepers() as usize;
-            let target = self.shared.config.target_for_load(demand) as u64;
+        // Demand = runnable threads plus the ones currently asleep in the
+        // slot buffer; using total demand keeps the target stable instead
+        // of mass-waking sleepers whenever runnable load dips briefly.
+        let load = sample.runnable + self.shared.buffer.sleepers() as usize;
+        let inputs = PolicyInputs {
+            load,
+            capacity: self.shared.config.capacity,
+            headroom: self.shared.config.overload_headroom,
+            current_target: self.shared.buffer.target(),
+            stats: self.stats(),
+        };
+        let target = self.shared.policy.lock().unwrap().target(&inputs);
+        let target = target.min(self.shared.config.max_sleepers as u64);
+        // Publish only on change: re-publishing the value we just read would
+        // turn this cycle into a read-modify-write that can silently revert a
+        // concurrent `set_sleep_target` (the externally steered
+        // `FixedPolicy::manual` setup), and a policy that holds the target
+        // steady must behave like the old skip-entirely manual mode.
+        if target != inputs.current_target {
             self.shared.buffer.set_target(target);
         }
         self.shared.cycles.fetch_add(1, Ordering::Relaxed);
@@ -259,12 +375,15 @@ impl Drop for LoadControl {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::policy::{FixedPolicy, HysteresisPolicy};
     use lc_accounting::ThreadState;
 
     #[test]
     fn manual_target_controls_buffer() {
-        let lc = LoadControl::new(LoadControlConfig::for_capacity(4));
-        lc.set_mode(ControllerMode::Manual);
+        let lc = LoadControl::with_policy(
+            LoadControlConfig::for_capacity(4),
+            Box::new(FixedPolicy::manual()),
+        );
         assert_eq!(lc.sleep_target(), 0);
         lc.set_sleep_target(3);
         assert_eq!(lc.sleep_target(), 3);
@@ -276,6 +395,7 @@ mod tests {
     #[test]
     fn automatic_cycle_tracks_registry_load() {
         let lc = LoadControl::new(LoadControlConfig::for_capacity(2));
+        assert_eq!(lc.policy_name(), "paper");
         // Register four runnable threads directly with the registry.
         let handles: Vec<_> = (0..4).map(|_| lc.registry().register()).collect();
         let stats = lc.run_cycle();
@@ -291,14 +411,70 @@ mod tests {
     }
 
     #[test]
-    fn manual_mode_ignores_measurements() {
-        let lc = LoadControl::new(LoadControlConfig::for_capacity(1));
-        lc.set_mode(ControllerMode::Manual);
+    fn fixed_policy_ignores_measurements() {
+        let lc = LoadControl::with_policy(
+            LoadControlConfig::for_capacity(1),
+            Box::new(FixedPolicy::manual()),
+        );
         let _h: Vec<_> = (0..5).map(|_| lc.registry().register()).collect();
         lc.set_sleep_target(2);
         lc.run_cycle();
         assert_eq!(lc.sleep_target(), 2);
-        assert_eq!(lc.mode(), ControllerMode::Manual);
+        assert_eq!(lc.policy_name(), "fixed");
+    }
+
+    #[test]
+    fn pinned_policy_overrides_manual_bumps() {
+        let lc = LoadControl::with_policy(
+            LoadControlConfig::for_capacity(1),
+            Box::new(FixedPolicy::pinned(3)),
+        );
+        lc.set_sleep_target(7);
+        lc.run_cycle();
+        assert_eq!(lc.sleep_target(), 3);
+    }
+
+    #[test]
+    fn hysteresis_policy_damps_target_flapping() {
+        let lc = LoadControl::builder(LoadControlConfig::for_capacity(2))
+            .policy(HysteresisPolicy::with_params(0.5, 1.0, 2.0))
+            .build();
+        let handles: Vec<_> = (0..6).map(|_| lc.registry().register()).collect();
+        lc.run_cycle();
+        let settled = lc.sleep_target();
+        assert!(settled > 0, "sustained overload must produce a target");
+        // One thread briefly blocks: the smoothed, deadbanded target holds.
+        handles[0].set_state(ThreadState::BlockedOnIo);
+        lc.run_cycle();
+        assert_eq!(lc.sleep_target(), settled, "one-sample dip must not flap");
+        handles[0].set_state(ThreadState::Running);
+    }
+
+    #[test]
+    fn policy_can_be_swapped_at_runtime() {
+        let lc = LoadControl::new(LoadControlConfig::for_capacity(1));
+        assert_eq!(lc.policy_name(), "paper");
+        let _h: Vec<_> = (0..4).map(|_| lc.registry().register()).collect();
+        lc.run_cycle();
+        assert_eq!(lc.sleep_target(), 3);
+        lc.set_policy(Box::new(FixedPolicy::pinned(1)));
+        assert_eq!(lc.policy_name(), "fixed");
+        lc.run_cycle();
+        assert_eq!(lc.sleep_target(), 1);
+    }
+
+    #[test]
+    fn builder_selects_policies_by_name() {
+        for &name in crate::policy::ALL_POLICY_NAMES {
+            let lc = LoadControl::builder(LoadControlConfig::for_capacity(2))
+                .policy_named(name)
+                .unwrap_or_else(|| panic!("{name} not registered"))
+                .build();
+            assert_eq!(lc.policy_name(), name);
+        }
+        assert!(LoadControl::builder(LoadControlConfig::for_capacity(2))
+            .policy_named("no-such-policy")
+            .is_none());
     }
 
     #[test]

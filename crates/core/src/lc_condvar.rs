@@ -1,0 +1,274 @@
+//! The load-controlled condition variable.
+//!
+//! Completes the sync surface: threads waiting for a *predicate* (queue
+//! non-empty, state change, shutdown flag) are exactly the spinning waiters
+//! the paper's mechanism exists to manage.  An [`LcCondvar`] waiter spins on
+//! a notification epoch — the fast path under normal load, matching the
+//! suite's spin-first philosophy — and runs the waiter-side [`LoadGate`] of
+//! the shared [`LoadControl`]: under overload it claims a sleep slot, parks,
+//! and resumes polling when the controller clears it.
+//!
+//! # Semantics
+//!
+//! * Spurious wakeups are permitted (as with every condition variable):
+//!   always re-check the predicate, or use [`LcCondvar::wait_while`].
+//! * [`LcCondvar::notify_one`] and [`LcCondvar::notify_all`] both advance the
+//!   epoch and therefore release *every* current waiter to re-check its
+//!   predicate; `notify_one` is kept for API familiarity and future
+//!   refinement, not as a single-waiter handoff guarantee.
+//! * A waiter parked by load control notices a notification when the
+//!   controller clears its slot or its sleep timeout expires (default
+//!   100 ms) — under overload, notification latency is deliberately traded
+//!   for load, exactly like lock handoff latency is for [`crate::LcLock`].
+
+use crate::controller::LoadControl;
+use crate::lc_lock::{LcMutex, LcMutexGuard};
+use crate::thread_ctx::{current_ctx, LoadGate};
+use lc_accounting::ThreadState;
+use lc_locks::AbortableLock;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A condition variable whose waiters participate in load control.
+///
+/// ```
+/// use lc_core::{LcCondvar, LcMutex, LoadControl, LoadControlConfig};
+/// use std::sync::Arc;
+///
+/// let control = LoadControl::new(LoadControlConfig::for_capacity(2));
+/// let ready = Arc::new(LcMutex::<bool>::new_with(false, &control));
+/// let cv = Arc::new(LcCondvar::new_with(&control));
+///
+/// let (ready2, cv2) = (Arc::clone(&ready), Arc::clone(&cv));
+/// let producer = std::thread::spawn(move || {
+///     *ready2.lock() = true;
+///     cv2.notify_all();
+/// });
+///
+/// let guard = cv.wait_while(ready.lock(), |done| !*done);
+/// assert!(*guard);
+/// drop(guard);
+/// producer.join().unwrap();
+/// ```
+pub struct LcCondvar {
+    control: Arc<LoadControl>,
+    /// Notification epoch: waiters snapshot it under the mutex and spin until
+    /// it moves.  Doubles as the notification count (it only ever moves in
+    /// [`LcCondvar::notify_all`]).
+    epoch: AtomicU64,
+}
+
+impl fmt::Debug for LcCondvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LcCondvar")
+            .field("epoch", &self.epoch.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl LcCondvar {
+    /// Creates a condition variable attached to the global [`LoadControl`].
+    pub fn new() -> Self {
+        Self::new_with(&LoadControl::global())
+    }
+
+    /// Creates a condition variable attached to `control`.
+    pub fn new_with(control: &Arc<LoadControl>) -> Self {
+        Self {
+            control: Arc::clone(control),
+            epoch: AtomicU64::new(0),
+        }
+    }
+
+    /// Releases `guard`, waits for a notification (or a spurious wakeup),
+    /// re-acquires the mutex and returns the new guard.
+    ///
+    /// The mutex must be attached to the same [`LoadControl`] for the
+    /// combined wait to be load-managed coherently (not enforced; the wait is
+    /// still correct otherwise).
+    pub fn wait<'a, T: ?Sized, R: AbortableLock>(
+        &self,
+        guard: LcMutexGuard<'a, T, R>,
+    ) -> LcMutexGuard<'a, T, R> {
+        let mutex: &'a LcMutex<T, R> = guard.mutex();
+        // Snapshot the epoch *before* releasing the mutex: a notify that runs
+        // after our predicate check (under the lock) but before we start
+        // polling advances the epoch past the snapshot and is never lost.
+        let target = self.epoch.load(Ordering::Acquire);
+        drop(guard);
+
+        let ctx = current_ctx(&self.control);
+        let previous = ctx.set_registry_state(ThreadState::Spinning);
+        let mut gate = LoadGate::from_ctx(ctx.clone(), self.control.config());
+        let mut iteration = 0u64;
+        while self.epoch.load(Ordering::Acquire) == target {
+            iteration += 1;
+            if gate.check(iteration) {
+                gate.park();
+            } else {
+                std::hint::spin_loop();
+                // Be polite to small hosts: a condvar wait can be long, and
+                // unlike a lock waiter we are not next in line for anything.
+                if iteration.is_multiple_of(64) {
+                    std::thread::yield_now();
+                }
+            }
+        }
+        gate.cancel();
+        ctx.set_registry_state(previous);
+        mutex.lock()
+    }
+
+    /// Waits (releasing and re-acquiring `guard`) as long as `condition`
+    /// holds; the standard spurious-wakeup-proof loop.
+    pub fn wait_while<'a, T: ?Sized, R: AbortableLock>(
+        &self,
+        mut guard: LcMutexGuard<'a, T, R>,
+        mut condition: impl FnMut(&mut T) -> bool,
+    ) -> LcMutexGuard<'a, T, R> {
+        while condition(&mut guard) {
+            guard = self.wait(guard);
+        }
+        guard
+    }
+
+    /// Wakes waiters to re-check their predicates.
+    ///
+    /// See the module docs: epoch-based waiting means this releases every
+    /// current waiter, not exactly one.
+    pub fn notify_one(&self) {
+        self.notify_all();
+    }
+
+    /// Wakes all current waiters to re-check their predicates.
+    pub fn notify_all(&self) {
+        self.epoch.fetch_add(1, Ordering::Release);
+    }
+
+    /// Total notifications issued (diagnostics).
+    pub fn notification_count(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// The [`LoadControl`] instance this condition variable participates in.
+    pub fn control(&self) -> &Arc<LoadControl> {
+        &self.control
+    }
+}
+
+impl Default for LcCondvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LoadControlConfig;
+    use crate::policy::FixedPolicy;
+    use std::thread;
+    use std::time::Duration;
+
+    fn manual_control(capacity: usize) -> Arc<LoadControl> {
+        LoadControl::with_policy(
+            LoadControlConfig::for_capacity(capacity),
+            Box::new(FixedPolicy::manual()),
+        )
+    }
+
+    #[test]
+    fn wait_observes_a_notification() {
+        let lc = manual_control(4);
+        let flag = Arc::new(LcMutex::<bool>::new_with(false, &lc));
+        let cv = Arc::new(LcCondvar::new_with(&lc));
+        let (flag2, cv2) = (Arc::clone(&flag), Arc::clone(&cv));
+        let setter = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(10));
+            *flag2.lock() = true;
+            cv2.notify_all();
+        });
+        let guard = cv.wait_while(flag.lock(), |done| !*done);
+        assert!(*guard);
+        drop(guard);
+        setter.join().unwrap();
+        assert_eq!(cv.notification_count(), 1);
+    }
+
+    #[test]
+    fn producer_consumer_queue_drains() {
+        let lc = manual_control(4);
+        let queue = Arc::new(LcMutex::<Vec<u32>>::new_with(Vec::new(), &lc));
+        let cv = Arc::new(LcCondvar::new_with(&lc));
+        let items = 200u32;
+
+        let mut consumers = Vec::new();
+        for _ in 0..2 {
+            let (queue, cv, lc) = (Arc::clone(&queue), Arc::clone(&cv), Arc::clone(&lc));
+            consumers.push(thread::spawn(move || {
+                let _w = lc.register_worker();
+                let mut got = 0u32;
+                loop {
+                    let mut guard = cv.wait_while(queue.lock(), |q| q.is_empty());
+                    let mut shutdown = false;
+                    while let Some(item) = guard.pop() {
+                        if item == u32::MAX {
+                            shutdown = true;
+                        } else {
+                            got += 1;
+                        }
+                    }
+                    if shutdown {
+                        // Re-arm the sentinel for the other consumers.
+                        guard.push(u32::MAX);
+                        drop(guard);
+                        cv.notify_all();
+                        return got;
+                    }
+                }
+            }));
+        }
+
+        {
+            let lc = Arc::clone(&lc);
+            let _w = lc.register_worker();
+            for i in 0..items {
+                queue.lock().push(i);
+                cv.notify_all();
+            }
+            queue.lock().push(u32::MAX);
+            cv.notify_all();
+        }
+
+        let consumed: u32 = consumers.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(consumed, items);
+    }
+
+    #[test]
+    fn waiters_park_under_overload() {
+        let lc = LoadControl::with_policy(
+            LoadControlConfig::for_capacity(1).with_sleep_timeout(Duration::from_millis(5)),
+            Box::new(FixedPolicy::manual()),
+        );
+        lc.set_sleep_target(1);
+        let flag = Arc::new(LcMutex::<bool>::new_with(false, &lc));
+        let cv = Arc::new(LcCondvar::new_with(&lc));
+        let (flag2, cv2, lc2) = (Arc::clone(&flag), Arc::clone(&cv), Arc::clone(&lc));
+        let waiter = thread::spawn(move || {
+            let w = lc2.register_worker();
+            let guard = cv2.wait_while(flag2.lock(), |done| !*done);
+            assert!(*guard);
+            drop(guard);
+            w.sleep_count()
+        });
+        // Let the waiter spin into the gate and park at least once.
+        thread::sleep(Duration::from_millis(30));
+        *flag.lock() = true;
+        cv.notify_all();
+        let sleeps = waiter.join().unwrap();
+        assert!(sleeps > 0, "overloaded condvar waiter never parked");
+        let stats = lc.buffer().stats();
+        assert_eq!(stats.ever_slept, stats.woken_and_left);
+    }
+}

@@ -249,6 +249,14 @@ pub struct LcMutexGuard<'a, T: ?Sized, R: AbortableLock = TimePublishedLock> {
     mutex: &'a LcMutex<T, R>,
 }
 
+impl<'a, T: ?Sized, R: AbortableLock> LcMutexGuard<'a, T, R> {
+    /// The mutex this guard locks (used by [`crate::LcCondvar`] to re-acquire
+    /// after a wait).
+    pub(crate) fn mutex(&self) -> &'a LcMutex<T, R> {
+        self.mutex
+    }
+}
+
 impl<T: ?Sized, R: AbortableLock> Deref for LcMutexGuard<'_, T, R> {
     type Target = T;
     fn deref(&self) -> &T {
@@ -278,15 +286,16 @@ impl<T: ?Sized + fmt::Debug, R: AbortableLock> fmt::Debug for LcMutexGuard<'_, T
 mod tests {
     use super::*;
     use crate::config::LoadControlConfig;
-    use crate::controller::ControllerMode;
+    use crate::policy::FixedPolicy;
     use lc_locks::{McsLock, TicketLock, TtasLock};
     use std::thread;
     use std::time::Duration;
 
     fn manual_control(capacity: usize) -> Arc<LoadControl> {
-        let lc = LoadControl::new(LoadControlConfig::for_capacity(capacity));
-        lc.set_mode(ControllerMode::Manual);
-        lc
+        LoadControl::with_policy(
+            LoadControlConfig::for_capacity(capacity),
+            Box::new(FixedPolicy::manual()),
+        )
     }
 
     #[test]

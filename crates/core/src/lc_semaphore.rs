@@ -1,0 +1,251 @@
+//! The load-controlled counting semaphore.
+//!
+//! Bounds concurrency (connection pools, admission throttles, bounded work
+//! queues) with permits while its spinning waiters participate in the shared
+//! [`LoadControl`]: under overload, a thread waiting for a permit claims a
+//! sleep slot through the waiter-side gate, parks, and retries — identical
+//! load management to every other primitive in the surface.
+//!
+//! Holding a permit counts toward the thread's load-controlled hold count,
+//! so a permit holder never volunteers to sleep (the nested-critical-section
+//! rule of paper §6.1.2 applied to resource tokens: parking a thread that
+//! gates others would convert overload into a pile-up).
+
+use crate::controller::LoadControl;
+use crate::thread_ctx::{current_ctx, LoadControlPolicy};
+use lc_locks::RawSemaphore;
+use std::fmt;
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+/// A load-controlled counting semaphore.
+///
+/// ```
+/// use lc_core::{LcSemaphore, LoadControl, LoadControlConfig};
+///
+/// let control = LoadControl::new(LoadControlConfig::for_capacity(2));
+/// let pool = LcSemaphore::new_with(2, &control);
+/// let a = pool.acquire();
+/// let b = pool.acquire();
+/// assert!(pool.try_acquire().is_none());
+/// drop(a);
+/// assert!(pool.try_acquire().is_some());
+/// drop(b);
+/// ```
+pub struct LcSemaphore {
+    control: Arc<LoadControl>,
+    raw: RawSemaphore,
+}
+
+impl fmt::Debug for LcSemaphore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LcSemaphore")
+            .field("available", &self.raw.available())
+            .field("initial", &self.raw.initial_permits())
+            .finish()
+    }
+}
+
+impl LcSemaphore {
+    /// Creates a semaphore with `permits` permits, attached to the global
+    /// [`LoadControl`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `permits` is zero.
+    pub fn new(permits: u64) -> Self {
+        Self::new_with(permits, &LoadControl::global())
+    }
+
+    /// Creates a semaphore with `permits` permits, attached to `control`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `permits` is zero.
+    pub fn new_with(permits: u64, control: &Arc<LoadControl>) -> Self {
+        Self {
+            control: Arc::clone(control),
+            raw: RawSemaphore::with_permits(permits),
+        }
+    }
+
+    /// Acquires one permit, waiting (under load control) until one is
+    /// available.  The permit is returned when the guard drops.
+    pub fn acquire(&self) -> LcSemaphorePermit<'_> {
+        let ctx = current_ctx(&self.control);
+        let mut policy = LoadControlPolicy::from_ctx(ctx.clone(), self.control.config());
+        self.raw.acquire_with(&mut policy);
+        ctx.note_acquired();
+        LcSemaphorePermit {
+            semaphore: self,
+            _not_send: PhantomData,
+        }
+    }
+
+    /// Attempts to acquire one permit without waiting.
+    pub fn try_acquire(&self) -> Option<LcSemaphorePermit<'_>> {
+        if self.raw.try_acquire() {
+            current_ctx(&self.control).note_acquired();
+            Some(LcSemaphorePermit {
+                semaphore: self,
+                _not_send: PhantomData,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Permits currently available (racy, diagnostics only).
+    pub fn available(&self) -> u64 {
+        self.raw.available()
+    }
+
+    /// The number of permits the semaphore was created with.
+    pub fn initial_permits(&self) -> u64 {
+        self.raw.initial_permits()
+    }
+
+    /// The [`LoadControl`] instance this semaphore participates in.
+    pub fn control(&self) -> &Arc<LoadControl> {
+        &self.control
+    }
+
+    /// The underlying raw semaphore (diagnostics).
+    pub fn raw(&self) -> &RawSemaphore {
+        &self.raw
+    }
+}
+
+/// RAII permit for [`LcSemaphore`]; returns the permit on drop.
+///
+/// Deliberately `!Send`: the hold count it maintains lives in the acquiring
+/// thread's load-control context, so the permit must be released where it was
+/// acquired.
+pub struct LcSemaphorePermit<'a> {
+    semaphore: &'a LcSemaphore,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl fmt::Debug for LcSemaphorePermit<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LcSemaphorePermit")
+            .field("semaphore", self.semaphore)
+            .finish()
+    }
+}
+
+impl Drop for LcSemaphorePermit<'_> {
+    fn drop(&mut self) {
+        current_ctx(&self.semaphore.control).note_released();
+        unsafe { self.semaphore.raw.release() };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LoadControlConfig;
+    use crate::policy::FixedPolicy;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::thread;
+    use std::time::Duration;
+
+    fn manual_control(capacity: usize) -> Arc<LoadControl> {
+        LoadControl::with_policy(
+            LoadControlConfig::for_capacity(capacity),
+            Box::new(FixedPolicy::manual()),
+        )
+    }
+
+    #[test]
+    fn permits_are_returned_on_drop() {
+        let lc = manual_control(2);
+        let sem = LcSemaphore::new_with(2, &lc);
+        assert_eq!(sem.available(), 2);
+        let a = sem.acquire();
+        let b = sem.acquire();
+        assert_eq!(sem.available(), 0);
+        assert!(sem.try_acquire().is_none());
+        drop(a);
+        assert_eq!(sem.available(), 1);
+        drop(b);
+        assert_eq!(sem.available(), 2);
+    }
+
+    #[test]
+    fn bound_holds_under_contention() {
+        let lc = manual_control(64);
+        let sem = Arc::new(LcSemaphore::new_with(3, &lc));
+        let holders = Arc::new(AtomicU64::new(0));
+        let peak = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let (sem, holders, peak, lc) = (
+                Arc::clone(&sem),
+                Arc::clone(&holders),
+                Arc::clone(&peak),
+                Arc::clone(&lc),
+            );
+            handles.push(thread::spawn(move || {
+                let _w = lc.register_worker();
+                for _ in 0..1_000 {
+                    let permit = sem.acquire();
+                    let now = holders.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    holders.fetch_sub(1, Ordering::SeqCst);
+                    drop(permit);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(peak.load(Ordering::SeqCst) <= 3, "permit bound violated");
+        assert_eq!(sem.available(), 3);
+    }
+
+    #[test]
+    fn bound_holds_under_forced_overload() {
+        let lc = LoadControl::builder(
+            LoadControlConfig::for_capacity(1)
+                .with_update_interval(Duration::from_millis(1))
+                .with_sleep_timeout(Duration::from_millis(5)),
+        )
+        .start_daemon()
+        .build();
+        let sem = Arc::new(LcSemaphore::new_with(2, &lc));
+        let total = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..6 {
+            let (sem, total, lc) = (Arc::clone(&sem), Arc::clone(&total), Arc::clone(&lc));
+            handles.push(thread::spawn(move || {
+                let _w = lc.register_worker();
+                for _ in 0..500 {
+                    let _permit = sem.acquire();
+                    total.fetch_add(1, Ordering::Relaxed);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        lc.stop_controller();
+        assert_eq!(total.load(Ordering::Relaxed), 3_000);
+        assert_eq!(sem.available(), 2);
+        let stats = lc.buffer().stats();
+        assert_eq!(stats.ever_slept, stats.woken_and_left);
+    }
+
+    #[test]
+    fn holding_a_permit_blocks_sleeping() {
+        let lc = manual_control(1);
+        lc.set_sleep_target(4);
+        let sem = LcSemaphore::new_with(2, &lc);
+        let permit = sem.acquire();
+        let mut gate = crate::thread_ctx::LoadGate::new(&lc);
+        assert!(!gate.try_claim(), "permit holders must not volunteer");
+        drop(permit);
+        assert!(gate.try_claim());
+        gate.cancel();
+    }
+}

@@ -56,19 +56,27 @@
 
 pub mod config;
 pub mod controller;
+pub mod lc_condvar;
 pub mod lc_lock;
+pub mod lc_rwlock;
+pub mod lc_semaphore;
 pub mod load_backoff;
+pub mod policy;
 pub mod slots;
 pub mod spin_hook;
 pub mod thread_ctx;
 
 pub use config::LoadControlConfig;
-pub use controller::{ControllerMode, ControllerStats, LoadControl};
+pub use controller::{ControllerStats, LoadControl, LoadControlBuilder};
+pub use lc_condvar::LcCondvar;
 pub use lc_lock::{LcLock, LcMutex, LcMutexGuard, TpLcLock};
+pub use lc_rwlock::{LcRwLock, LcRwLockReadGuard, LcRwLockWriteGuard};
+pub use lc_semaphore::{LcSemaphore, LcSemaphorePermit};
 pub use load_backoff::LoadTriggeredBackoffPolicy;
+pub use policy::{ControlPolicy, FixedPolicy, HysteresisPolicy, PaperPolicy, PolicyInputs};
 pub use slots::{ClaimOutcome, SleepSlotBuffer, SlotBufferStats};
 pub use spin_hook::SpinHook;
-pub use thread_ctx::{LoadControlPolicy, WorkerRegistration};
+pub use thread_ctx::{LoadControlPolicy, LoadGate, WorkerRegistration};
 
 // Re-export the pieces of the substrate crates that appear in this crate's
 // public API, so downstream users only need one import path.

@@ -1,4 +1,4 @@
-//! Load-triggered backoff — the authors' *earlier* scheme (reference [19],
+//! Load-triggered backoff — the authors' *earlier* scheme (reference \[19\],
 //! discussed in §2.3) kept as a baseline.
 //!
 //! When the system is overloaded, a spinning thread sleeps for an
@@ -126,13 +126,14 @@ fn ctx_set_state(ctx: &crate::thread_ctx::ThreadCtx, state: ThreadState) -> Thre
 mod tests {
     use super::*;
     use crate::config::LoadControlConfig;
-    use crate::controller::ControllerMode;
+    use crate::policy::FixedPolicy;
     use std::time::Instant;
 
     fn control() -> Arc<LoadControl> {
-        let lc = LoadControl::new(LoadControlConfig::for_capacity(1));
-        lc.set_mode(ControllerMode::Manual);
-        lc
+        LoadControl::with_policy(
+            LoadControlConfig::for_capacity(1),
+            Box::new(FixedPolicy::manual()),
+        )
     }
 
     #[test]

@@ -1,0 +1,355 @@
+//! Pluggable control-plane policies: *how* the controller turns a load
+//! measurement into a sleep target.
+//!
+//! Paper §3.1.1 describes one decision rule — every update interval the
+//! controller measures the number of runnable threads and publishes
+//! `T = load − 100 %` (excess over capacity) as the sleep target.  That rule
+//! is a *policy*, and nothing else in the mechanism depends on it: the slot
+//! buffer, the waiter-side gate and the primitives only consume the published
+//! target.  This module makes the policy a first-class trait so deployments
+//! can swap the decision rule without touching the data plane — the same
+//! decoupling the mechanism itself applies to contention management.
+//!
+//! Three implementations ship with the suite, each mapping back to §3.1.1:
+//!
+//! * [`PaperPolicy`] — the exact rule of the paper, `T = load − capacity`
+//!   (with the configured headroom subtracted as well).  The default; under
+//!   it the controller behaves identically to the original hard-coded rule.
+//! * [`HysteresisPolicy`] — the paper's rule applied to an EWMA-smoothed
+//!   load, with configurable up/down deadbands.  §3.1.1 notes the controller
+//!   must respond within milliseconds yet the raw runnable count is noisy;
+//!   smoothing plus a deadband stops the target from flapping (and threads
+//!   from being parked/woken) on one-sample excursions.
+//! * [`FixedPolicy`] — a target that does not follow load at all: either
+//!   pinned at construction or steered externally through
+//!   [`crate::LoadControl::set_sleep_target`].  This replaces the old
+//!   `ControllerMode::Manual` and drives the paper's Figure 8 bump test.
+//!
+//! Policies are selected by stable name through [`build`] /
+//! [`ALL_POLICY_NAMES`], mirroring `lc_locks::registry` — experiment
+//! configurations pick the control policy and the contention manager with the
+//! same string-keyed machinery.
+
+use crate::controller::ControllerStats;
+use std::fmt;
+
+/// Everything a policy may consult when computing the next sleep target.
+#[derive(Debug, Clone, Copy)]
+pub struct PolicyInputs {
+    /// Measured demand: runnable threads plus threads currently parked in the
+    /// sleep slot buffer (total demand keeps the target stable instead of
+    /// mass-waking sleepers whenever runnable load dips briefly).
+    pub load: usize,
+    /// Hardware contexts the process should keep busy
+    /// ([`crate::LoadControlConfig::capacity`]).
+    pub capacity: usize,
+    /// Extra runnable threads tolerated above capacity
+    /// ([`crate::LoadControlConfig::overload_headroom`]).
+    pub headroom: usize,
+    /// The sleep target currently published in the slot buffer.
+    pub current_target: u64,
+    /// Controller activity counters as of the start of this cycle.
+    pub stats: ControllerStats,
+}
+
+impl PolicyInputs {
+    /// The load level above which threads should start sleeping
+    /// (`capacity + headroom`).
+    pub fn threshold(&self) -> usize {
+        self.capacity + self.headroom
+    }
+}
+
+/// A control-plane policy: turns one cycle's measurements into the next
+/// sleep target.
+///
+/// Implementations may keep state across cycles (smoothing, integrators,
+/// scripted schedules); the controller invokes [`ControlPolicy::target`]
+/// exactly once per cycle, under its own synchronization, and clamps the
+/// returned value to [`crate::LoadControlConfig::max_sleepers`] before
+/// publishing it.
+pub trait ControlPolicy: Send + fmt::Debug {
+    /// The policy's stable registry name.
+    fn name(&self) -> &'static str;
+
+    /// Computes the sleep target for this cycle.
+    fn target(&mut self, inputs: &PolicyInputs) -> u64;
+}
+
+/// The paper's decision rule: `T = load − capacity` (§3.1.1, Figure 7 left),
+/// with the configured overload headroom widening the tolerated band.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PaperPolicy;
+
+impl ControlPolicy for PaperPolicy {
+    fn name(&self) -> &'static str {
+        "paper"
+    }
+
+    fn target(&mut self, inputs: &PolicyInputs) -> u64 {
+        inputs.load.saturating_sub(inputs.threshold()) as u64
+    }
+}
+
+/// The paper's rule on an EWMA-smoothed load, with deadbands.
+///
+/// Each cycle the measured load is folded into an exponentially weighted
+/// moving average (`ewma ← α·load + (1−α)·ewma`); the candidate target is the
+/// smoothed excess over `capacity + headroom`.  The published target only
+/// *rises* when the candidate exceeds the current target by at least
+/// `up_deadband` and only *falls* when it is below by at least
+/// `down_deadband`; inside the band the current target is kept.  With
+/// `α = 1` and both deadbands zero this degenerates to [`PaperPolicy`].
+#[derive(Debug, Clone, Copy)]
+pub struct HysteresisPolicy {
+    /// EWMA weight of the newest sample, in `(0, 1]`.
+    alpha: f64,
+    /// How far above the current target the smoothed excess must rise before
+    /// the target is raised.
+    up_deadband: f64,
+    /// How far below the current target the smoothed excess must fall before
+    /// the target is lowered.
+    down_deadband: f64,
+    /// Smoothed load (`None` until the first sample seeds it).
+    ewma: Option<f64>,
+}
+
+impl HysteresisPolicy {
+    /// Default EWMA weight: half the estimate renews each cycle, so at the
+    /// paper's 7 ms update interval the smoothed load tracks a step change
+    /// within a few tens of milliseconds.
+    pub const DEFAULT_ALPHA: f64 = 0.5;
+    /// Default rise deadband (one thread).
+    pub const DEFAULT_UP_DEADBAND: f64 = 1.0;
+    /// Default fall deadband (two threads: releasing sleepers is the cheaper
+    /// direction to be slow in, since a parked thread times out on its own).
+    pub const DEFAULT_DOWN_DEADBAND: f64 = 2.0;
+
+    /// A policy with the default smoothing and deadbands.
+    pub fn new() -> Self {
+        Self::with_params(
+            Self::DEFAULT_ALPHA,
+            Self::DEFAULT_UP_DEADBAND,
+            Self::DEFAULT_DOWN_DEADBAND,
+        )
+    }
+
+    /// A policy with explicit parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < alpha ≤ 1` and both deadbands are non-negative.
+    pub fn with_params(alpha: f64, up_deadband: f64, down_deadband: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        assert!(
+            up_deadband >= 0.0 && down_deadband >= 0.0,
+            "deadbands must be non-negative"
+        );
+        Self {
+            alpha,
+            up_deadband,
+            down_deadband,
+            ewma: None,
+        }
+    }
+
+    /// The current smoothed load estimate, if any sample has been folded in.
+    pub fn smoothed_load(&self) -> Option<f64> {
+        self.ewma
+    }
+}
+
+impl Default for HysteresisPolicy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ControlPolicy for HysteresisPolicy {
+    fn name(&self) -> &'static str {
+        "hysteresis"
+    }
+
+    fn target(&mut self, inputs: &PolicyInputs) -> u64 {
+        let sample = inputs.load as f64;
+        let ewma = match self.ewma {
+            Some(prev) => self.alpha * sample + (1.0 - self.alpha) * prev,
+            None => sample,
+        };
+        self.ewma = Some(ewma);
+        let candidate = (ewma - inputs.threshold() as f64).max(0.0);
+        let current = inputs.current_target as f64;
+        // The fall deadband must never pin a small target forever: the
+        // candidate is clamped to ≥ 0, so `candidate ≤ current − deadband` is
+        // unsatisfiable once `current < deadband` and a target of 1 would
+        // outlive the overload indefinitely.  Floor the fall threshold at
+        // 0.5 — when the smoothed excess rounds to zero there is no overload
+        // left to manage and decay is always allowed.
+        let fall_threshold = (current - self.down_deadband).max(0.5);
+        let outside_deadband =
+            candidate >= current + self.up_deadband || candidate <= fall_threshold;
+        if outside_deadband {
+            candidate.round() as u64
+        } else {
+            inputs.current_target
+        }
+    }
+}
+
+/// A target that ignores load measurements.
+///
+/// [`FixedPolicy::pinned`] republishes one constant target every cycle;
+/// [`FixedPolicy::manual`] keeps whatever target is currently in the buffer,
+/// so [`crate::LoadControl::set_sleep_target`] steers it even while the
+/// controller daemon is running — the replacement for the old
+/// `ControllerMode::Manual` and the driver of the Figure 8 bump test.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FixedPolicy {
+    pinned: Option<u64>,
+}
+
+impl FixedPolicy {
+    /// A policy that publishes `target` every cycle.
+    pub fn pinned(target: u64) -> Self {
+        Self {
+            pinned: Some(target),
+        }
+    }
+
+    /// A policy that keeps the currently published target (externally steered
+    /// through [`crate::LoadControl::set_sleep_target`]).
+    pub fn manual() -> Self {
+        Self { pinned: None }
+    }
+}
+
+impl ControlPolicy for FixedPolicy {
+    fn name(&self) -> &'static str {
+        "fixed"
+    }
+
+    fn target(&mut self, inputs: &PolicyInputs) -> u64 {
+        self.pinned.unwrap_or(inputs.current_target)
+    }
+}
+
+/// A factory constructing one policy with default parameters.
+pub type PolicyFactory = fn() -> Box<dyn ControlPolicy>;
+
+/// Every control policy in the suite: `(name, factory)`, in the stable order
+/// of [`ALL_POLICY_NAMES`].  Mirrors `lc_locks::registry::REGISTRY`.
+pub const POLICY_REGISTRY: &[(&str, PolicyFactory)] = &[
+    ("paper", || Box::new(PaperPolicy)),
+    ("hysteresis", || Box::new(HysteresisPolicy::new())),
+    ("fixed", || Box::new(FixedPolicy::manual())),
+];
+
+/// Names of every control policy, in a stable order ([`build`] constructs
+/// any entry; a test asserts the two stay in sync).
+pub const ALL_POLICY_NAMES: &[&str] = &["paper", "hysteresis", "fixed"];
+
+/// Constructs the policy registered under `name` with default parameters, or
+/// `None` for an unknown name.
+pub fn build(name: &str) -> Option<Box<dyn ControlPolicy>> {
+    POLICY_REGISTRY
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, factory)| factory())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs(load: usize, capacity: usize, current_target: u64) -> PolicyInputs {
+        PolicyInputs {
+            load,
+            capacity,
+            headroom: 0,
+            current_target,
+            stats: ControllerStats::default(),
+        }
+    }
+
+    #[test]
+    fn paper_policy_is_excess_over_capacity() {
+        let mut p = PaperPolicy;
+        assert_eq!(p.target(&inputs(32, 64, 0)), 0);
+        assert_eq!(p.target(&inputs(64, 64, 0)), 0);
+        assert_eq!(p.target(&inputs(96, 64, 0)), 32);
+        let mut with_headroom = inputs(70, 64, 0);
+        with_headroom.headroom = 8;
+        assert_eq!(p.target(&with_headroom), 0);
+    }
+
+    #[test]
+    fn hysteresis_smooths_and_holds_inside_the_deadband() {
+        let mut p = HysteresisPolicy::with_params(0.5, 1.0, 2.0);
+        // First sample seeds the EWMA: 8 over capacity 4 → target 4.
+        assert_eq!(p.target(&inputs(8, 4, 0)), 4);
+        // A one-cycle dip to 7 smooths to 7.5 → candidate 3.5, within the
+        // down deadband of the current target 4 → held.
+        assert_eq!(p.target(&inputs(7, 4, 4)), 4);
+        // Sustained drop to zero load: candidate falls through the deadband.
+        assert_eq!(p.target(&inputs(0, 4, 4)), 0);
+        assert!(p.smoothed_load().unwrap() < 4.0);
+    }
+
+    #[test]
+    fn hysteresis_small_target_decays_fully_once_overload_ends() {
+        // Regression: a target of 1 sits below the default fall deadband of
+        // 2, so without the 0.5 floor it could never decay to 0.
+        let mut p = HysteresisPolicy::new();
+        // Sustained load of capacity + 1 drives the target to 1.
+        let mut target = 0;
+        for _ in 0..8 {
+            target = p.target(&inputs(5, 4, target));
+        }
+        assert_eq!(target, 1);
+        // Load returns to (or below) capacity: the target must reach 0.
+        for _ in 0..16 {
+            target = p.target(&inputs(4, 4, target));
+        }
+        assert_eq!(target, 0, "sleep target pinned above zero after idle");
+    }
+
+    #[test]
+    fn hysteresis_rises_only_past_the_up_deadband() {
+        let mut p = HysteresisPolicy::with_params(1.0, 2.0, 2.0);
+        // Candidate 1 over a current target of 0: inside the up deadband.
+        assert_eq!(p.target(&inputs(5, 4, 0)), 0);
+        // Candidate 3: past it.
+        assert_eq!(p.target(&inputs(7, 4, 0)), 3);
+    }
+
+    #[test]
+    fn fixed_policy_pins_or_follows_the_buffer() {
+        let mut pinned = FixedPolicy::pinned(3);
+        assert_eq!(pinned.target(&inputs(100, 1, 0)), 3);
+        assert_eq!(pinned.target(&inputs(0, 1, 7)), 3);
+        let mut manual = FixedPolicy::manual();
+        assert_eq!(manual.target(&inputs(100, 1, 7)), 7);
+        assert_eq!(manual.target(&inputs(0, 1, 0)), 0);
+    }
+
+    #[test]
+    fn registry_backs_all_policy_names_exactly() {
+        let registered: Vec<&str> = POLICY_REGISTRY.iter().map(|(n, _)| *n).collect();
+        assert_eq!(registered, ALL_POLICY_NAMES);
+        for &name in ALL_POLICY_NAMES {
+            let policy = build(name).unwrap_or_else(|| panic!("{name} not registered"));
+            assert_eq!(policy.name(), name);
+        }
+        assert!(build("no-such-policy").is_none());
+    }
+
+    #[test]
+    fn default_built_policies_behave_like_their_types() {
+        // "paper" from the registry must reproduce the hard-coded rule.
+        let mut p = build("paper").unwrap();
+        assert_eq!(p.target(&inputs(96, 64, 0)), 32);
+        // "fixed" from the registry is the manual variant.
+        let mut f = build("fixed").unwrap();
+        assert_eq!(f.target(&inputs(96, 64, 5)), 5);
+    }
+}

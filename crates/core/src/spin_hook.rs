@@ -100,13 +100,15 @@ impl SpinHook {
 mod tests {
     use super::*;
     use crate::config::LoadControlConfig;
-    use crate::controller::ControllerMode;
+    use crate::policy::FixedPolicy;
     use std::time::Duration;
 
     #[test]
     fn pause_spins_when_not_overloaded() {
-        let lc = LoadControl::new(LoadControlConfig::for_capacity(4));
-        lc.set_mode(ControllerMode::Manual);
+        let lc = LoadControl::with_policy(
+            LoadControlConfig::for_capacity(4),
+            Box::new(FixedPolicy::manual()),
+        );
         let mut hook = SpinHook::new(&lc);
         for _ in 0..500 {
             assert!(!hook.pause());
@@ -118,10 +120,10 @@ mod tests {
 
     #[test]
     fn pause_sleeps_under_overload_and_wakes_on_target_drop() {
-        let lc = LoadControl::new(
+        let lc = LoadControl::with_policy(
             LoadControlConfig::for_capacity(1).with_sleep_timeout(Duration::from_millis(20)),
+            Box::new(FixedPolicy::manual()),
         );
-        lc.set_mode(ControllerMode::Manual);
         lc.set_sleep_target(1);
         let mut hook = SpinHook::new(&lc);
         let mut slept = false;

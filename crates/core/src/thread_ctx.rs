@@ -8,11 +8,19 @@
 //! (the "drop-in library" deployment of the paper) or eagerly through
 //! [`crate::LoadControl::register_worker`].
 //!
-//! [`LoadControlPolicy`] is the [`SpinPolicy`] plugged into the
-//! time-published lock's polling loop: it checks the sleep-slot buffer every
-//! few iterations, claims a slot when the controller wants threads to sleep,
-//! aborts the lock attempt, parks until the slot is cleared or a timeout
-//! expires, and then retries the lock.
+//! The client-side algorithm itself is packaged twice, at two altitudes:
+//!
+//! * [`LoadGate`] is the reusable waiter-side gate: *any* waiting loop — a
+//!   lock's polling loop, a semaphore's CAS loop, a condition-variable wait,
+//!   a custom barrier — calls [`LoadGate::check`] once per iteration and,
+//!   when it returns `true`, abandons whatever wait state it holds and calls
+//!   [`LoadGate::park`].  The gate owns the claim/park/leave protocol against
+//!   the slot buffer.
+//! * [`LoadControlPolicy`] adapts the gate to the [`SpinPolicy`] interface of
+//!   [`lc_locks::AbortableLock`]: it checks the buffer every few iterations,
+//!   claims a slot when the controller wants threads to sleep, aborts the
+//!   lock attempt, parks until the slot is cleared or a timeout expires, and
+//!   then retries the lock.
 
 use crate::config::LoadControlConfig;
 use crate::controller::LoadControl;
@@ -178,14 +186,151 @@ impl Drop for WorkerRegistration {
     }
 }
 
-/// The client-side load-control algorithm, as a [`SpinPolicy`].
+/// The reusable waiter-side gate of the load-control mechanism.
 ///
-/// Plugged into [`lc_locks::TimePublishedLock::lock_with`] by
-/// [`crate::LcLock`]; can equally be used with any other abort-capable lock.
-pub struct LoadControlPolicy {
+/// A `LoadGate` is created per waiting episode (it is per-thread state and is
+/// deliberately `!Send`).  The waiting loop calls [`LoadGate::check`] once
+/// per polling iteration; when it returns `true` the gate has claimed a sleep
+/// slot and the caller should abandon its wait state (leave the lock queue,
+/// withdraw a writer announcement, …) and call [`LoadGate::park`], which
+/// blocks until the controller clears the slot, load drops, or the sleep
+/// timeout expires.  A caller that obtains the awaited resource with a claim
+/// still pending calls [`LoadGate::cancel`] instead (paper §3.1.2's
+/// lock-won-while-committing window).
+///
+/// Everything load-controlled — [`crate::LcLock`], [`crate::LcRwLock`],
+/// [`crate::LcSemaphore`], [`crate::LcCondvar`], [`crate::SpinHook`] — waits
+/// through this one gate, which is what makes load management uniform across
+/// heterogeneous primitives.
+pub struct LoadGate {
     ctx: Rc<ThreadCtx>,
     config: LoadControlConfig,
     claimed: Option<usize>,
+    sleeps: u64,
+}
+
+impl fmt::Debug for LoadGate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LoadGate")
+            .field("claimed", &self.claimed)
+            .field("sleeps", &self.sleeps)
+            .finish()
+    }
+}
+
+impl LoadGate {
+    /// Creates a gate for the calling thread on `control`.
+    pub fn new(control: &Arc<LoadControl>) -> Self {
+        Self::from_ctx(current_ctx(control), control.config())
+    }
+
+    pub(crate) fn from_ctx(ctx: Rc<ThreadCtx>, config: LoadControlConfig) -> Self {
+        Self {
+            ctx,
+            config,
+            claimed: None,
+            sleeps: 0,
+        }
+    }
+
+    /// Whether the gate currently holds a sleep-slot claim (the caller must
+    /// resolve it with [`LoadGate::park`] or [`LoadGate::cancel`]).
+    pub fn has_claim(&self) -> bool {
+        self.claimed.is_some()
+    }
+
+    /// Number of times this gate has parked its thread.
+    pub fn sleeps(&self) -> u64 {
+        self.sleeps
+    }
+
+    /// The per-iteration check of the client-side algorithm (Figure 7,
+    /// right): every `slot_check_period` iterations, consult the slot buffer
+    /// and claim a slot if the controller wants threads asleep.
+    ///
+    /// Returns `true` when a claim is held — the caller should abandon its
+    /// wait and [`LoadGate::park`].
+    pub fn check(&mut self, iteration: u64) -> bool {
+        if self.claimed.is_some() {
+            // Defensive: an earlier claim was never resolved by the caller.
+            return true;
+        }
+        if !iteration.is_multiple_of(u64::from(self.config.slot_check_period)) {
+            return false;
+        }
+        self.try_claim()
+    }
+
+    /// Attempts to claim a sleep slot right now (the unconditioned form of
+    /// [`LoadGate::check`]).  Returns `true` if a claim is held.
+    pub fn try_claim(&mut self) -> bool {
+        if self.claimed.is_some() {
+            return true;
+        }
+        // Never volunteer to sleep while holding another load-controlled lock
+        // (extension of paper §6.1.2: avoids creating our own priority
+        // inversion).
+        if self.ctx.holds_locks() {
+            return false;
+        }
+        let buffer = self.ctx.control.buffer();
+        if !buffer.has_space() {
+            return false;
+        }
+        match buffer.try_claim(self.ctx.sleeper) {
+            ClaimOutcome::Claimed(idx) => {
+                self.claimed = Some(idx);
+                true
+            }
+            ClaimOutcome::NoSpace | ClaimOutcome::Raced => false,
+        }
+    }
+
+    /// Parks the thread in its claimed slot until the controller clears it or
+    /// the sleep timeout expires; a no-op without a claim.
+    ///
+    /// Returns `true` if the thread actually slept.
+    pub fn park(&mut self) -> bool {
+        match self.claimed.take() {
+            Some(idx) => {
+                self.sleeps += 1;
+                self.ctx.sleep_in_slot(idx, &self.config);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Releases a pending claim without sleeping (the caller obtained the
+    /// awaited resource between claiming and parking); a no-op without a
+    /// claim.
+    pub fn cancel(&mut self) {
+        if let Some(idx) = self.claimed.take() {
+            self.ctx.control.buffer().leave(idx, self.ctx.sleeper);
+        }
+    }
+
+    pub(crate) fn ctx(&self) -> &Rc<ThreadCtx> {
+        &self.ctx
+    }
+}
+
+impl Drop for LoadGate {
+    fn drop(&mut self) {
+        // A claim must never leak: an unresolved claim would permanently
+        // inflate `S − W` and shrink the controller's working target.
+        self.cancel();
+    }
+}
+
+/// The client-side load-control algorithm, as a [`SpinPolicy`].
+///
+/// A thin adapter over [`LoadGate`]: plugged into
+/// [`lc_locks::AbortableLock::lock_with`] by [`crate::LcLock`],
+/// [`crate::LcRwLock`] and [`crate::LcSemaphore`]; can equally be used with
+/// any other abort-capable waiting loop.
+pub struct LoadControlPolicy {
+    gate: LoadGate,
     /// Number of times this acquisition has slept (for tests/diagnostics).
     pub sleeps_this_acquire: u32,
 }
@@ -193,7 +338,7 @@ pub struct LoadControlPolicy {
 impl fmt::Debug for LoadControlPolicy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("LoadControlPolicy")
-            .field("claimed", &self.claimed)
+            .field("gate", &self.gate)
             .field("sleeps_this_acquire", &self.sleeps_this_acquire)
             .finish()
     }
@@ -202,21 +347,15 @@ impl fmt::Debug for LoadControlPolicy {
 impl LoadControlPolicy {
     /// Creates the policy for the calling thread on `control`.
     pub fn new(control: &Arc<LoadControl>) -> Self {
-        let ctx = current_ctx(control);
-        let config = control.config();
         Self {
-            ctx,
-            config,
-            claimed: None,
+            gate: LoadGate::new(control),
             sleeps_this_acquire: 0,
         }
     }
 
     pub(crate) fn from_ctx(ctx: Rc<ThreadCtx>, config: LoadControlConfig) -> Self {
         Self {
-            ctx,
-            config,
-            claimed: None,
+            gate: LoadGate::from_ctx(ctx, config),
             sleeps_this_acquire: 0,
         }
     }
@@ -225,50 +364,28 @@ impl LoadControlPolicy {
 impl SpinPolicy for LoadControlPolicy {
     fn on_spin(&mut self, spins: u64) -> SpinDecision {
         if spins == 1 {
-            self.ctx.handle.set_state(ThreadState::Spinning);
+            self.gate.ctx().handle.set_state(ThreadState::Spinning);
         }
-        if self.claimed.is_some() {
-            // Defensive: we already asked to abort.
-            return SpinDecision::Abort;
-        }
-        if !spins.is_multiple_of(u64::from(self.config.slot_check_period)) {
-            return SpinDecision::Continue;
-        }
-        // Never volunteer to sleep while holding another load-controlled lock
-        // (extension of paper §6.1.2: avoids creating our own priority
-        // inversion).
-        if self.ctx.holds_locks() {
-            return SpinDecision::Continue;
-        }
-        let buffer = self.ctx.control.buffer();
-        if !buffer.has_space() {
-            return SpinDecision::Continue;
-        }
-        match buffer.try_claim(self.ctx.sleeper) {
-            ClaimOutcome::Claimed(idx) => {
-                self.claimed = Some(idx);
-                SpinDecision::Abort
-            }
-            ClaimOutcome::NoSpace | ClaimOutcome::Raced => SpinDecision::Continue,
+        if self.gate.check(spins) {
+            SpinDecision::Abort
+        } else {
+            SpinDecision::Continue
         }
     }
 
     fn on_aborted(&mut self) {
-        if let Some(idx) = self.claimed.take() {
+        if self.gate.park() {
             self.sleeps_this_acquire += 1;
-            self.ctx.sleep_in_slot(idx, &self.config);
         }
         // If we were aborted without a claim (the lock skipped us while we
         // looked preempted) we simply retry immediately.
     }
 
     fn on_acquired(&mut self, _spins: u64) {
-        if let Some(idx) = self.claimed.take() {
-            // We won the lock in the window between claiming a slot and
-            // sleeping: clear the claim and proceed (paper §3.1.2).
-            self.ctx.control.buffer().leave(idx, self.ctx.sleeper);
-        }
-        self.ctx.handle.set_state(ThreadState::Running);
+        // We may have won the lock in the window between claiming a slot and
+        // sleeping: clear the claim and proceed (paper §3.1.2).
+        self.gate.cancel();
+        self.gate.ctx().handle.set_state(ThreadState::Running);
     }
 }
 
@@ -286,12 +403,13 @@ pub fn accounted_sleep(control: &Arc<LoadControl>, state: ThreadState, duration:
 mod tests {
     use super::*;
     use crate::config::LoadControlConfig;
-    use crate::controller::ControllerMode;
+    use crate::policy::FixedPolicy;
 
     fn test_control(capacity: usize) -> Arc<LoadControl> {
-        let lc = LoadControl::new(LoadControlConfig::for_capacity(capacity));
-        lc.set_mode(ControllerMode::Manual);
-        lc
+        LoadControl::with_policy(
+            LoadControlConfig::for_capacity(capacity),
+            Box::new(FixedPolicy::manual()),
+        )
     }
 
     #[test]
@@ -359,10 +477,10 @@ mod tests {
 
     #[test]
     fn policy_sleep_times_out_on_its_own() {
-        let lc = LoadControl::new(
+        let lc = LoadControl::with_policy(
             LoadControlConfig::for_capacity(1).with_sleep_timeout(Duration::from_millis(10)),
+            Box::new(FixedPolicy::manual()),
         );
-        lc.set_mode(ControllerMode::Manual);
         lc.set_sleep_target(1);
         let mut p = LoadControlPolicy::new(&lc);
         let period = u64::from(lc.config().slot_check_period);
@@ -409,6 +527,61 @@ mod tests {
             aborted |= p2.on_spin(i) == SpinDecision::Abort;
         }
         assert!(aborted);
+    }
+
+    #[test]
+    fn gate_claims_parks_and_balances_the_buffer() {
+        let lc = test_control(1);
+        lc.set_sleep_target(1);
+        let mut gate = LoadGate::new(&lc);
+        let period = u64::from(lc.config().slot_check_period);
+        // Off-period iterations never touch the buffer.
+        assert!(!gate.check(period + 1));
+        assert!(gate.check(period));
+        assert!(gate.has_claim());
+        assert_eq!(lc.sleepers(), 1);
+
+        // Clear the claim from another thread shortly after we park.
+        let lc2 = Arc::clone(&lc);
+        let waker = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            lc2.set_sleep_target(0);
+        });
+        assert!(gate.park());
+        waker.join().unwrap();
+        assert_eq!(gate.sleeps(), 1);
+        assert!(!gate.has_claim());
+        assert_eq!(lc.sleepers(), 0);
+        let stats = lc.buffer().stats();
+        assert_eq!(stats.ever_slept, stats.woken_and_left);
+    }
+
+    #[test]
+    fn gate_cancel_releases_without_sleeping() {
+        let lc = test_control(1);
+        lc.set_sleep_target(1);
+        let mut gate = LoadGate::new(&lc);
+        assert!(gate.try_claim());
+        assert_eq!(lc.sleepers(), 1);
+        gate.cancel();
+        assert_eq!(lc.sleepers(), 0);
+        assert_eq!(gate.sleeps(), 0);
+        // park without a claim is a no-op.
+        assert!(!gate.park());
+    }
+
+    #[test]
+    fn dropping_a_gate_never_leaks_a_claim() {
+        let lc = test_control(1);
+        lc.set_sleep_target(1);
+        {
+            let mut gate = LoadGate::new(&lc);
+            assert!(gate.try_claim());
+            assert_eq!(lc.sleepers(), 1);
+        }
+        assert_eq!(lc.sleepers(), 0);
+        let stats = lc.buffer().stats();
+        assert_eq!(stats.ever_slept, stats.woken_and_left);
     }
 
     #[test]

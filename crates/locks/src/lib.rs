@@ -4,7 +4,7 @@
 //! *Decoupling Contention Management from Scheduling* (Johnson, Stoica,
 //! Ailamaki, Mowry — ASPLOS 2010) evaluates against, plus the small amount of
 //! shared infrastructure (spin backoff, thread parking, a generic `Mutex`
-//! wrapper) that the load-control mechanism in [`lc-core`] builds on.
+//! wrapper) that the load-control mechanism in `lc-core` builds on.
 //!
 //! ## Lock families
 //!
@@ -15,6 +15,12 @@
 //!   skipped at release time, and waiting can be aborted).
 //! * **Spin-then-yield** — [`SpinThenYieldLock`] spins briefly and then calls
 //!   `std::thread::yield_now`, using the OS scheduler as a backoff device.
+//! * **Shared/exclusive and counting** — [`RawRwLock`] (a writer-preference
+//!   reader-writer spinlock whose readers *and* writers can abort their
+//!   waits) and [`RawSemaphore`] (an abortable counting semaphore; with one
+//!   permit it doubles as a spin mutex).  These extend the abortable-waiting
+//!   contract beyond mutual exclusion so the whole sync surface can be
+//!   load-controlled.
 //! * **Blocking** — [`BlockingLock`] parks every waiter (the behaviour of a
 //!   classic heavyweight mutex), [`AdaptiveLock`] spins while the holder
 //!   appears to be running and blocks otherwise (a Solaris-adaptive-mutex /
@@ -61,6 +67,8 @@ pub mod mutex;
 pub mod parker;
 pub mod raw;
 pub mod registry;
+pub mod rwlock;
+pub mod semaphore;
 pub mod spin_then_yield;
 pub mod spin_wait;
 pub mod stats;
@@ -79,6 +87,8 @@ pub use raw::{
     SpinPolicy,
 };
 pub use registry::{DynLock, DynMutex, DynMutexGuard, LockFactory};
+pub use rwlock::RawRwLock;
+pub use semaphore::RawSemaphore;
 pub use spin_then_yield::SpinThenYieldLock;
 pub use spin_wait::{Backoff, SpinWait};
 pub use stats::{LockStats, LockStatsSnapshot};
@@ -99,6 +109,8 @@ pub const ALL_LOCK_NAMES: &[&str] = &[
     "mcs",
     "tp-queue",
     "spin-then-yield",
+    "rw-lock",
+    "semaphore",
     "blocking",
     "adaptive",
 ];
@@ -115,6 +127,8 @@ pub const ABORTABLE_LOCK_NAMES: &[&str] = &[
     "mcs",
     "tp-queue",
     "spin-then-yield",
+    "rw-lock",
+    "semaphore",
 ];
 
 #[cfg(test)]
@@ -123,12 +137,12 @@ mod crate_tests {
 
     #[test]
     fn all_lock_names_is_consistent() {
-        assert_eq!(ALL_LOCK_NAMES.len(), 8);
+        assert_eq!(ALL_LOCK_NAMES.len(), 10);
         // No duplicates.
         let mut names: Vec<&str> = ALL_LOCK_NAMES.to_vec();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 8);
+        assert_eq!(names.len(), 10);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! MCS queue spinlock (Mellor-Crummey & Scott, reference [24]) with an
+//! MCS queue spinlock (Mellor-Crummey & Scott, reference \[24\]) with an
 //! abortable waiting path.
 //!
 //! Waiters form an explicit FIFO linked list; each spins on a flag in its own

@@ -16,8 +16,8 @@
 
 use crate::raw::{AbortableLock, RawLock, RawTryLock, SpinPolicy};
 use crate::{
-    AdaptiveLock, BlockingLock, McsLock, SpinThenYieldLock, TasLock, TicketLock, TimePublishedLock,
-    TtasLock,
+    AdaptiveLock, BlockingLock, McsLock, RawRwLock, RawSemaphore, SpinThenYieldLock, TasLock,
+    TicketLock, TimePublishedLock, TtasLock,
 };
 use std::cell::UnsafeCell;
 use std::fmt;
@@ -155,6 +155,10 @@ registry! {
     "mcs" => Abortable(McsLock),
     "tp-queue" => Abortable(TimePublishedLock),
     "spin-then-yield" => Abortable(SpinThenYieldLock),
+    // The rwlock and semaphore join through their exclusive/binary modes, in
+    // which they satisfy the mutex contract the registry surface promises.
+    "rw-lock" => Abortable(RawRwLock),
+    "semaphore" => Abortable(RawSemaphore),
     "blocking" => NonAbortable(BlockingLock),
     "adaptive" => NonAbortable(AdaptiveLock),
 }

@@ -1,0 +1,249 @@
+//! An abortable counting semaphore on a single permit word.
+//!
+//! Completes the load-controlled sync surface: thread pools, connection
+//! pools and admission throttles bound concurrency with semaphores, and under
+//! oversubscription their waiters spin just like mutex waiters do — so they
+//! should be able to donate their CPU to load control the same way.
+//!
+//! The semaphore is one [`AtomicU64`] of available permits.  Acquisition is a
+//! CAS decrement, release a `fetch_add`; a waiter holds *no* state inside the
+//! semaphore, so aborting a wait ([`SpinDecision::Abort`]) is trivially clean:
+//! stop polling, run [`SpinPolicy::on_aborted`] (where a load-control policy
+//! parks), and retry.
+//!
+//! With its default single permit the semaphore is a spin mutex, which is how
+//! it implements [`RawLock`]/[`AbortableLock`] and joins the lock registry
+//! and the generic abort-semantics suite.  Note that a semaphore — unlike a
+//! mutex — has no owner: the [`RawLock::unlock`] safety contract here means
+//! "the caller logically holds one permit", and with more than one permit the
+//! [`RawLock`] surface no longer guarantees mutual exclusion (use
+//! [`RawSemaphore::with_permits`] deliberately).
+
+use crate::raw::{AbortableLock, RawLock, RawTryLock, SpinDecision, SpinPolicy};
+use crossbeam_utils::CachePadded;
+use std::hint;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// An abortable counting semaphore.
+///
+/// ```
+/// use lc_locks::RawSemaphore;
+/// let sem = RawSemaphore::with_permits(2);
+/// sem.acquire();
+/// sem.acquire();
+/// assert!(!sem.try_acquire());
+/// unsafe { sem.release() };
+/// assert!(sem.try_acquire());
+/// unsafe { sem.release() };
+/// unsafe { sem.release() };
+/// assert_eq!(sem.available(), 2);
+/// ```
+#[derive(Debug)]
+pub struct RawSemaphore {
+    permits: CachePadded<AtomicU64>,
+    initial: u64,
+}
+
+impl Default for RawSemaphore {
+    fn default() -> Self {
+        <Self as RawLock>::new()
+    }
+}
+
+impl RawSemaphore {
+    /// Creates a semaphore with `permits` initial permits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `permits` is zero (such a semaphore could never be acquired).
+    pub fn with_permits(permits: u64) -> Self {
+        assert!(permits > 0, "a semaphore needs at least one permit");
+        Self {
+            permits: CachePadded::new(AtomicU64::new(permits)),
+            initial: permits,
+        }
+    }
+
+    /// Permits currently available (racy, diagnostics only).
+    pub fn available(&self) -> u64 {
+        self.permits.load(Ordering::Relaxed)
+    }
+
+    /// The number of permits the semaphore was created with.
+    pub fn initial_permits(&self) -> u64 {
+        self.initial
+    }
+
+    /// Acquires one permit, spinning until one is available.
+    pub fn acquire(&self) {
+        self.acquire_with(&mut crate::raw::NeverAbort);
+    }
+
+    /// Acquires one permit, consulting `policy` on every polling iteration
+    /// (the [`AbortableLock`]-style waiting loop).
+    pub fn acquire_with<P: SpinPolicy + ?Sized>(&self, policy: &mut P) {
+        let mut spins = 0u64;
+        loop {
+            let p = self.permits.load(Ordering::Acquire);
+            if p > 0 {
+                if self
+                    .permits
+                    .compare_exchange_weak(p, p - 1, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    policy.on_acquired(spins);
+                    return;
+                }
+                // Lost the CAS race: retry immediately.
+                continue;
+            }
+            spins += 1;
+            match policy.on_spin(spins) {
+                SpinDecision::Continue => hint::spin_loop(),
+                // No wait state to tear down: abort is just a notification.
+                SpinDecision::Abort => policy.on_aborted(),
+            }
+        }
+    }
+
+    /// Attempts to acquire one permit without waiting.
+    pub fn try_acquire(&self) -> bool {
+        let p = self.permits.load(Ordering::Acquire);
+        p > 0
+            && self
+                .permits
+                .compare_exchange(p, p - 1, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+    }
+
+    /// Returns one permit.
+    ///
+    /// # Safety
+    ///
+    /// The caller must logically hold a permit (one `release` per successful
+    /// `acquire`/`try_acquire`); releasing permits that were never acquired
+    /// would let the population exceed the configured bound.
+    pub unsafe fn release(&self) {
+        let prev = self.permits.fetch_add(1, Ordering::Release);
+        debug_assert!(prev < self.initial, "released more permits than acquired");
+    }
+}
+
+unsafe impl RawLock for RawSemaphore {
+    /// A binary (single-permit) semaphore — the configuration under which the
+    /// [`RawLock`] mutual-exclusion contract holds.
+    fn new() -> Self {
+        Self::with_permits(1)
+    }
+
+    fn lock(&self) {
+        self.acquire();
+    }
+
+    unsafe fn unlock(&self) {
+        self.release();
+    }
+
+    fn is_locked(&self) -> bool {
+        self.available() == 0
+    }
+
+    fn name(&self) -> &'static str {
+        "semaphore"
+    }
+}
+
+unsafe impl RawTryLock for RawSemaphore {
+    fn try_lock(&self) -> bool {
+        self.try_acquire()
+    }
+}
+
+unsafe impl AbortableLock for RawSemaphore {
+    fn lock_with<P: SpinPolicy + ?Sized>(&self, policy: &mut P) {
+        self.acquire_with(policy);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::raw::AbortAfter;
+    use std::sync::atomic::{AtomicU64 as StdU64, Ordering as StdOrdering};
+    use std::sync::Arc;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn permits_bound_concurrent_holders() {
+        let sem = Arc::new(RawSemaphore::with_permits(3));
+        let holders = Arc::new(StdU64::new(0));
+        let peak = Arc::new(StdU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let (sem, holders, peak) = (Arc::clone(&sem), Arc::clone(&holders), Arc::clone(&peak));
+            handles.push(thread::spawn(move || {
+                for _ in 0..1_000 {
+                    sem.acquire();
+                    let now = holders.fetch_add(1, StdOrdering::SeqCst) + 1;
+                    peak.fetch_max(now, StdOrdering::SeqCst);
+                    holders.fetch_sub(1, StdOrdering::SeqCst);
+                    unsafe { sem.release() };
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(peak.load(StdOrdering::SeqCst) <= 3, "permit bound violated");
+        assert_eq!(sem.available(), 3);
+    }
+
+    #[test]
+    fn try_acquire_fails_only_when_exhausted() {
+        let sem = RawSemaphore::with_permits(2);
+        assert!(sem.try_acquire());
+        assert!(sem.try_acquire());
+        assert!(!sem.try_acquire());
+        unsafe { sem.release() };
+        assert!(sem.try_acquire());
+        unsafe { sem.release() };
+        unsafe { sem.release() };
+    }
+
+    #[test]
+    fn aborting_waiter_eventually_acquires() {
+        let sem = Arc::new(RawSemaphore::with_permits(1));
+        sem.acquire();
+        let s2 = Arc::clone(&sem);
+        let waiter = thread::spawn(move || {
+            let mut policy = AbortAfter::new(32);
+            s2.acquire_with(&mut policy);
+            unsafe { s2.release() };
+            policy.aborts
+        });
+        thread::sleep(Duration::from_millis(30));
+        unsafe { sem.release() };
+        let aborts = waiter.join().unwrap();
+        assert!(aborts >= 1, "waiter should have aborted while starved");
+        assert_eq!(sem.available(), 1);
+    }
+
+    #[test]
+    fn binary_semaphore_is_a_mutex() {
+        let sem = RawSemaphore::new();
+        assert_eq!(RawLock::name(&sem), "semaphore");
+        assert_eq!(sem.initial_permits(), 1);
+        sem.lock();
+        assert!(sem.is_locked());
+        assert!(!sem.try_lock());
+        unsafe { sem.unlock() };
+        assert!(!sem.is_locked());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one permit")]
+    fn zero_permits_panics() {
+        let _ = RawSemaphore::with_permits(0);
+    }
+}

@@ -3,7 +3,7 @@
 //! After a short burst of pure spinning the waiter calls
 //! `std::thread::yield_now`, giving the scheduler a chance to run whoever
 //! holds the lock (Ousterhout's "scheduling techniques for concurrent
-//! systems", reference [27]).  The paper groups this with the backoff family:
+//! systems", reference \[27\]).  The paper groups this with the backoff family:
 //! it removes waiters from the CPU, but the waiter cannot be woken early, so
 //! handoff latency depends entirely on when the scheduler happens to run it
 //! again.

@@ -6,7 +6,7 @@ use std::thread;
 /// Exponential backoff for contended atomic operations.
 ///
 /// Modeled on the classic test-and-test-and-set-with-backoff loop of Agarwal
-/// and Cherian (ISCA 1989, reference [1] in the paper): the delay between
+/// and Cherian (ISCA 1989, reference \[1\] in the paper): the delay between
 /// retries doubles up to a cap, which drains the "thundering herd" that forms
 /// when many waiters observe a release simultaneously.
 ///

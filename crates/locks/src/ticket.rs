@@ -1,7 +1,7 @@
 //! Ticket lock: FIFO handoff through a pair of counters — now with a real
 //! abort path.
 //!
-//! Reed & Kanodia's eventcount/sequencer scheme (reference [29] in the paper).
+//! Reed & Kanodia's eventcount/sequencer scheme (reference \[29\] in the paper).
 //! Arrivals take a ticket with `fetch_add`; the lock is held by the thread
 //! whose ticket equals the "now serving" counter.  FIFO order eliminates
 //! starvation and the thundering herd, but — exactly as the paper notes for

@@ -1,5 +1,5 @@
 //! A time-published FIFO queue lock — the suite's stand-in for TP-MCS
-//! (He, Scherer & Scott, HiPC 2005; reference [15] in the paper).
+//! (He, Scherer & Scott, HiPC 2005; reference \[15\] in the paper).
 //!
 //! # What "time-published" buys
 //!

@@ -2,7 +2,7 @@
 //!
 //! Waiters poll with plain loads (no bus-locking writes) and only attempt the
 //! atomic swap when the lock looks free; failed attempts back off
-//! exponentially (Agarwal & Cherian, reference [1] in the paper).  This fixes
+//! exponentially (Agarwal & Cherian, reference \[1\] in the paper).  This fixes
 //! the coherence-traffic problem of [`crate::TasLock`] but introduces the
 //! backoff tuning trade-off the paper discusses in §2.2: long backoffs waste
 //! handoff latency, short ones waste CPU.

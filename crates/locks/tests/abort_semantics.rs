@@ -13,8 +13,8 @@
 //!   with aborting waiters.
 
 use lc_locks::{
-    AbortableLock, BoundedAbort, McsLock, RawTryLock, SpinDecision, SpinPolicy, SpinThenYieldLock,
-    TasLock, TicketLock, TimePublishedLock, TtasLock,
+    AbortableLock, BoundedAbort, McsLock, RawRwLock, RawSemaphore, RawTryLock, SpinDecision,
+    SpinPolicy, SpinThenYieldLock, TasLock, TicketLock, TimePublishedLock, TtasLock,
 };
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
@@ -226,4 +226,8 @@ abort_semantics_suite! {
     mcs => McsLock,
     tp_queue => TimePublishedLock,
     spin_then_yield => SpinThenYieldLock,
+    // Exclusive mode of the rwlock and binary mode of the semaphore: the new
+    // sync surface obeys the same abortable-waiting contract as the mutexes.
+    rw_lock => RawRwLock,
+    semaphore => RawSemaphore,
 }

@@ -103,17 +103,25 @@ impl LockPolicy {
     /// Constructs the policy labelled `name` with its default parameters, or
     /// `None` for an unknown label.
     ///
-    /// Accepts every label produced by [`LockPolicy::name`], so experiment
-    /// configurations can select simulator policies and real lock backends
-    /// with the same strings.  `"ticket"` is accepted as an alias of the
-    /// strict-FIFO model (the simulator does not distinguish the two FIFO
-    /// spinlocks).
+    /// Accepts every label produced by [`LockPolicy::name`] *and* every lock
+    /// name in `lc_locks::ALL_LOCK_NAMES`, so experiment configurations can
+    /// select simulator policies and real lock backends with the same strings
+    /// (a registry-consistency test keeps the two lists in lockstep).  The
+    /// simulator has fewer models than the suite has lock families, so
+    /// several names alias the nearest model:
+    ///
+    /// * `"ticket"` — strict-FIFO spinning, like `"mcs"`;
+    /// * `"tas"`, `"ttas-backoff"`, `"rw-lock"`, `"semaphore"` — unordered
+    ///   spinning, modeled as the non-FIFO `"tp-queue"` policy (the rwlock
+    ///   and semaphore are modeled through their exclusive/binary modes);
+    /// * `"spin-then-yield"` — spins and then involves the scheduler, modeled
+    ///   as the adaptive spin-then-block policy.
     pub fn from_name(name: &str) -> Option<Self> {
         Some(match name {
             "mcs" | "ticket" => LockPolicy::spin_fifo(),
-            "tp-queue" => LockPolicy::spin(),
+            "tp-queue" | "tas" | "ttas-backoff" | "rw-lock" | "semaphore" => LockPolicy::spin(),
             "blocking" => LockPolicy::blocking(),
-            "adaptive" => LockPolicy::adaptive(),
+            "adaptive" | "spin-then-yield" => LockPolicy::adaptive(),
             "load-control" => LockPolicy::load_controlled(),
             "load-backoff" => LockPolicy::load_backoff(),
             _ => return None,

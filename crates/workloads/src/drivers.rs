@@ -4,11 +4,11 @@
 //! `lc-core` (as opposed to the simulator models) and are used by the
 //! criterion benches, the examples and the integration tests.
 
-use lc_core::{LcMutex, LoadControl};
+use lc_core::{LcMutex, LcRwLock, LcSemaphore, LoadControl};
 use lc_locks::registry::DynMutex;
 use lc_locks::{
-    AbortableLock, McsLock, Mutex, RawLock, SpinThenYieldLock, TasLock, TicketLock,
-    TimePublishedLock, TtasLock,
+    AbortableLock, McsLock, Mutex, RawLock, RawRwLock, RawSemaphore, SpinThenYieldLock, TasLock,
+    TicketLock, TimePublishedLock, TtasLock,
 };
 use std::hint;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -157,7 +157,155 @@ pub fn run_microbench_lc_named(
         "mcs" => run_microbench_lc_backend::<McsLock>(config, control),
         "tp-queue" => run_microbench_lc_backend::<TimePublishedLock>(config, control),
         "spin-then-yield" => run_microbench_lc_backend::<SpinThenYieldLock>(config, control),
+        // Exclusive / binary modes of the rest of the sync surface.
+        "rw-lock" => run_microbench_lc_backend::<RawRwLock>(config, control),
+        "semaphore" => run_microbench_lc_backend::<RawSemaphore>(config, control),
         _ => return None,
+    })
+}
+
+/// Configuration of the reader-writer oversubscription scenarios: `threads`
+/// workers each loop over one [`LcRwLock`]-protected table, taking the write
+/// lock on `write_percent` % of iterations and the read lock otherwise.
+#[derive(Debug, Clone, Copy)]
+pub struct RwMicrobenchConfig {
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Percentage (0–100) of iterations that take the write lock.
+    pub write_percent: u32,
+    /// Approximate critical-section length (busy-wait iterations).
+    pub critical_iters: u32,
+    /// Approximate delay between acquisitions (busy-wait iterations).
+    pub delay_iters: u32,
+    /// Wall-clock measurement duration.
+    pub duration: Duration,
+}
+
+impl RwMicrobenchConfig {
+    /// The reader-heavy scenario: 5 % writes — the catalog-cache /
+    /// configuration-snapshot shape where writer preference matters most.
+    pub fn reader_heavy(threads: usize) -> Self {
+        Self {
+            threads,
+            write_percent: 5,
+            critical_iters: 40,
+            delay_iters: 300,
+            duration: Duration::from_millis(200),
+        }
+    }
+
+    /// The mixed scenario: 40 % writes — enough writer traffic that readers
+    /// and writers constantly trade the lock.
+    pub fn mixed(threads: usize) -> Self {
+        Self {
+            write_percent: 40,
+            ..Self::reader_heavy(threads)
+        }
+    }
+}
+
+/// Result of one reader-writer microbenchmark run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RwMicrobenchResult {
+    /// Total shared acquisitions across all threads.
+    pub reads: u64,
+    /// Total exclusive acquisitions across all threads.
+    pub writes: u64,
+    /// Measured wall-clock duration.
+    pub elapsed: Duration,
+}
+
+impl RwMicrobenchResult {
+    /// Acquisitions (read + write) per second.
+    pub fn throughput(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        (self.reads + self.writes) as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+/// Runs the reader-writer microbenchmark over a load-controlled
+/// [`LcRwLock`] attached to `control`.
+///
+/// Writers increment two counters under the exclusive lock; readers assert
+/// they are equal under the shared lock, so the run doubles as a consistency
+/// check while measuring.
+pub fn run_rw_microbench_lc(
+    config: RwMicrobenchConfig,
+    control: &Arc<LoadControl>,
+) -> RwMicrobenchResult {
+    let table = Arc::new(LcRwLock::new_with((0u64, 0u64), control));
+    let stop = Arc::new(AtomicBool::new(false));
+    let reads = Arc::new(AtomicU64::new(0));
+    let writes = Arc::new(AtomicU64::new(0));
+    let mut handles = Vec::with_capacity(config.threads);
+    for worker in 0..config.threads {
+        let table = Arc::clone(&table);
+        let control = Arc::clone(control);
+        let stop = Arc::clone(&stop);
+        let reads = Arc::clone(&reads);
+        let writes = Arc::clone(&writes);
+        handles.push(std::thread::spawn(move || {
+            let _w = control.register_worker();
+            let (mut local_reads, mut local_writes) = (0u64, 0u64);
+            let mut i = worker as u64; // offset so writers desynchronize
+            while !stop.load(Ordering::Relaxed) {
+                i += 1;
+                if (i % 100) < u64::from(config.write_percent) {
+                    let mut g = table.write();
+                    g.0 += 1;
+                    g.1 += 1;
+                    busy_work(config.critical_iters);
+                    local_writes += 1;
+                } else {
+                    let g = table.read();
+                    assert_eq!(g.0, g.1, "readers observed a torn write");
+                    busy_work(config.critical_iters);
+                    drop(g);
+                    local_reads += 1;
+                }
+                busy_work(config.delay_iters);
+            }
+            reads.fetch_add(local_reads, Ordering::Relaxed);
+            writes.fetch_add(local_writes, Ordering::Relaxed);
+        }));
+    }
+    let start = Instant::now();
+    std::thread::sleep(config.duration);
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().expect("rw microbench worker panicked");
+    }
+    RwMicrobenchResult {
+        reads: reads.load(Ordering::Relaxed),
+        writes: writes.load(Ordering::Relaxed),
+        elapsed: start.elapsed(),
+    }
+}
+
+/// Runs a permit-pool oversubscription scenario over a load-controlled
+/// [`LcSemaphore`] with `permits` permits attached to `control`: each worker
+/// repeatedly acquires a permit, holds it for the critical busy-work, and
+/// releases it.  Returns total acquisitions.
+pub fn run_semaphore_microbench_lc(
+    permits: u64,
+    config: MicrobenchConfig,
+    control: &Arc<LoadControl>,
+) -> MicrobenchResult {
+    let pool = Arc::new(LcSemaphore::new_with(permits, control));
+    let control = Arc::clone(control);
+    run_with(config, move |cfg| {
+        let pool = Arc::clone(&pool);
+        let lc = Arc::clone(&control);
+        move || {
+            let _worker = &lc; // keep the control alive in the closure
+            {
+                let _permit = pool.acquire();
+                busy_work(cfg.critical_iters);
+            }
+            busy_work(cfg.delay_iters);
+        }
     })
 }
 
@@ -267,6 +415,49 @@ mod tests {
         }
         assert!(run_microbench_lc_named("blocking", tiny, &control).is_none());
         assert!(run_microbench_lc_named("bogus", tiny, &control).is_none());
+    }
+
+    #[test]
+    fn rw_reader_heavy_scenario_is_read_dominated() {
+        let control = LoadControl::new(LoadControlConfig::for_capacity(8));
+        let mut cfg = RwMicrobenchConfig::reader_heavy(4);
+        cfg.duration = Duration::from_millis(60);
+        let r = run_rw_microbench_lc(cfg, &control);
+        assert!(r.reads > 100, "only {} reads", r.reads);
+        assert!(
+            r.reads > r.writes * 4,
+            "reader-heavy mix was not read-dominated: {} reads / {} writes",
+            r.reads,
+            r.writes
+        );
+        assert!(r.throughput() > 0.0);
+    }
+
+    #[test]
+    fn rw_mixed_scenario_makes_progress_under_forced_overload() {
+        let control = LoadControl::start(
+            LoadControlConfig::for_capacity(2)
+                .with_update_interval(Duration::from_millis(1))
+                .with_sleep_timeout(Duration::from_millis(5)),
+        );
+        let mut cfg = RwMicrobenchConfig::mixed(6);
+        cfg.duration = Duration::from_millis(60);
+        let r = run_rw_microbench_lc(cfg, &control);
+        control.stop_controller();
+        assert!(r.writes > 10, "only {} writes", r.writes);
+        assert!(r.reads > 10, "only {} reads", r.reads);
+    }
+
+    #[test]
+    fn semaphore_scenario_makes_progress_under_forced_overload() {
+        let control = LoadControl::start(
+            LoadControlConfig::for_capacity(2)
+                .with_update_interval(Duration::from_millis(1))
+                .with_sleep_timeout(Duration::from_millis(5)),
+        );
+        let r = run_semaphore_microbench_lc(2, quick(), &control);
+        control.stop_controller();
+        assert!(r.acquisitions > 100, "only {} acquisitions", r.acquisitions);
     }
 
     #[test]

@@ -24,5 +24,5 @@
 pub mod drivers;
 pub mod scenarios;
 
-pub use drivers::{MicrobenchConfig, MicrobenchResult};
+pub use drivers::{MicrobenchConfig, MicrobenchResult, RwMicrobenchConfig, RwMicrobenchResult};
 pub use scenarios::{AppScenario, ScenarioKind};

@@ -8,18 +8,47 @@
 //! ticket spinlock, the time-published queue lock, the blocking mutex, the
 //! adaptive mutex, and the load-controlled lock, and print a small table.
 //!
+//! Everything is constructed *by name* through the two registries — the
+//! comparison locks via `lc_locks::registry` and the control policy via
+//! `lc_core::policy` — so this example is the end-to-end demonstration of the
+//! string-keyed construction path experiment configurations use:
+//!
 //! ```text
-//! cargo run --release --example oversubscribed_server
+//! cargo run --release --example oversubscribed_server [-- <policy>]
 //! ```
+//!
+//! where `<policy>` is one of `paper`, `hysteresis`, `fixed` (default:
+//! `paper`).
 
-use lc_core::{LoadControl, LoadControlConfig};
-use lc_workloads::drivers::{run_microbench_lc, run_microbench_named, MicrobenchConfig};
+use lc_core::{policy, LoadControl, LoadControlConfig};
+use lc_workloads::drivers::{
+    run_microbench_lc, run_microbench_named, run_rw_microbench_lc, MicrobenchConfig,
+    RwMicrobenchConfig,
+};
 use std::time::Duration;
 
 fn main() {
+    let policy_name = std::env::args().nth(1).unwrap_or_else(|| "paper".into());
+
     let host_cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4);
+
+    // The load-control facility is built from configuration plus a policy
+    // picked from the registry by name — validated up front so a typo fails
+    // before the measurement sweep, started only when the sweep needs it.
+    let Some(lc_builder) = LoadControl::builder(
+        LoadControlConfig::for_capacity(host_cores)
+            .with_update_interval(Duration::from_millis(3))
+            .with_sleep_timeout(Duration::from_millis(50)),
+    )
+    .policy_named(&policy_name) else {
+        eprintln!(
+            "unknown control policy {policy_name:?}; registered policies: {}",
+            policy::ALL_POLICY_NAMES.join(", ")
+        );
+        std::process::exit(1);
+    };
     // Oversubscribe the host by 2x, exactly the paper's "200 % load" point.
     let threads = host_cores * 2;
     let config = MicrobenchConfig {
@@ -30,6 +59,7 @@ fn main() {
     };
 
     println!("host contexts: {host_cores}, worker threads: {threads} (200% load)");
+    println!("control policy: {policy_name} (selected by name from lc_core::policy)");
     println!();
     println!("{:<18} {:>16} {:>12}", "mutex", "requests/sec", "vs best");
 
@@ -43,23 +73,33 @@ fn main() {
         })
         .collect();
 
-    let control = LoadControl::start(
-        LoadControlConfig::for_capacity(host_cores)
-            .with_update_interval(Duration::from_millis(3))
-            .with_sleep_timeout(Duration::from_millis(50)),
-    );
+    let control = lc_builder.start_daemon().build();
     results.push((
         "load-control",
         run_microbench_lc(config, &control).throughput(),
     ));
-    let lc_stats = control.buffer().stats();
-    control.stop_controller();
 
     let best = results.iter().map(|(_, v)| *v).fold(f64::MIN, f64::max);
     for (name, tput) in &results {
         println!("{:<18} {:>16.0} {:>11.0}%", name, tput, tput / best * 100.0);
     }
+
+    // The same controller also manages the rest of the sync surface: run the
+    // reader-heavy rwlock scenario against it.
+    let mut rw_cfg = RwMicrobenchConfig::reader_heavy(threads);
+    rw_cfg.duration = Duration::from_millis(200);
+    let rw = run_rw_microbench_lc(rw_cfg, &control);
+
+    let lc_stats = control.buffer().stats();
+    control.stop_controller();
+
     println!();
+    println!(
+        "lc-rwlock (reader-heavy): {:.0} ops/sec ({} reads, {} writes)",
+        rw.throughput(),
+        rw.reads,
+        rw.writes
+    );
     println!(
         "load control put threads to sleep {} times and woke {} of them early",
         lc_stats.ever_slept, lc_stats.controller_wakes

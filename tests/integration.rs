@@ -2,7 +2,9 @@
 //! machine, the accounting registry feeding the controller, and the simulator
 //! reproducing the paper's headline comparisons end to end.
 
-use load_control_suite::core::{ControllerMode, LcMutex, LoadControl, LoadControlConfig};
+use load_control_suite::core::{
+    LcCondvar, LcMutex, LcRwLock, LcSemaphore, LoadControl, LoadControlConfig,
+};
 use load_control_suite::locks::registry;
 use load_control_suite::locks::{
     AbortableLock, McsLock, Mutex, RawLock, TicketLock, TimePublishedLock, TtasLock, ALL_LOCK_NAMES,
@@ -110,8 +112,9 @@ fn lock_registry_builds_every_advertised_name() {
 
 #[test]
 fn controller_reacts_to_registered_worker_load() {
+    // The default policy is "paper": T = load − capacity.
     let control = LoadControl::new(LoadControlConfig::for_capacity(2));
-    control.set_mode(ControllerMode::Automatic);
+    assert_eq!(control.policy_name(), "paper");
     // Register six runnable workers straight into the registry.
     let handles: Vec<_> = (0..6).map(|_| control.registry().register()).collect();
     let stats = control.run_cycle();
@@ -186,6 +189,190 @@ fn simulator_reproduces_the_headline_result() {
     assert!(
         over_lc > 0.15 * peak_spin,
         "load control at 150% load ({over_lc:.0}) should retain a meaningful fraction of the 98% peak ({peak_spin:.0})"
+    );
+}
+
+/// Aggressive controller for the oversubscription acceptance tests: pretend
+/// 1-context machine, 1 ms cycles, 5 ms sleep timeout.
+fn aggressive_control() -> Arc<LoadControl> {
+    LoadControl::start(
+        LoadControlConfig::for_capacity(1)
+            .with_update_interval(Duration::from_millis(1))
+            .with_sleep_timeout(Duration::from_millis(5)),
+    )
+}
+
+#[test]
+fn lc_rwlock_participates_in_load_control_under_oversubscription() {
+    // Acceptance bar of the sync-surface redesign: with an active controller
+    // and many more workers than capacity, rwlock waiters must actually be
+    // put to sleep (sleep counts > 0) while readers never observe a torn
+    // write; without a controller, nobody sleeps.
+    let control = aggressive_control();
+    let table = Arc::new(LcRwLock::new_with((0u64, 0u64), &control));
+    let mut handles = Vec::new();
+    for _ in 0..4 {
+        let table = Arc::clone(&table);
+        let control = Arc::clone(&control);
+        handles.push(thread::spawn(move || {
+            let _w = control.register_worker();
+            for _ in 0..1_000 {
+                let mut g = table.write();
+                g.0 += 1;
+                g.1 += 1;
+                // Hold the write lock long enough that waiters spin past the
+                // slot-check period and actually meet the gate.
+                for _ in 0..300 {
+                    std::hint::spin_loop();
+                }
+            }
+        }));
+    }
+    for _ in 0..4 {
+        let table = Arc::clone(&table);
+        let control = Arc::clone(&control);
+        handles.push(thread::spawn(move || {
+            let _w = control.register_worker();
+            for _ in 0..1_000 {
+                let g = table.read();
+                assert_eq!(g.0, g.1, "torn write observed through the read lock");
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    control.stop_controller();
+    let g = table.read();
+    assert_eq!((g.0, g.1), (4_000, 4_000));
+    drop(g);
+    let stats = control.buffer().stats();
+    assert!(
+        stats.ever_slept > 0,
+        "no rwlock waiter ever slept under 8x oversubscription"
+    );
+    assert_eq!(stats.ever_slept, stats.woken_and_left);
+}
+
+#[test]
+fn lc_rwlock_sleeps_nobody_without_a_controller() {
+    // Same workload, controller never started and target pinned at zero:
+    // the gate must stay out of the way entirely.
+    let control = LoadControl::new(LoadControlConfig::for_capacity(1));
+    let table = Arc::new(LcRwLock::new_with(0u64, &control));
+    let mut handles = Vec::new();
+    for _ in 0..6 {
+        let table = Arc::clone(&table);
+        let control = Arc::clone(&control);
+        handles.push(thread::spawn(move || {
+            let _w = control.register_worker();
+            for _ in 0..1_000 {
+                *table.write() += 1;
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(*table.read(), 6_000);
+    assert_eq!(control.buffer().stats().ever_slept, 0);
+}
+
+#[test]
+fn lc_semaphore_participates_in_load_control_under_oversubscription() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    let control = aggressive_control();
+    let pool = Arc::new(LcSemaphore::new_with(2, &control));
+    let holders = Arc::new(AtomicU64::new(0));
+    let peak = Arc::new(AtomicU64::new(0));
+    let mut handles = Vec::new();
+    for _ in 0..8 {
+        let (pool, holders, peak, control) = (
+            Arc::clone(&pool),
+            Arc::clone(&holders),
+            Arc::clone(&peak),
+            Arc::clone(&control),
+        );
+        handles.push(thread::spawn(move || {
+            let _w = control.register_worker();
+            for _ in 0..1_000 {
+                let permit = pool.acquire();
+                let now = holders.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                // Hold the permit long enough that waiters spin past the
+                // slot-check period and actually meet the gate.
+                for _ in 0..300 {
+                    std::hint::spin_loop();
+                }
+                holders.fetch_sub(1, Ordering::SeqCst);
+                drop(permit);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    control.stop_controller();
+    assert!(peak.load(Ordering::SeqCst) <= 2, "permit bound violated");
+    assert_eq!(pool.available(), 2);
+    let stats = control.buffer().stats();
+    assert!(
+        stats.ever_slept > 0,
+        "no semaphore waiter ever slept under 4x permit oversubscription"
+    );
+    assert_eq!(stats.ever_slept, stats.woken_and_left);
+}
+
+#[test]
+fn full_sync_surface_shares_one_load_control() {
+    // One controller, four primitives: mutex, rwlock, semaphore and condvar
+    // all draw their sleep slots from the same buffer, and the S/W books
+    // still balance at the end.
+    let control = aggressive_control();
+    let counter = Arc::new(LcMutex::<u64>::new_with(0, &control));
+    let table = Arc::new(LcRwLock::new_with(0u64, &control));
+    let pool = Arc::new(LcSemaphore::new_with(2, &control));
+    let done = Arc::new(LcMutex::<usize>::new_with(0, &control));
+    let cv = Arc::new(LcCondvar::new_with(&control));
+
+    let workers = 6usize;
+    let mut handles = Vec::new();
+    for _ in 0..workers {
+        let (counter, table, pool, done, cv, control) = (
+            Arc::clone(&counter),
+            Arc::clone(&table),
+            Arc::clone(&pool),
+            Arc::clone(&done),
+            Arc::clone(&cv),
+            Arc::clone(&control),
+        );
+        handles.push(thread::spawn(move || {
+            let _w = control.register_worker();
+            for _ in 0..500 {
+                *counter.lock() += 1;
+                {
+                    let _permit = pool.acquire();
+                    *table.write() += 1;
+                }
+            }
+            *done.lock() += 1;
+            cv.notify_all();
+        }));
+    }
+    // Main thread waits on the condvar for every worker to finish.
+    let guard = cv.wait_while(done.lock(), |finished| *finished < workers);
+    assert_eq!(*guard, workers);
+    drop(guard);
+    for h in handles {
+        h.join().unwrap();
+    }
+    control.stop_controller();
+    assert_eq!(*counter.lock(), 3_000);
+    assert_eq!(*table.read(), 3_000);
+    let stats = control.buffer().stats();
+    assert_eq!(
+        stats.ever_slept, stats.woken_and_left,
+        "unbalanced sleep-slot bookkeeping across the shared surface"
     );
 }
 

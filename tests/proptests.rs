@@ -81,6 +81,181 @@ fn slot_buffer_claims_and_departures_always_balance() {
     });
 }
 
+#[test]
+fn slot_buffer_ring_wraps_around_with_gaps() {
+    // `S` doubles as the ring head and is never reset, so long-running
+    // processes wrap the ring many times over — with *gaps*, because sleepers
+    // leave in arbitrary order.  Claims must stay sound across wraps: a claim
+    // never lands on a still-occupied slot, and the books stay balanced.
+    for_each_seed(32, |seed, rng| {
+        let capacity = 4usize;
+        let buf = SleepSlotBuffer::new(capacity);
+        let sleepers: Vec<_> = (0..3)
+            .map(|_| buf.register_sleeper(Arc::new(Parker::new())))
+            .collect();
+        buf.set_target(3);
+        let mut outstanding: Vec<(usize, SleeperId)> = Vec::new();
+        // Push S far past several ring wraps.
+        for round in 0..(capacity as u64 * 8) {
+            // Claim with a random subset, leave in random order (gaps).
+            for &id in &sleepers {
+                if outstanding.iter().any(|(_, s)| *s == id) {
+                    continue;
+                }
+                if rng.random_range(0u32..3) == 0 {
+                    continue;
+                }
+                if let ClaimOutcome::Claimed(idx) = buf.try_claim(id) {
+                    for (other_idx, other_id) in &outstanding {
+                        assert!(
+                            !(idx == *other_idx && buf.still_claimed(*other_idx, *other_id))
+                                || *other_id == id,
+                            "seed {seed} round {round}: claim landed on an occupied slot"
+                        );
+                    }
+                    outstanding.push((idx, id));
+                }
+            }
+            while outstanding.len() > 1 {
+                let pick = rng.random_range(0usize..outstanding.len());
+                let (idx, id) = outstanding.remove(pick);
+                buf.leave(idx, id);
+            }
+            assert_eq!(
+                buf.sleepers(),
+                outstanding.len() as u64,
+                "seed {seed} round {round}"
+            );
+        }
+        for (idx, id) in outstanding.drain(..) {
+            buf.leave(idx, id);
+        }
+        let stats = buf.stats();
+        assert!(
+            stats.ever_slept >= capacity as u64 * 2,
+            "seed {seed}: the ring never wrapped (S = {})",
+            stats.ever_slept
+        );
+        assert_eq!(stats.ever_slept, stats.woken_and_left, "seed {seed}");
+    });
+}
+
+#[test]
+fn slot_buffer_target_shrink_wakes_exactly_the_excess() {
+    // Controller side of Figure 7: shrinking the target must clear and
+    // unpark exactly `sleepers − new_target` claims — including the newest
+    // sleepers when the shrink outruns recent claims — while the survivors
+    // keep their slots.
+    for_each_seed(64, |seed, rng| {
+        let buf = SleepSlotBuffer::new(16);
+        let parkers: Vec<Arc<Parker>> = (0..8).map(|_| Arc::new(Parker::new())).collect();
+        let ids: Vec<SleeperId> = parkers
+            .iter()
+            .map(|p| buf.register_sleeper(Arc::clone(p)))
+            .collect();
+        let claim_count = rng.random_range(1usize..=8);
+        buf.set_target(claim_count as u64);
+        let mut claims = Vec::new();
+        for id in ids.iter().take(claim_count) {
+            match buf.try_claim(*id) {
+                ClaimOutcome::Claimed(idx) => claims.push((idx, *id)),
+                other => panic!("seed {seed}: unexpected outcome {other:?}"),
+            }
+        }
+        let new_target = rng.random_range(0u64..claim_count as u64);
+        let woken = buf.set_target(new_target);
+        assert_eq!(
+            woken as u64,
+            claim_count as u64 - new_target,
+            "seed {seed}: wrong number of sleepers woken"
+        );
+        // Exactly `new_target` claims survive, and every cleared slot's
+        // parker got a permit (the newest sleepers are eligible like any
+        // other — the scan is position-based, not age-based).
+        let surviving = claims
+            .iter()
+            .filter(|(idx, id)| buf.still_claimed(*idx, *id))
+            .count();
+        assert_eq!(surviving as u64, new_target, "seed {seed}");
+        let permits: u64 = parkers.iter().map(|p| p.unpark_count()).sum();
+        assert_eq!(permits, woken as u64, "seed {seed}: permits vs wakes");
+        // Every claimant still leaves exactly once, woken or not.
+        for (idx, id) in claims {
+            buf.leave(idx, id);
+        }
+        let stats = buf.stats();
+        assert_eq!(stats.ever_slept, stats.woken_and_left, "seed {seed}");
+        assert_eq!(buf.sleepers(), 0, "seed {seed}");
+    });
+}
+
+#[test]
+fn slot_buffer_controller_clear_plus_leave_counts_one_departure() {
+    // The double-leave hazard in the W accounting: a slot can be cleared
+    // twice — once by the controller (wake) and once by its owner (leave) —
+    // but only the owner's `leave` may increment `W`.  Random interleavings
+    // of wakes and leaves must keep S == W at quiescence, never W > S.
+    for_each_seed(64, |seed, rng| {
+        let buf = SleepSlotBuffer::new(8);
+        let ids: Vec<_> = (0..4)
+            .map(|_| buf.register_sleeper(Arc::new(Parker::new())))
+            .collect();
+        let mut outstanding: Vec<(usize, SleeperId)> = Vec::new();
+        for op in 0..rng.random_range(20usize..120) {
+            match rng.random_range(0u32..4) {
+                0 => {
+                    buf.set_target(rng.random_range(0u64..6));
+                }
+                1 => {
+                    let id = ids[rng.random_range(0usize..ids.len())];
+                    if outstanding.iter().any(|(_, s)| *s == id) {
+                        continue;
+                    }
+                    if let ClaimOutcome::Claimed(idx) = buf.try_claim(id) {
+                        outstanding.push((idx, id));
+                    }
+                }
+                2 => {
+                    // Controller clears some slots (wake) — the owners have
+                    // NOT left yet, so `S − W` must not change.
+                    let before = buf.sleepers();
+                    buf.wake(rng.random_range(0usize..3));
+                    assert_eq!(buf.sleepers(), before, "seed {seed} op {op}: wake moved W");
+                }
+                _ => {
+                    if !outstanding.is_empty() {
+                        let (idx, id) = outstanding.remove(0);
+                        // Whether or not the controller already cleared this
+                        // slot, the owner's leave counts exactly one W.
+                        let w_before = buf.stats().woken_and_left;
+                        buf.leave(idx, id);
+                        assert_eq!(
+                            buf.stats().woken_and_left,
+                            w_before + 1,
+                            "seed {seed} op {op}: leave must count exactly once"
+                        );
+                    }
+                }
+            }
+            let stats = buf.stats();
+            assert!(
+                stats.woken_and_left <= stats.ever_slept,
+                "seed {seed} op {op}: W overtook S"
+            );
+            assert_eq!(
+                buf.sleepers(),
+                outstanding.len() as u64,
+                "seed {seed} op {op}"
+            );
+        }
+        for (idx, id) in outstanding.drain(..) {
+            buf.leave(idx, id);
+        }
+        let stats = buf.stats();
+        assert_eq!(stats.ever_slept, stats.woken_and_left, "seed {seed}");
+    });
+}
+
 // ---------------------------------------------------------------------------
 // Load-control configuration arithmetic.
 // ---------------------------------------------------------------------------

@@ -1,0 +1,113 @@
+//! Registry-consistency tests: the string-keyed construction paths must stay
+//! in lockstep.
+//!
+//! Three registries share names: the lock registry in `lc_locks::registry`,
+//! the simulator policy labels in `lc_sim::LockPolicy`, and the control-plane
+//! policy registry in `lc_core::policy`.  Benchmarks, drivers and experiment
+//! configurations assume a name accepted by one is meaningful to the others;
+//! these tests fail the build the moment any side drifts.
+
+use load_control_suite::core::policy;
+use load_control_suite::core::{LoadControl, LoadControlConfig};
+use load_control_suite::locks::registry;
+use load_control_suite::locks::{ABORTABLE_LOCK_NAMES, ALL_LOCK_NAMES};
+use load_control_suite::sim::LockPolicy;
+use load_control_suite::workloads::drivers::{run_microbench_lc_named, MicrobenchConfig};
+use std::time::Duration;
+
+#[test]
+fn every_lock_name_round_trips_through_the_registry() {
+    for &name in ALL_LOCK_NAMES {
+        let lock = registry::build(name)
+            .unwrap_or_else(|| panic!("{name} in ALL_LOCK_NAMES but not buildable"));
+        assert_eq!(lock.name(), name, "registry returned a mislabelled lock");
+        // And the lock actually works as a mutex.
+        lock.lock();
+        assert!(lock.is_locked(), "{name} does not report being held");
+        unsafe { lock.unlock() };
+        assert!(!lock.is_locked(), "{name} does not report being free");
+    }
+    assert!(registry::build("no-such-lock").is_none());
+}
+
+#[test]
+fn every_lock_name_is_a_valid_sim_policy() {
+    // The simulator accepts every real lock name (aliasing families onto its
+    // nearest model), so experiment configs can drive both sides with one
+    // string.
+    for &name in ALL_LOCK_NAMES {
+        let policy = LockPolicy::from_name(name)
+            .unwrap_or_else(|| panic!("{name} in ALL_LOCK_NAMES but unknown to lc_sim"));
+        // The canonical model labels keep round-tripping exactly.
+        let canonical = policy.name();
+        assert_eq!(
+            LockPolicy::from_name(canonical),
+            Some(policy),
+            "canonical sim label {canonical} does not round-trip"
+        );
+    }
+    assert!(LockPolicy::from_name("no-such-policy").is_none());
+}
+
+#[test]
+fn sim_canonical_labels_stay_known() {
+    // Every label the simulator itself produces is accepted back.
+    for policy in [
+        LockPolicy::spin_fifo(),
+        LockPolicy::spin(),
+        LockPolicy::blocking(),
+        LockPolicy::adaptive(),
+        LockPolicy::load_controlled(),
+        LockPolicy::load_backoff(),
+    ] {
+        assert_eq!(LockPolicy::from_name(policy.name()), Some(policy));
+    }
+}
+
+#[test]
+fn every_control_policy_name_round_trips_through_its_registry() {
+    let registered: Vec<&str> = policy::POLICY_REGISTRY.iter().map(|(n, _)| *n).collect();
+    assert_eq!(registered, policy::ALL_POLICY_NAMES);
+    for &name in policy::ALL_POLICY_NAMES {
+        let built = policy::build(name)
+            .unwrap_or_else(|| panic!("{name} in ALL_POLICY_NAMES but not buildable"));
+        assert_eq!(built.name(), name, "policy registry mislabelled {name}");
+        // The builder-style constructor accepts the same names.
+        let control = LoadControl::builder(LoadControlConfig::for_capacity(2))
+            .policy_named(name)
+            .unwrap_or_else(|| panic!("builder rejected registered policy {name}"))
+            .build();
+        assert_eq!(control.policy_name(), name);
+    }
+    assert!(policy::build("no-such-policy").is_none());
+}
+
+#[test]
+fn every_abortable_name_reaches_the_lc_dispatch() {
+    // The hand-written name→type match in the workload drivers must cover
+    // exactly the advertised abortable families.
+    let control = LoadControl::new(LoadControlConfig::for_capacity(8));
+    let tiny = MicrobenchConfig {
+        threads: 2,
+        critical_iters: 5,
+        delay_iters: 20,
+        duration: Duration::from_millis(10),
+    };
+    for &name in ABORTABLE_LOCK_NAMES {
+        assert!(
+            registry::build(name).expect("registered").is_abortable(),
+            "{name} advertised as abortable but its adapter is not"
+        );
+        let r = run_microbench_lc_named(name, tiny, &control)
+            .unwrap_or_else(|| panic!("{name} missing from the LC dispatch"));
+        assert!(r.acquisitions > 0, "{name}: no progress under load control");
+    }
+    for &name in ALL_LOCK_NAMES {
+        if !ABORTABLE_LOCK_NAMES.contains(&name) {
+            assert!(
+                run_microbench_lc_named(name, tiny, &control).is_none(),
+                "{name} is not abortable but the LC dispatch accepted it"
+            );
+        }
+    }
+}
