@@ -15,7 +15,7 @@
 //! breakdowns the paper plots (Figure 3) and the instantaneous-load traces
 //! (Figures 5, 6 and 8).
 //!
-//! Two load sources are provided:
+//! Three load sources are provided:
 //!
 //! * [`RegistryLoadSampler`] — reads the in-process registry (precise, cheap,
 //!   portable; the default).
@@ -24,6 +24,10 @@
 //!   slower and coarser (the paper makes the same observation about emulating
 //!   microstate accounting with DTrace), but it observes *all* threads in the
 //!   process, registered or not.
+//! * [`HardenedProcfsSampler`] — the procfs sampler with a production
+//!   posture: malformed or missing `/proc` degrades to a fallback sampler
+//!   (normally the registry) and failed mounts are re-probed only after a
+//!   cooldown instead of on every controller cycle.
 //!
 //! The crate also contains a fixed-capacity [`TransitionTrace`] ring buffer —
 //! the stand-in for the DTrace scripts the authors use to record every
@@ -37,7 +41,7 @@ pub mod registry;
 pub mod sampler;
 pub mod trace;
 
-pub use procfs::ProcfsLoadSampler;
+pub use procfs::{HardenedProcfsSampler, ProcfsLoadSampler};
 pub use registry::{ThreadHandle, ThreadRegistry, ThreadState, ThreadUsage, UsageBreakdown};
 pub use sampler::{LoadSample, LoadSampler, RegistryLoadSampler};
 pub use trace::{Transition, TransitionTrace};

@@ -8,8 +8,8 @@ use lc_core::slots::SleepSlotBuffer;
 use lc_core::{policy, LcLock, LoadControl, LoadControlConfig};
 use lc_locks::{Parker, RawLock, ABORTABLE_LOCK_NAMES};
 use lc_workloads::drivers::{
-    run_microbench_lc, run_microbench_lc_named, run_rw_microbench_lc, MicrobenchConfig,
-    RwMicrobenchConfig,
+    oversubscribed_control, run_microbench_lc, run_microbench_lc_named, run_rw_microbench_lc,
+    MicrobenchConfig, RwMicrobenchConfig,
 };
 use std::hint::black_box;
 use std::sync::Arc;
@@ -181,6 +181,53 @@ fn bench_rw_oversubscription(c: &mut Criterion) {
     group.finish();
 }
 
+/// Shard sweep: the same oversubscribed drivers over 1/2/4/8 slot-buffer
+/// shards.  The claim CAS and the wake scan are the contended words; with
+/// threads spread over per-shard heads, the `claim_races` counter (printed
+/// per run) and the end-to-end throughput show how the claim path scales.
+fn bench_slot_shards(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lc_slot_shards");
+    group.sample_size(10);
+    for shards in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("mutex_shards", shards),
+            &shards,
+            |b, &n| {
+                let control = oversubscribed_control(2, n);
+                b.iter(|| {
+                    run_microbench_lc(
+                        MicrobenchConfig {
+                            threads: 8,
+                            critical_iters: 30,
+                            delay_iters: 100,
+                            duration: Duration::from_millis(50),
+                        },
+                        &control,
+                    )
+                    .acquisitions
+                });
+                let stats = control.buffer().stats();
+                control.stop_controller();
+                eprintln!(
+                    "lc_slot_shards/mutex_shards/{n}: claim_races={} sleeps={}",
+                    stats.claim_races, stats.ever_slept
+                );
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("rw_shards", shards), &shards, |b, &n| {
+            let control = oversubscribed_control(2, n);
+            b.iter(|| {
+                let mut cfg = RwMicrobenchConfig::mixed(8);
+                cfg.duration = Duration::from_millis(50);
+                let r = run_rw_microbench_lc(cfg, &control);
+                r.reads + r.writes
+            });
+            control.stop_controller();
+        });
+    }
+    group.finish();
+}
+
 /// Ablation: how often the polling loop consults the slot buffer
 /// (paper §3.2.3 — checking too often slows handoffs, too rarely slows the
 /// response to the controller).
@@ -221,6 +268,7 @@ criterion_group!(
     bench_lc_end_to_end,
     bench_policy_comparison,
     bench_rw_oversubscription,
+    bench_slot_shards,
     bench_slot_check_period_ablation
 );
 criterion_main!(benches);

@@ -32,6 +32,13 @@ pub struct LoadControlConfig {
     /// Extra runnable threads tolerated above `capacity` before the
     /// controller starts removing threads (0 reproduces the paper exactly).
     pub overload_headroom: usize,
+    /// Number of sleep-slot-buffer shards (a non-zero power of two).
+    ///
+    /// `1` (the default) reproduces the paper's single `S`/`W`/`T` buffer
+    /// exactly; larger values split the claim path and the wake scan per
+    /// core group, with the global target partitioned across shards by the
+    /// controller's [`crate::policy::TargetSplitter`].
+    pub shards: usize,
 }
 
 impl LoadControlConfig {
@@ -43,6 +50,11 @@ impl LoadControlConfig {
     pub const DEFAULT_SLOT_CHECK_PERIOD: u32 = 64;
     /// Default cap on simultaneous sleepers.
     pub const DEFAULT_MAX_SLEEPERS: usize = 1024;
+    /// Default slot-buffer shard count (1 = the paper's unsharded buffer).
+    pub const DEFAULT_SHARDS: usize = 1;
+    /// Environment variable consulted by
+    /// [`LoadControlConfig::with_shards_from_env`].
+    pub const SHARDS_ENV: &'static str = "LC_SHARDS";
 
     /// A configuration for a machine (or partition) with `capacity` hardware
     /// contexts and paper-default tuning.
@@ -54,6 +66,7 @@ impl LoadControlConfig {
             slot_check_period: Self::DEFAULT_SLOT_CHECK_PERIOD,
             max_sleepers: Self::DEFAULT_MAX_SLEEPERS,
             overload_headroom: 0,
+            shards: Self::DEFAULT_SHARDS,
         }
     }
 
@@ -87,6 +100,27 @@ impl LoadControlConfig {
     pub fn with_overload_headroom(mut self, headroom: usize) -> Self {
         self.overload_headroom = headroom;
         self
+    }
+
+    /// Returns `self` with `shards` slot-buffer shards, rounded up to the
+    /// next power of two (and at least 1).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1).next_power_of_two();
+        self
+    }
+
+    /// Returns `self` with the shard count taken from the `LC_SHARDS`
+    /// environment variable when it is set to a positive integer, unchanged
+    /// otherwise.  This is how the CI acceptance runs re-exercise the whole
+    /// suite over a sharded buffer without editing each test.
+    pub fn with_shards_from_env(self) -> Self {
+        match std::env::var(Self::SHARDS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+        {
+            Some(n) if n > 0 => self.with_shards(n),
+            _ => self,
+        }
     }
 
     /// The sleep target implied by a measurement of `runnable` threads:
@@ -171,5 +205,42 @@ mod tests {
     fn this_machine_config_is_sane() {
         let c = LoadControlConfig::for_this_machine();
         assert!(c.capacity >= 1);
+        assert_eq!(c.shards, 1, "sharding must be opt-in");
+    }
+
+    #[test]
+    fn shards_round_up_to_a_power_of_two() {
+        let c = LoadControlConfig::for_capacity(8);
+        assert_eq!(c.with_shards(0).shards, 1);
+        assert_eq!(c.with_shards(1).shards, 1);
+        assert_eq!(c.with_shards(3).shards, 4);
+        assert_eq!(c.with_shards(4).shards, 4);
+        assert_eq!(c.with_shards(9).shards, 16);
+    }
+
+    #[test]
+    fn shards_from_env_parses_or_keeps_the_default() {
+        // Process-wide env mutation: use a dedicated variable value and
+        // restore it afterwards so parallel tests are unaffected.
+        let key = LoadControlConfig::SHARDS_ENV;
+        let previous = std::env::var(key).ok();
+        std::env::set_var(key, "4");
+        assert_eq!(
+            LoadControlConfig::for_capacity(2)
+                .with_shards_from_env()
+                .shards,
+            4
+        );
+        std::env::set_var(key, "not-a-number");
+        assert_eq!(
+            LoadControlConfig::for_capacity(2)
+                .with_shards_from_env()
+                .shards,
+            1
+        );
+        match previous {
+            Some(v) => std::env::set_var(key, v),
+            None => std::env::remove_var(key),
+        }
     }
 }

@@ -9,8 +9,8 @@
 //! default.
 
 use crate::config::LoadControlConfig;
-use crate::policy::{self, ControlPolicy, PaperPolicy, PolicyInputs};
-use crate::slots::SleepSlotBuffer;
+use crate::policy::{self, ControlPolicy, EvenSplitter, PaperPolicy, PolicyInputs, TargetSplitter};
+use crate::slots::{even_split, SleepSlotBuffer};
 use crate::thread_ctx::{current_ctx, WorkerRegistration};
 use lc_accounting::{LoadSampler, RegistryLoadSampler, ThreadRegistry};
 use std::fmt;
@@ -38,6 +38,7 @@ struct Shared {
     registry: Arc<ThreadRegistry>,
     sampler: Box<dyn LoadSampler>,
     policy: Mutex<Box<dyn ControlPolicy>>,
+    splitter: Mutex<Box<dyn TargetSplitter>>,
     running: AtomicBool,
     cycles: AtomicU64,
     last_runnable: AtomicUsize,
@@ -61,6 +62,7 @@ impl fmt::Debug for LoadControl {
         f.debug_struct("LoadControl")
             .field("config", &self.shared.config)
             .field("policy", &self.policy_name())
+            .field("splitter", &self.splitter_name())
             .field("stats", &self.stats())
             .finish()
     }
@@ -82,6 +84,7 @@ impl fmt::Debug for LoadControl {
 pub struct LoadControlBuilder {
     config: LoadControlConfig,
     policy: Box<dyn ControlPolicy>,
+    splitter: Box<dyn TargetSplitter>,
     sampler: Option<(Arc<ThreadRegistry>, Box<dyn LoadSampler>)>,
     start: bool,
 }
@@ -91,6 +94,7 @@ impl fmt::Debug for LoadControlBuilder {
         f.debug_struct("LoadControlBuilder")
             .field("config", &self.config)
             .field("policy", &self.policy.name())
+            .field("splitter", &self.splitter.name())
             .field("start", &self.start)
             .finish()
     }
@@ -101,6 +105,7 @@ impl LoadControlBuilder {
         Self {
             config,
             policy: Box::new(PaperPolicy),
+            splitter: Box::new(EvenSplitter),
             sampler: None,
             start: false,
         }
@@ -124,6 +129,26 @@ impl LoadControlBuilder {
         policy::build(name).map(|p| self.boxed_policy(p))
     }
 
+    /// Uses `splitter` to partition the sleep target across slot-buffer
+    /// shards (default: [`EvenSplitter`]; irrelevant with a single shard).
+    pub fn splitter(mut self, splitter: impl TargetSplitter + 'static) -> Self {
+        self.splitter = Box::new(splitter);
+        self
+    }
+
+    /// Uses an already-boxed target splitter.
+    pub fn boxed_splitter(mut self, splitter: Box<dyn TargetSplitter>) -> Self {
+        self.splitter = splitter;
+        self
+    }
+
+    /// Selects the target splitter from the registry by its stable name
+    /// (see [`crate::policy::ALL_SPLITTER_NAMES`]); `None` for an unknown
+    /// name.
+    pub fn splitter_named(self, name: &str) -> Option<Self> {
+        policy::build_splitter(name).map(|s| self.boxed_splitter(s))
+    }
+
     /// Uses a caller-supplied thread registry and load sampler instead of the
     /// default registry-backed sampler.
     pub fn sampler(mut self, registry: Arc<ThreadRegistry>, sampler: Box<dyn LoadSampler>) -> Self {
@@ -138,7 +163,13 @@ impl LoadControlBuilder {
     }
 
     /// Constructs the [`LoadControl`] instance.
-    pub fn build(self) -> Arc<LoadControl> {
+    pub fn build(mut self) -> Arc<LoadControl> {
+        // `shards` is a pub config field, so normalize exactly as
+        // `with_shards` does — into the retained config too, keeping
+        // `LoadControl::config().shards` in agreement with
+        // `buffer().shard_count()` — rather than letting the buffer
+        // constructor panic on a hand-set non-power-of-two.
+        self.config.shards = self.config.shards.max(1).next_power_of_two();
         let (registry, sampler) = match self.sampler {
             Some((registry, sampler)) => (registry, sampler),
             None => {
@@ -149,11 +180,12 @@ impl LoadControlBuilder {
             }
         };
         let shared = Arc::new(Shared {
-            buffer: SleepSlotBuffer::new(self.config.max_sleepers),
+            buffer: SleepSlotBuffer::with_shards(self.config.max_sleepers, self.config.shards),
             config: self.config,
             registry,
             sampler,
             policy: Mutex::new(self.policy),
+            splitter: Mutex::new(self.splitter),
             running: AtomicBool::new(false),
             cycles: AtomicU64::new(0),
             last_runnable: AtomicUsize::new(0),
@@ -245,6 +277,17 @@ impl LoadControl {
         self.shared.policy.lock().unwrap().name()
     }
 
+    /// Replaces the target splitter; takes effect the next time the global
+    /// target changes.
+    pub fn set_splitter(&self, splitter: Box<dyn TargetSplitter>) {
+        *self.shared.splitter.lock().unwrap() = splitter;
+    }
+
+    /// The registry name of the current target splitter.
+    pub fn splitter_name(&self) -> &'static str {
+        self.shared.splitter.lock().unwrap().name()
+    }
+
     /// Manually sets the sleep target.
     ///
     /// Under a load-following policy the next controller cycle will overwrite
@@ -298,8 +341,38 @@ impl LoadControl {
         // concurrent `set_sleep_target` (the externally steered
         // `FixedPolicy::manual` setup), and a policy that holds the target
         // steady must behave like the old skip-entirely manual mode.
-        if target != inputs.current_target {
-            self.shared.buffer.set_target(target);
+        // A splitter that `rebalances()` opts out of the skip while the
+        // target is non-zero: it re-partitions the *same* total every cycle
+        // (so per-shard shares track claim traffic), which preserves the
+        // externally steered total up to that same benign race.
+        {
+            let mut splitter = self.shared.splitter.lock().unwrap();
+            let changed = target != inputs.current_target;
+            if changed || (target > 0 && splitter.rebalances()) {
+                let shard_capacity = self.shared.buffer.shard_capacity() as u64;
+                let mut split = splitter.split(
+                    target,
+                    &self.shared.buffer.shard_snapshots(),
+                    shard_capacity,
+                );
+                // A custom splitter returning the wrong number of shares
+                // must degrade (to the even split), not panic the daemon
+                // thread — a dead controller strands every parked sleeper
+                // until its timeout and silently disables load control.
+                if split.len() != self.shared.buffer.shard_count() {
+                    split = even_split(target, self.shared.buffer.shard_count(), shard_capacity);
+                }
+                if changed {
+                    self.shared.buffer.set_shard_targets(&split);
+                } else {
+                    // Rebalance of an *unchanged* total: publish only if no
+                    // external `set_sleep_target` landed since this cycle
+                    // read the target, so a steered value is never clobbered
+                    // by the repartition of a stale total (the rebalance
+                    // simply waits for the next cycle).
+                    let _ = self.shared.buffer.set_shard_targets_if(&split, target);
+                }
+            }
         }
         self.shared.cycles.fetch_add(1, Ordering::Relaxed);
         self.stats()
@@ -507,5 +580,242 @@ mod tests {
         let b = LoadControl::global();
         assert!(Arc::ptr_eq(&a, &b));
         assert!(a.config().capacity >= 1);
+    }
+
+    #[test]
+    fn sharded_controller_partitions_the_target() {
+        let mut config = LoadControlConfig::for_capacity(2).with_shards(4);
+        config.max_sleepers = 16;
+        let lc = LoadControl::new(config);
+        assert_eq!(lc.buffer().shard_count(), 4);
+        assert_eq!(lc.splitter_name(), "even");
+        let _handles: Vec<_> = (0..9).map(|_| lc.registry().register()).collect();
+        let stats = lc.run_cycle();
+        assert_eq!(stats.last_target, 7, "T = load − capacity");
+        let per_shard: Vec<u64> = (0..4).map(|i| lc.buffer().shard_target(i)).collect();
+        assert_eq!(per_shard.iter().sum::<u64>(), 7, "sum(T_i) must equal T");
+        assert_eq!(per_shard, vec![2, 2, 2, 1]);
+    }
+
+    #[test]
+    fn builder_selects_splitters_by_name() {
+        for &name in crate::policy::ALL_SPLITTER_NAMES {
+            let lc = LoadControl::builder(LoadControlConfig::for_capacity(2).with_shards(2))
+                .splitter_named(name)
+                .unwrap_or_else(|| panic!("{name} not registered"))
+                .build();
+            assert_eq!(lc.splitter_name(), name);
+        }
+        assert!(LoadControl::builder(LoadControlConfig::for_capacity(2))
+            .splitter_named("no-such-splitter")
+            .is_none());
+    }
+
+    #[test]
+    fn splitter_can_be_swapped_at_runtime() {
+        let lc = LoadControl::new(LoadControlConfig::for_capacity(1).with_shards(2));
+        assert_eq!(lc.splitter_name(), "even");
+        lc.set_splitter(Box::new(crate::policy::LoadWeightedSplitter::new()));
+        assert_eq!(lc.splitter_name(), "load-weighted");
+        let _h: Vec<_> = (0..5).map(|_| lc.registry().register()).collect();
+        lc.run_cycle();
+        let total: u64 = (0..2).map(|i| lc.buffer().shard_target(i)).sum();
+        assert_eq!(total, 4, "load-weighted shares must still sum to T");
+    }
+
+    #[test]
+    fn rebalancing_splitter_runs_every_cycle_under_a_steady_target() {
+        use crate::policy::TargetSplitter;
+        use crate::slots::{even_split, ShardSnapshot};
+        use std::sync::atomic::AtomicU64 as Counter;
+
+        #[derive(Debug)]
+        struct CountingSplitter(Arc<Counter>);
+        impl TargetSplitter for CountingSplitter {
+            fn name(&self) -> &'static str {
+                "counting"
+            }
+            fn rebalances(&self) -> bool {
+                true
+            }
+            fn split(&mut self, total: u64, shards: &[ShardSnapshot], cap: u64) -> Vec<u64> {
+                self.0.fetch_add(1, Ordering::Relaxed);
+                even_split(total, shards.len(), cap)
+            }
+        }
+
+        let calls = Arc::new(Counter::new(0));
+        let lc = LoadControl::builder(LoadControlConfig::for_capacity(1).with_shards(2))
+            .splitter(CountingSplitter(Arc::clone(&calls)))
+            .build();
+        let _h: Vec<_> = (0..4).map(|_| lc.registry().register()).collect();
+        // Constant load → the target settles at 3 and stops changing, but a
+        // rebalancing splitter must still be consulted every cycle.
+        for _ in 0..5 {
+            lc.run_cycle();
+        }
+        assert_eq!(lc.sleep_target(), 3);
+        assert_eq!(calls.load(Ordering::Relaxed), 5);
+        // A zero target skips the re-split entirely.
+        drop(_h);
+        lc.run_cycle(); // target changes 3 → 0: one more call
+        lc.run_cycle(); // steady at 0: no call
+        assert_eq!(calls.load(Ordering::Relaxed), 6);
+    }
+
+    #[test]
+    fn default_even_splitter_splits_only_on_target_changes() {
+        // The even splitter does not rebalance: a steady target leaves the
+        // published partition untouched (preserving the manual-steering
+        // publish-on-change semantics verified elsewhere); the partition
+        // still follows every target change.
+        let lc = LoadControl::new(LoadControlConfig::for_capacity(1).with_shards(2));
+        let handles: Vec<_> = (0..5).map(|_| lc.registry().register()).collect();
+        lc.run_cycle();
+        assert_eq!(lc.sleep_target(), 4);
+        assert_eq!(lc.buffer().shard_target(0), 2);
+        drop(handles);
+        lc.run_cycle();
+        assert_eq!(lc.sleep_target(), 0);
+        assert_eq!(lc.buffer().shard_target(0), 0);
+        assert_eq!(lc.buffer().shard_target(1), 0);
+    }
+
+    #[test]
+    fn rebalance_never_clobbers_a_concurrent_manual_target() {
+        use crate::policy::{LoadWeightedSplitter, TargetSplitter};
+
+        // The rebalance path republishes an *unchanged* total; if an
+        // external set_sleep_target landed since the cycle read it, the
+        // conditional publish must skip rather than revert it.
+        let lc = LoadControl::builder(LoadControlConfig::for_capacity(1).with_shards(2))
+            .boxed_policy(Box::new(FixedPolicy::manual()))
+            .splitter(LoadWeightedSplitter::new())
+            .build();
+        assert!(LoadWeightedSplitter::new().rebalances());
+        lc.set_sleep_target(4);
+        lc.run_cycle(); // manual policy keeps 4; rebalance republishes 4
+        assert_eq!(lc.sleep_target(), 4);
+        // Simulate the race directly at the buffer layer: a repartition of
+        // the stale total 4 must not land once the target moved to 6.
+        lc.set_sleep_target(6);
+        assert_eq!(lc.buffer().set_shard_targets_if(&[2, 2], 4), None);
+        assert_eq!(lc.sleep_target(), 6, "stale rebalance clobbered the target");
+        // With the matching expectation it publishes normally.
+        assert!(lc.buffer().set_shard_targets_if(&[3, 3], 6).is_some());
+        assert_eq!(lc.sleep_target(), 6);
+    }
+
+    #[test]
+    fn hand_set_shard_counts_are_normalized_not_panicked_on() {
+        let mut config = LoadControlConfig::for_capacity(4);
+        config.shards = 6; // pub field set directly, bypassing with_shards
+        let lc = LoadControl::new(config);
+        assert_eq!(lc.buffer().shard_count(), 8);
+        // The retained config agrees with the buffer.
+        assert_eq!(lc.config().shards, 8);
+        let mut zero = LoadControlConfig::for_capacity(4);
+        zero.shards = 0;
+        let lc = LoadControl::new(zero);
+        assert_eq!(lc.buffer().shard_count(), 1);
+        assert_eq!(lc.config().shards, 1);
+    }
+
+    #[test]
+    fn manual_target_respects_max_sleepers_despite_shard_rounding() {
+        // max_sleepers = 10 over 4 shards rounds the physical ring up to 12
+        // slots, but an externally steered target must still cap at 10.
+        let mut config = LoadControlConfig::for_capacity(2).with_shards(4);
+        config.max_sleepers = 10;
+        let lc = LoadControl::with_policy(config, Box::new(FixedPolicy::manual()));
+        assert_eq!(lc.buffer().capacity(), 12);
+        lc.set_sleep_target(100);
+        assert_eq!(lc.sleep_target(), 10);
+    }
+
+    #[test]
+    fn malformed_splitter_output_degrades_to_the_even_split() {
+        use crate::policy::TargetSplitter;
+        use crate::slots::ShardSnapshot;
+
+        #[derive(Debug)]
+        struct BrokenSplitter;
+        impl TargetSplitter for BrokenSplitter {
+            fn name(&self) -> &'static str {
+                "broken"
+            }
+            fn split(&mut self, _total: u64, _shards: &[ShardSnapshot], _cap: u64) -> Vec<u64> {
+                Vec::new() // wrong length: would panic set_shard_targets
+            }
+        }
+
+        let lc = LoadControl::builder(LoadControlConfig::for_capacity(1).with_shards(2))
+            .splitter(BrokenSplitter)
+            .build();
+        let _h: Vec<_> = (0..5).map(|_| lc.registry().register()).collect();
+        // The cycle must survive and publish the even split instead.
+        lc.run_cycle();
+        assert_eq!(lc.sleep_target(), 4);
+        assert_eq!(lc.buffer().shard_target(0), 2);
+        assert_eq!(lc.buffer().shard_target(1), 2);
+    }
+
+    #[test]
+    fn concurrent_target_publishers_never_tear_the_partition() {
+        // set_sleep_target racing the controller's own publication must end
+        // with *some* whole partition — never a mix of two with the cached
+        // total out of sync (`sum(T_i) == target()` is the invariant every
+        // reader relies on).
+        let lc = LoadControl::with_policy(
+            LoadControlConfig::for_capacity(1).with_shards(4),
+            Box::new(FixedPolicy::manual()),
+        );
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for worker in 0..2u64 {
+            let lc = Arc::clone(&lc);
+            let stop = Arc::clone(&stop);
+            handles.push(std::thread::spawn(move || {
+                let mut t = worker;
+                while !stop.load(Ordering::Relaxed) {
+                    t = (t + 3) % 9;
+                    lc.set_sleep_target(t);
+                }
+            }));
+        }
+        for _ in 0..5_000 {
+            // A lock-free reader between a publisher's stores may see a mix
+            // of two partitions, but every individual value it sees must be
+            // one some publisher actually wrote: per-shard targets within
+            // the shard capacity, the cached total within the buffer
+            // capacity.
+            for i in 0..4 {
+                assert!(lc.buffer().shard_target(i) <= lc.buffer().shard_capacity() as u64);
+            }
+            assert!(lc.sleep_target() <= lc.buffer().capacity() as u64);
+        }
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Quiesced: the last full publication must be self-consistent.
+        let total: u64 = (0..4).map(|i| lc.buffer().shard_target(i)).sum();
+        assert_eq!(
+            lc.sleep_target(),
+            total,
+            "cached global target diverged from sum(T_i) after racing publishers"
+        );
+    }
+
+    #[test]
+    fn manual_target_even_splits_across_shards() {
+        let lc = LoadControl::with_policy(
+            LoadControlConfig::for_capacity(4).with_shards(2),
+            Box::new(FixedPolicy::manual()),
+        );
+        lc.set_sleep_target(5);
+        assert_eq!(lc.sleep_target(), 5);
+        assert_eq!(lc.buffer().shard_target(0), 3);
+        assert_eq!(lc.buffer().shard_target(1), 2);
     }
 }

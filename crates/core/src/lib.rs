@@ -73,8 +73,11 @@ pub use lc_lock::{LcLock, LcMutex, LcMutexGuard, TpLcLock};
 pub use lc_rwlock::{LcRwLock, LcRwLockReadGuard, LcRwLockWriteGuard};
 pub use lc_semaphore::{LcSemaphore, LcSemaphorePermit};
 pub use load_backoff::LoadTriggeredBackoffPolicy;
-pub use policy::{ControlPolicy, FixedPolicy, HysteresisPolicy, PaperPolicy, PolicyInputs};
-pub use slots::{ClaimOutcome, SleepSlotBuffer, SlotBufferStats};
+pub use policy::{
+    ControlPolicy, EvenSplitter, FixedPolicy, HysteresisPolicy, LoadWeightedSplitter, PaperPolicy,
+    PolicyInputs, TargetSplitter,
+};
+pub use slots::{ClaimOutcome, ShardSnapshot, SleepSlotBuffer, SlotBufferStats};
 pub use spin_hook::SpinHook;
 pub use thread_ctx::{LoadControlPolicy, LoadGate, WorkerRegistration};
 

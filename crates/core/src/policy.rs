@@ -29,8 +29,20 @@
 //! [`ALL_POLICY_NAMES`], mirroring `lc_locks::registry` — experiment
 //! configurations pick the control policy and the contention manager with the
 //! same string-keyed machinery.
+//!
+//! ## Target partitioning
+//!
+//! With a sharded [`crate::SleepSlotBuffer`] the control plane makes a
+//! *second* decision each cycle: how to partition the global sleep target `T`
+//! across shards so that `sum(T_i) = T`.  That decision is the
+//! [`TargetSplitter`] trait — [`EvenSplitter`] (the default; uniform shares)
+//! and [`LoadWeightedSplitter`] (shares proportional to each shard's recent
+//! claim and claim-race activity) ship with the suite, selected by stable
+//! name through [`build_splitter`] / [`ALL_SPLITTER_NAMES`] exactly like the
+//! control policies above.
 
 use crate::controller::ControllerStats;
+use crate::slots::{even_split, ShardSnapshot};
 use std::fmt;
 
 /// Everything a policy may consult when computing the next sleep target.
@@ -233,6 +245,173 @@ impl ControlPolicy for FixedPolicy {
     }
 }
 
+/// How the controller partitions the global sleep target `T` across the
+/// shards of a sharded [`crate::SleepSlotBuffer`].
+///
+/// The controller invokes [`TargetSplitter::split`] under its own
+/// synchronization, after the [`ControlPolicy`] chose the global target:
+/// always when the target *changed*, and — for splitters that report
+/// [`TargetSplitter::rebalances`] — on every cycle with a non-zero target,
+/// so activity-driven partitions keep tracking where the claim traffic
+/// actually is.  Implementations may keep state across cycles (activity
+/// counters, EWMAs).  The returned vector must have one entry per shard;
+/// the buffer clamps each entry to the shard capacity when publishing.
+pub trait TargetSplitter: Send + fmt::Debug {
+    /// The splitter's stable registry name.
+    fn name(&self) -> &'static str;
+
+    /// Whether [`TargetSplitter::split`] should run every cycle even when
+    /// the global target is unchanged.  Static partitions (the even split)
+    /// return `false` and are only recomputed on target changes — which
+    /// also preserves the publish-on-change guarantee that an externally
+    /// steered target (`set_sleep_target` under `FixedPolicy::manual`) is
+    /// never overwritten by an idle cycle.  Rebalancing splitters trade a
+    /// little wake churn (shifting a shard's share can wake its excess
+    /// sleepers) for shares that follow the load.
+    fn rebalances(&self) -> bool {
+        false
+    }
+
+    /// Partitions `total` over `shards.len()` shards, each able to hold at
+    /// most `shard_capacity` sleepers.  The result must sum to
+    /// `min(total, shards.len() * shard_capacity)`.
+    fn split(&mut self, total: u64, shards: &[ShardSnapshot], shard_capacity: u64) -> Vec<u64>;
+}
+
+/// Uniform partitioning: every shard receives `T / N`, with the remainder
+/// spread one unit at a time over the first shards.  The default — and, with
+/// one shard, the identity, which keeps the unsharded buffer's behaviour
+/// exactly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvenSplitter;
+
+impl TargetSplitter for EvenSplitter {
+    fn name(&self) -> &'static str {
+        "even"
+    }
+
+    fn split(&mut self, total: u64, shards: &[ShardSnapshot], shard_capacity: u64) -> Vec<u64> {
+        even_split(total, shards.len(), shard_capacity)
+    }
+}
+
+/// Activity-proportional partitioning: each shard's share of `T` follows its
+/// recent claim traffic.
+///
+/// Every cycle the splitter takes the per-shard deltas of successful claims
+/// (`S_i`) and lost head CASes since the previous cycle, folds them into an
+/// EWMA, and apportions the target by largest remainder over those weights
+/// (one unit of baseline weight per shard keeps an idle shard reachable and
+/// degenerates to the even split when no shard has seen traffic).  Shares are
+/// clamped to the shard capacity with the spillover redistributed to shards
+/// that still have room, so the published targets always sum to
+/// `min(T, N * shard_capacity)`.
+#[derive(Debug, Clone)]
+pub struct LoadWeightedSplitter {
+    /// EWMA weight of the newest activity sample, in `(0, 1]`.
+    alpha: f64,
+    /// Smoothed per-shard activity; resized on first sight of the shard set.
+    activity: Vec<f64>,
+    /// Last observed `(ever_slept, claim_races)` per shard.
+    last: Vec<(u64, u64)>,
+}
+
+impl LoadWeightedSplitter {
+    /// Default EWMA weight: half the activity estimate renews each cycle.
+    pub const DEFAULT_ALPHA: f64 = 0.5;
+
+    /// A splitter with the default smoothing.
+    pub fn new() -> Self {
+        Self::with_alpha(Self::DEFAULT_ALPHA)
+    }
+
+    /// A splitter with an explicit EWMA weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < alpha ≤ 1`.
+    pub fn with_alpha(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        Self {
+            alpha,
+            activity: Vec::new(),
+            last: Vec::new(),
+        }
+    }
+}
+
+impl Default for LoadWeightedSplitter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TargetSplitter for LoadWeightedSplitter {
+    fn name(&self) -> &'static str {
+        "load-weighted"
+    }
+
+    /// Re-splits every cycle: the whole point is to track shifting claim
+    /// traffic under a *steady* target, and per-cycle invocation is what
+    /// gives the EWMA its per-cycle delta semantics.
+    fn rebalances(&self) -> bool {
+        true
+    }
+
+    fn split(&mut self, total: u64, shards: &[ShardSnapshot], shard_capacity: u64) -> Vec<u64> {
+        let n = shards.len();
+        if self.last.len() != n {
+            // First cycle (or a different buffer): seed the baselines and
+            // fall back to the even split until deltas exist.
+            self.last = shards
+                .iter()
+                .map(|s| (s.ever_slept, s.claim_races))
+                .collect();
+            self.activity = vec![0.0; n];
+            return even_split(total, n, shard_capacity);
+        }
+        for (i, shard) in shards.iter().enumerate() {
+            let (last_s, last_r) = self.last[i];
+            let delta =
+                shard.ever_slept.saturating_sub(last_s) + shard.claim_races.saturating_sub(last_r);
+            self.last[i] = (shard.ever_slept, shard.claim_races);
+            self.activity[i] = self.alpha * delta as f64 + (1.0 - self.alpha) * self.activity[i];
+        }
+        let total = total.min(n as u64 * shard_capacity);
+        // One unit of baseline weight per shard: idle shards stay reachable
+        // and zero traffic degenerates to the even split.
+        let weights: Vec<f64> = self.activity.iter().map(|a| a + 1.0).collect();
+        let weight_sum: f64 = weights.iter().sum();
+        // Largest-remainder apportionment, clamped at the shard capacity.
+        let mut out = vec![0u64; n];
+        let mut remainders: Vec<(usize, f64)> = Vec::with_capacity(n);
+        let mut assigned = 0u64;
+        for i in 0..n {
+            let ideal = total as f64 * weights[i] / weight_sum;
+            let floor = (ideal.floor() as u64).min(shard_capacity);
+            out[i] = floor;
+            assigned += floor;
+            remainders.push((i, ideal - floor as f64));
+        }
+        remainders.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        let mut leftover = total - assigned;
+        // First pass by largest remainder, then round-robin over shards with
+        // room (clamping can leave more spillover than one unit per shard).
+        let mut cursor = 0usize;
+        while leftover > 0 {
+            let i = remainders[cursor % n].0;
+            if out[i] < shard_capacity {
+                out[i] += 1;
+                leftover -= 1;
+            } else if !out.iter().any(|&t| t < shard_capacity) {
+                break; // every shard full; total was clamped so unreachable
+            }
+            cursor += 1;
+        }
+        out
+    }
+}
+
 /// A factory constructing one policy with default parameters.
 pub type PolicyFactory = fn() -> Box<dyn ControlPolicy>;
 
@@ -252,6 +431,29 @@ pub const ALL_POLICY_NAMES: &[&str] = &["paper", "hysteresis", "fixed"];
 /// `None` for an unknown name.
 pub fn build(name: &str) -> Option<Box<dyn ControlPolicy>> {
     POLICY_REGISTRY
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, factory)| factory())
+}
+
+/// A factory constructing one target splitter with default parameters.
+pub type SplitterFactory = fn() -> Box<dyn TargetSplitter>;
+
+/// Every target splitter in the suite: `(name, factory)`, in the stable
+/// order of [`ALL_SPLITTER_NAMES`].  Mirrors [`POLICY_REGISTRY`].
+pub const SPLITTER_REGISTRY: &[(&str, SplitterFactory)] = &[
+    ("even", || Box::new(EvenSplitter)),
+    ("load-weighted", || Box::new(LoadWeightedSplitter::new())),
+];
+
+/// Names of every target splitter, in a stable order ([`build_splitter`]
+/// constructs any entry; a test asserts the two stay in sync).
+pub const ALL_SPLITTER_NAMES: &[&str] = &["even", "load-weighted"];
+
+/// Constructs the splitter registered under `name` with default parameters,
+/// or `None` for an unknown name.
+pub fn build_splitter(name: &str) -> Option<Box<dyn TargetSplitter>> {
+    SPLITTER_REGISTRY
         .iter()
         .find(|(n, _)| *n == name)
         .map(|(_, factory)| factory())
@@ -351,5 +553,100 @@ mod tests {
         // "fixed" from the registry is the manual variant.
         let mut f = build("fixed").unwrap();
         assert_eq!(f.target(&inputs(96, 64, 5)), 5);
+    }
+
+    // -- target splitters --------------------------------------------------
+
+    fn snapshots(activity: &[(u64, u64)]) -> Vec<ShardSnapshot> {
+        activity
+            .iter()
+            .map(|&(ever_slept, claim_races)| ShardSnapshot {
+                sleepers: 0,
+                ever_slept,
+                claim_races,
+                target: 0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn even_splitter_matches_the_buffer_arithmetic() {
+        let mut s = EvenSplitter;
+        let shards = snapshots(&[(0, 0); 4]);
+        assert_eq!(s.split(7, &shards, 4), vec![2, 2, 2, 1]);
+        assert_eq!(s.split(0, &shards, 4), vec![0, 0, 0, 0]);
+        assert_eq!(s.split(100, &shards, 4), vec![4, 4, 4, 4]);
+        assert_eq!(s.name(), "even");
+    }
+
+    #[test]
+    fn load_weighted_splitter_first_cycle_is_even() {
+        let mut s = LoadWeightedSplitter::new();
+        let shards = snapshots(&[(50, 5), (0, 0), (0, 0), (0, 0)]);
+        // No deltas exist yet, so the first cycle cannot weight anything.
+        assert_eq!(s.split(8, &shards, 8), vec![2, 2, 2, 2]);
+        assert_eq!(s.name(), "load-weighted");
+    }
+
+    #[test]
+    fn load_weighted_splitter_follows_claim_activity() {
+        let mut s = LoadWeightedSplitter::with_alpha(1.0);
+        let before = snapshots(&[(0, 0), (0, 0)]);
+        s.split(4, &before, 16);
+        // Shard 0 saw 60 claims + 20 races since; shard 1 stayed idle.
+        let after = snapshots(&[(60, 20), (0, 0)]);
+        let split = s.split(10, &after, 16);
+        assert_eq!(split.iter().sum::<u64>(), 10, "shares must sum to T");
+        assert!(
+            split[0] > split[1],
+            "the busy shard must receive the larger share (got {split:?})"
+        );
+    }
+
+    #[test]
+    fn load_weighted_splitter_clamps_and_redistributes() {
+        let mut s = LoadWeightedSplitter::with_alpha(1.0);
+        let before = snapshots(&[(0, 0), (0, 0)]);
+        s.split(0, &before, 4);
+        // All activity on shard 0, but its capacity is only 4: the excess
+        // share must spill to shard 1 so the sum still equals T.
+        let after = snapshots(&[(1_000, 0), (0, 0)]);
+        let split = s.split(6, &after, 4);
+        assert_eq!(split.iter().sum::<u64>(), 6);
+        assert!(split.iter().all(|&t| t <= 4), "share exceeded capacity");
+    }
+
+    #[test]
+    fn load_weighted_splitter_sum_is_exact_over_many_cases() {
+        let mut s = LoadWeightedSplitter::new();
+        for round in 0u64..50 {
+            let shards = snapshots(&[
+                (round * 13, round % 7),
+                (round * 5, round % 3),
+                (round * 29, 0),
+                (0, round),
+            ]);
+            for total in [0u64, 1, 3, 7, 8, 15, 16, 31, 32] {
+                let split = s.split(total, &shards, 8);
+                assert_eq!(split.len(), 4);
+                assert_eq!(
+                    split.iter().sum::<u64>(),
+                    total.min(32),
+                    "round {round}, total {total}: {split:?}"
+                );
+                assert!(split.iter().all(|&t| t <= 8));
+            }
+        }
+    }
+
+    #[test]
+    fn splitter_registry_backs_all_names_exactly() {
+        let registered: Vec<&str> = SPLITTER_REGISTRY.iter().map(|(n, _)| *n).collect();
+        assert_eq!(registered, ALL_SPLITTER_NAMES);
+        for &name in ALL_SPLITTER_NAMES {
+            let splitter = build_splitter(name).unwrap_or_else(|| panic!("{name} not registered"));
+            assert_eq!(splitter.name(), name);
+        }
+        assert!(build_splitter("no-such-splitter").is_none());
     }
 }

@@ -1,4 +1,5 @@
-//! The sleep slot buffer (paper §3.1.1 and §3.2.2, Figure 7 centre).
+//! The sleep slot buffer (paper §3.1.1 and §3.2.2, Figure 7 centre),
+//! generalised into a **sharded ring**.
 //!
 //! The buffer is the single point of communication between the controller
 //! daemon and spinning threads:
@@ -17,6 +18,35 @@
 //! `S` (threads that have ever slept) doubles as the buffer's head pointer,
 //! exactly as in the paper; there is no tail pointer because sleepers leave
 //! in arbitrary order and the ring simply contains gaps.
+//!
+//! ## Sharding
+//!
+//! At many hundreds of hardware contexts a single `S` word turns the head CAS
+//! in [`SleepSlotBuffer::try_claim`] — and the controller's linear wake scan —
+//! into the very contention hotspot the mechanism exists to remove.  The
+//! buffer is therefore split into a power-of-two number of **shards**, each
+//! with its own cache-padded `S`/`W`/`T` triple and slot ring:
+//!
+//! * every registered sleeper has a **home shard** derived from its stable
+//!   registration id (`id mod N`), so a thread always contends on the same
+//!   shard's head word;
+//! * a claim that finds its home shard full or loses the home CAS makes one
+//!   overflow probe to the *neighbour* shard (`home + 1 mod N`) so a raced or
+//!   saturated home shard cannot strand a sleeper; if neither local shard
+//!   takes the claim while the global target is non-zero (a target smaller
+//!   than the shard count, or a skewed split that closed or saturated the
+//!   local pair), the probe widens to the remaining shards — no partition can
+//!   make the global target unreachable, and the wider scan only runs when
+//!   the local fast path already failed;
+//! * the global target is **partitioned** across shards
+//!   (`sum(T_i) = T`, see [`crate::policy::TargetSplitter`]); shrinking a
+//!   shard's target wakes excess sleepers by scanning *only that shard's*
+//!   ring.
+//!
+//! The paper's invariants hold per shard and therefore globally: each shard's
+//! `S_i − W_i` is its outstanding-claim count, every claim is balanced by
+//! exactly one [`SleepSlotBuffer::leave`], and with `N = 1` (the default) the
+//! buffer is behaviourally identical to the unsharded original.
 
 use crossbeam_utils::CachePadded;
 use lc_locks::Parker;
@@ -25,6 +55,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Identity of a thread registered as a potential sleeper.
+///
+/// Ids are handed out sequentially by [`SleepSlotBuffer::register_sleeper`],
+/// which makes them **shard-stable**: a sleeper's home shard
+/// (`id mod shard_count`) never changes for the lifetime of the buffer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SleeperId(u64);
 
@@ -43,65 +77,77 @@ impl SleeperId {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ClaimOutcome {
     /// A slot was claimed; the caller must eventually call
-    /// [`SleepSlotBuffer::leave`] with this index exactly once.
+    /// [`SleepSlotBuffer::leave`] with this index exactly once.  The index is
+    /// global (`shard * shard_capacity + slot`), so it also records which
+    /// shard the claim landed on.
     Claimed(usize),
     /// `S − W ≥ T`: no thread needs to sleep right now (the common case).
     NoSpace,
-    /// Another thread won the race for the head slot; per the paper the
-    /// caller just keeps polling the lock.
+    /// Another thread won the race for the head slot (in the home shard and,
+    /// when sharded, in the neighbour probed next); per the paper the caller
+    /// just keeps polling the lock.
     Raced,
 }
 
-/// Counters describing the buffer's activity.
+/// Counters describing the buffer's activity (aggregated over all shards).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SlotBufferStats {
-    /// Total successful claims (`S`).
+    /// Total successful claims (`sum S_i`).
     pub ever_slept: u64,
-    /// Total departures (`W`).
+    /// Total departures (`sum W_i`).
     pub woken_and_left: u64,
-    /// Current sleep target (`T`).
+    /// Current sleep target (`sum T_i`).
     pub target: u64,
     /// Claims cleared by the controller (threads woken early).
     pub controller_wakes: u64,
-    /// Claim attempts that lost the head CAS.
+    /// Claim attempts that lost a head CAS.
     pub claim_races: u64,
 }
 
-/// The shared sleep slot buffer.
-pub struct SleepSlotBuffer {
-    /// `S`: number of threads that have ever claimed a slot; also the head.
+/// One shard's counters as seen by a target splitter
+/// ([`crate::policy::TargetSplitter`]) at the start of a controller cycle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardSnapshot {
+    /// Outstanding claims in this shard (`S_i − W_i`).
+    pub sleepers: u64,
+    /// Cumulative successful claims in this shard (`S_i`).
+    pub ever_slept: u64,
+    /// Cumulative lost head CASes in this shard.
+    pub claim_races: u64,
+    /// The shard's currently published target (`T_i`).
+    pub target: u64,
+}
+
+/// Splits `total` as evenly as possible over `shards` shards, each capped at
+/// `shard_capacity`; the first `total mod shards` shards receive the extra
+/// unit.  The returned targets always sum to
+/// `min(total, shards * shard_capacity)`.
+pub fn even_split(total: u64, shards: usize, shard_capacity: u64) -> Vec<u64> {
+    let n = shards.max(1) as u64;
+    let total = total.min(n * shard_capacity);
+    let base = total / n;
+    let rem = total % n;
+    (0..n)
+        .map(|i| if i < rem { base + 1 } else { base })
+        .collect()
+}
+
+/// One shard: a private `S`/`W`/`T` triple plus its slice of the slot ring.
+struct Shard {
+    /// `S_i`: number of threads that ever claimed a slot here; also the head.
     ever_slept: CachePadded<AtomicU64>,
-    /// `W`: number of threads that have since left.
+    /// `W_i`: number of threads that have since left.
     woken: CachePadded<AtomicU64>,
-    /// `T`: how many threads the controller wants asleep.
+    /// `T_i`: how many threads the controller wants asleep in this shard.
     target: CachePadded<AtomicU64>,
     /// Ring of slots; `0` = empty, otherwise `SleeperId + 1`.
     slots: Box<[AtomicU64]>,
-    /// Registered sleepers' parkers, indexed by `SleeperId`.
-    parkers: Mutex<Vec<Arc<Parker>>>,
     controller_wakes: AtomicU64,
     claim_races: AtomicU64,
 }
 
-impl fmt::Debug for SleepSlotBuffer {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("SleepSlotBuffer")
-            .field("S", &self.ever_slept.load(Ordering::Relaxed))
-            .field("W", &self.woken.load(Ordering::Relaxed))
-            .field("T", &self.target.load(Ordering::Relaxed))
-            .field("capacity", &self.slots.len())
-            .finish()
-    }
-}
-
-impl SleepSlotBuffer {
-    /// Creates a buffer able to hold up to `capacity` simultaneous sleepers.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `capacity` is zero.
-    pub fn new(capacity: usize) -> Self {
-        assert!(capacity > 0, "sleep slot buffer capacity must be non-zero");
+impl Shard {
+    fn new(capacity: usize) -> Self {
         let slots = (0..capacity)
             .map(|_| AtomicU64::new(0))
             .collect::<Vec<_>>()
@@ -111,51 +157,32 @@ impl SleepSlotBuffer {
             woken: CachePadded::new(AtomicU64::new(0)),
             target: CachePadded::new(AtomicU64::new(0)),
             slots,
-            parkers: Mutex::new(Vec::new()),
             controller_wakes: AtomicU64::new(0),
             claim_races: AtomicU64::new(0),
         }
     }
 
-    /// Number of slots in the ring.
-    pub fn capacity(&self) -> usize {
-        self.slots.len()
-    }
-
-    /// Registers a thread (by its parker) as a potential sleeper.
-    pub fn register_sleeper(&self, parker: Arc<Parker>) -> SleeperId {
-        let mut table = self.parkers.lock().unwrap();
-        table.push(parker);
-        SleeperId(table.len() as u64 - 1)
-    }
-
-    /// The current sleep target `T`.
-    pub fn target(&self) -> u64 {
-        self.target.load(Ordering::Relaxed)
-    }
-
-    /// Number of outstanding claims (`S − W`): threads asleep or about to be.
-    pub fn sleepers(&self) -> u64 {
-        let s = self.ever_slept.load(Ordering::Relaxed);
-        let w = self.woken.load(Ordering::Relaxed);
+    /// Outstanding claims (`S_i − W_i`).
+    ///
+    /// `W` is read *before* `S`: a departure is only ever recorded after its
+    /// matching claim (by the same thread), so this order can never observe
+    /// `W > S` — at worst it overcounts sleepers by claims that landed
+    /// between the two loads, which only makes callers more conservative.
+    fn sleepers(&self) -> u64 {
+        let w = self.woken.load(Ordering::Acquire);
+        let s = self.ever_slept.load(Ordering::Acquire);
         s.saturating_sub(w)
     }
 
-    /// Whether a spinning thread should try to claim a slot right now.
-    ///
-    /// This is the cheap check the polling loop performs (`S − W < T`).
+    /// Whether a claim could succeed in this shard right now.
     #[inline]
-    pub fn has_space(&self) -> bool {
+    fn has_space(&self) -> bool {
         let t = self.target.load(Ordering::Relaxed);
-        if t == 0 {
-            return false;
-        }
-        self.sleepers() < t
+        t != 0 && self.sleepers() < t
     }
 
-    /// Attempts to claim the head slot for `sleeper` (one CAS attempt, as in
-    /// the paper: losing the race just means going back to polling).
-    pub fn try_claim(&self, sleeper: SleeperId) -> ClaimOutcome {
+    /// One CAS attempt on this shard's head, as in the paper.
+    fn try_claim(&self, sleeper: SleeperId) -> ClaimOutcome {
         let t = self.target.load(Ordering::Acquire);
         let s = self.ever_slept.load(Ordering::Acquire);
         let w = self.woken.load(Ordering::Acquire);
@@ -178,48 +205,13 @@ impl SleepSlotBuffer {
         }
     }
 
-    /// Whether the slot at `idx` still belongs to `sleeper` (i.e. the
-    /// controller has not cleared it yet).
-    pub fn still_claimed(&self, idx: usize, sleeper: SleeperId) -> bool {
-        self.slots[idx].load(Ordering::Acquire) == sleeper.slot_value()
-    }
-
-    /// Releases a claim: clears the slot if it is still ours and increments
-    /// `W`.  Must be called exactly once per successful claim — whether the
-    /// thread slept and woke, timed out, or acquired the lock before ever
-    /// sleeping.
-    pub fn leave(&self, idx: usize, sleeper: SleeperId) {
-        let _ = self.slots[idx].compare_exchange(
-            sleeper.slot_value(),
-            0,
-            Ordering::AcqRel,
-            Ordering::Relaxed,
-        );
-        self.woken.fetch_add(1, Ordering::AcqRel);
-    }
-
-    /// Sets the sleep target.  If the target shrank below the number of
-    /// current sleepers, wakes the excess immediately (the controller side of
-    /// Figure 7).  Returns how many sleepers were woken.
-    pub fn set_target(&self, new_target: u64) -> usize {
-        let capped = new_target.min(self.slots.len() as u64);
-        self.target.store(capped, Ordering::Release);
-        let sleepers = self.sleepers();
-        if sleepers > capped {
-            self.wake((sleepers - capped) as usize)
-        } else {
-            0
-        }
-    }
-
-    /// Clears up to `count` occupied slots and unparks their owners.
-    /// Returns how many were actually woken.
-    pub fn wake(&self, count: usize) -> usize {
+    /// Clears up to `count` occupied slots in this shard and unparks their
+    /// owners from `table`.  Returns how many were actually woken.
+    fn wake(&self, count: usize, table: &[Arc<Parker>]) -> usize {
         if count == 0 {
             return 0;
         }
         let mut woken = 0;
-        let table = self.parkers.lock().unwrap();
         for slot in self.slots.iter() {
             if woken >= count {
                 break;
@@ -242,22 +234,436 @@ impl SleepSlotBuffer {
         }
         woken
     }
+}
 
-    /// Wakes every sleeper and resets the target to zero (shutdown path).
-    pub fn wake_all(&self) -> usize {
-        self.target.store(0, Ordering::Release);
-        self.wake(self.slots.len())
+/// The shared sleep slot buffer: one or more shards plus the global
+/// parker table.
+pub struct SleepSlotBuffer {
+    shards: Box<[Shard]>,
+    /// Slots per shard (`capacity / shard_count`, rounded up).
+    shard_capacity: usize,
+    /// `shard_count − 1`; shard count is a power of two so this is a mask.
+    shard_mask: usize,
+    /// The capacity the caller asked for.  Per-shard rounding can make the
+    /// physical slot count ([`SleepSlotBuffer::capacity`]) larger; the
+    /// global target cap stays at the *requested* value so a sharded buffer
+    /// never admits more simultaneous sleepers than an unsharded one built
+    /// with the same argument.
+    requested_capacity: u64,
+    /// Cached `sum(T_i)`, so the global target is one load on read paths.
+    total_target: CachePadded<AtomicU64>,
+    /// Serializes target publication: a partition is `shard_count + 1`
+    /// stores, and two concurrent publishers (the controller daemon and a
+    /// `set_sleep_target` caller) interleaving them could otherwise leave
+    /// the shard targets a mix of two partitions with the cached total out
+    /// of sync — permanently, since the controller republishes on change
+    /// only.  The claim path never takes this lock.
+    publish: Mutex<()>,
+    /// Registered sleepers' parkers, indexed by `SleeperId`.
+    parkers: Mutex<Vec<Arc<Parker>>>,
+}
+
+impl fmt::Debug for SleepSlotBuffer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("SleepSlotBuffer")
+            .field("S", &stats.ever_slept)
+            .field("W", &stats.woken_and_left)
+            .field("T", &stats.target)
+            .field("capacity", &self.capacity())
+            .field("shards", &self.shards.len())
+            .finish()
+    }
+}
+
+impl SleepSlotBuffer {
+    /// Creates a single-shard buffer able to hold up to `capacity`
+    /// simultaneous sleepers — behaviourally identical to the paper's
+    /// unsharded `S`/`W`/`T` buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        Self::with_shards(capacity, 1)
     }
 
-    /// Snapshot of the buffer's counters.
-    pub fn stats(&self) -> SlotBufferStats {
-        SlotBufferStats {
-            ever_slept: self.ever_slept.load(Ordering::Relaxed),
-            woken_and_left: self.woken.load(Ordering::Relaxed),
-            target: self.target.load(Ordering::Relaxed),
-            controller_wakes: self.controller_wakes.load(Ordering::Relaxed),
-            claim_races: self.claim_races.load(Ordering::Relaxed),
+    /// Creates a buffer with `shards` shards (a non-zero power of two) whose
+    /// total capacity is at least `capacity` (`capacity / shards` slots per
+    /// shard, rounded up).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero or `shards` is not a non-zero power of
+    /// two.
+    pub fn with_shards(capacity: usize, shards: usize) -> Self {
+        assert!(capacity > 0, "sleep slot buffer capacity must be non-zero");
+        assert!(
+            shards > 0 && shards.is_power_of_two(),
+            "shard count must be a non-zero power of two (got {shards})"
+        );
+        let shard_capacity = capacity.div_ceil(shards);
+        let shards = (0..shards)
+            .map(|_| Shard::new(shard_capacity))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        let shard_mask = shards.len() - 1;
+        Self {
+            shards,
+            shard_capacity,
+            shard_mask,
+            requested_capacity: capacity as u64,
+            total_target: CachePadded::new(AtomicU64::new(0)),
+            publish: Mutex::new(()),
+            parkers: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Total number of slots across all shards.
+    pub fn capacity(&self) -> usize {
+        self.shard_capacity * self.shards.len()
+    }
+
+    /// Number of shards (always a power of two; 1 for the unsharded default).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of slots in each shard's ring.
+    pub fn shard_capacity(&self) -> usize {
+        self.shard_capacity
+    }
+
+    /// Registers a thread (by its parker) as a potential sleeper.
+    pub fn register_sleeper(&self, parker: Arc<Parker>) -> SleeperId {
+        let mut table = self.parkers.lock().unwrap();
+        table.push(parker);
+        SleeperId(table.len() as u64 - 1)
+    }
+
+    /// The home shard of `sleeper`: stable for the buffer's lifetime because
+    /// it is derived from the sleeper's registration id.
+    #[inline]
+    pub fn home_shard(&self, sleeper: SleeperId) -> usize {
+        (sleeper.index() as usize) & self.shard_mask
+    }
+
+    /// The current global sleep target (`sum(T_i)`).
+    pub fn target(&self) -> u64 {
+        self.total_target.load(Ordering::Relaxed)
+    }
+
+    /// The target currently assigned to shard `shard`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= shard_count()`.
+    pub fn shard_target(&self, shard: usize) -> u64 {
+        self.shards[shard].target.load(Ordering::Relaxed)
+    }
+
+    /// Number of outstanding claims (`sum(S_i − W_i)`): threads asleep or
+    /// about to be.
+    pub fn sleepers(&self) -> u64 {
+        self.shards.iter().map(Shard::sleepers).sum()
+    }
+
+    /// Outstanding claims in shard `shard` (`S_i − W_i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= shard_count()`.
+    pub fn shard_sleepers(&self, shard: usize) -> u64 {
+        self.shards[shard].sleepers()
+    }
+
+    /// Whether a spinning thread should try to claim a slot right now,
+    /// globally (`sum(S_i − W_i) < sum(T_i)`).
+    ///
+    /// With more than one shard prefer [`SleepSlotBuffer::has_space_for`],
+    /// which touches only the shards a claim could actually land on.
+    #[inline]
+    pub fn has_space(&self) -> bool {
+        let t = self.target();
+        if t == 0 {
+            return false;
+        }
+        self.sleepers() < t
+    }
+
+    /// The cheap polling-path check for a specific sleeper: does its home
+    /// shard — or, when sharded, the neighbour it would overflow-probe —
+    /// currently have room?  When neither local shard can take a claim but
+    /// the global target is non-zero (a small or skewed target split left
+    /// the local pair closed or full), the check widens to the remaining
+    /// shards so no spinner is blind to open slots.  Equivalent to
+    /// [`SleepSlotBuffer::has_space`] when there is a single shard.
+    #[inline]
+    pub fn has_space_for(&self, sleeper: SleeperId) -> bool {
+        let home = self.home_shard(sleeper);
+        if self.shards[home].has_space() {
+            return true;
+        }
+        if self.shard_mask == 0 {
+            return false;
+        }
+        let neighbour = (home + 1) & self.shard_mask;
+        if self.shards[neighbour].has_space() {
+            return true;
+        }
+        // The wide scan (home and neighbour already answered) runs only when
+        // the local fast path failed, and the check itself only runs once
+        // per slot-check period — the cost of not stranding spinners behind
+        // a closed or saturated local pair is a bounded, period-amortized
+        // walk of the remaining shards in the saturated steady state.
+        self.target() > 0
+            && self
+                .shards
+                .iter()
+                .enumerate()
+                .any(|(idx, shard)| idx != home && idx != neighbour && shard.has_space())
+    }
+
+    /// Attempts to claim a slot for `sleeper`: one CAS attempt on the home
+    /// shard's head and, if that shard is full or the CAS is lost, one
+    /// overflow probe of the neighbour shard (so a raced or saturated home
+    /// shard does not strand a sleeper).  If *neither* local shard takes the
+    /// claim while the buffer globally still wants sleepers — a target
+    /// smaller than the shard count, or a skewed split that saturated the
+    /// local pair — the probe widens to the remaining shards so no partition
+    /// can make the global target unreachable.  Losing everywhere just means
+    /// going back to polling, as in the paper.
+    pub fn try_claim(&self, sleeper: SleeperId) -> ClaimOutcome {
+        let home = self.home_shard(sleeper);
+        let first = match self.shards[home].try_claim(sleeper) {
+            ClaimOutcome::Claimed(idx) => {
+                return ClaimOutcome::Claimed(home * self.shard_capacity + idx)
+            }
+            other => other,
+        };
+        if self.shard_mask == 0 {
+            return first;
+        }
+        let neighbour = (home + 1) & self.shard_mask;
+        let second = match self.shards[neighbour].try_claim(sleeper) {
+            ClaimOutcome::Claimed(idx) => {
+                return ClaimOutcome::Claimed(neighbour * self.shard_capacity + idx)
+            }
+            other => other,
+        };
+        let mut raced = first == ClaimOutcome::Raced || second == ClaimOutcome::Raced;
+        if self.target() > 0 {
+            for (idx, shard) in self.shards.iter().enumerate() {
+                if idx == home || idx == neighbour {
+                    continue;
+                }
+                match shard.try_claim(sleeper) {
+                    ClaimOutcome::Claimed(slot) => {
+                        return ClaimOutcome::Claimed(idx * self.shard_capacity + slot)
+                    }
+                    ClaimOutcome::Raced => raced = true,
+                    ClaimOutcome::NoSpace => {}
+                }
+            }
+        }
+        if raced {
+            ClaimOutcome::Raced
+        } else {
+            ClaimOutcome::NoSpace
+        }
+    }
+
+    /// Whether the slot at `idx` still belongs to `sleeper` (i.e. the
+    /// controller has not cleared it yet).
+    pub fn still_claimed(&self, idx: usize, sleeper: SleeperId) -> bool {
+        let (shard, slot) = self.locate(idx);
+        self.shards[shard].slots[slot].load(Ordering::Acquire) == sleeper.slot_value()
+    }
+
+    /// Releases a claim: clears the slot if it is still ours and increments
+    /// the owning shard's `W`.  Must be called exactly once per successful
+    /// claim — whether the thread slept and woke, timed out, or acquired the
+    /// lock before ever sleeping.
+    pub fn leave(&self, idx: usize, sleeper: SleeperId) {
+        let (shard, slot) = self.locate(idx);
+        let _ = self.shards[shard].slots[slot].compare_exchange(
+            sleeper.slot_value(),
+            0,
+            Ordering::AcqRel,
+            Ordering::Relaxed,
+        );
+        self.shards[shard].woken.fetch_add(1, Ordering::AcqRel);
+    }
+
+    #[inline]
+    fn locate(&self, idx: usize) -> (usize, usize) {
+        (idx / self.shard_capacity, idx % self.shard_capacity)
+    }
+
+    /// Sets the global sleep target, partitioned evenly across shards and
+    /// capped at the capacity the buffer was built with (the *requested*
+    /// capacity — per-shard rounding never widens the cap).  If a shard's
+    /// target shrank below its current sleepers, wakes the excess in that
+    /// shard immediately (the controller side of Figure 7).  Returns how
+    /// many sleepers were woken.
+    ///
+    /// The controller publishes load-aware partitions through
+    /// [`SleepSlotBuffer::set_shard_targets`]; this even split is the manual
+    /// / single-shard entry point.
+    pub fn set_target(&self, new_target: u64) -> usize {
+        let capped = new_target.min(self.requested_capacity);
+        let split = even_split(capped, self.shards.len(), self.shard_capacity as u64);
+        self.set_shard_targets(&split)
+    }
+
+    /// Publishes one target per shard (`targets.len()` must equal
+    /// [`SleepSlotBuffer::shard_count`]; each entry is capped at the shard
+    /// capacity).  The wake scan then walks **only** the shards whose target
+    /// shrank below their outstanding claims.  Returns the total number of
+    /// sleepers woken.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets.len() != shard_count()`.
+    pub fn set_shard_targets(&self, targets: &[u64]) -> usize {
+        assert_eq!(
+            targets.len(),
+            self.shards.len(),
+            "one target per shard required"
+        );
+        // One publisher at a time: a partition is many stores, and two
+        // interleaved publishers would leave the shard targets a mix of two
+        // partitions with the cached total out of sync.
+        let _publish = self.publish.lock().unwrap();
+        self.publish_locked(targets)
+    }
+
+    /// Publishes `targets` only if the global target still equals
+    /// `expected_total` — the controller's *rebalance* path, which
+    /// repartitions an unchanged total and must not clobber a target that an
+    /// external [`SleepSlotBuffer::set_target`] caller changed since the
+    /// cycle read it.  Returns `None` (nothing published) when the
+    /// precondition fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets.len() != shard_count()`.
+    pub fn set_shard_targets_if(&self, targets: &[u64], expected_total: u64) -> Option<usize> {
+        assert_eq!(
+            targets.len(),
+            self.shards.len(),
+            "one target per shard required"
+        );
+        let _publish = self.publish.lock().unwrap();
+        if self.total_target.load(Ordering::Relaxed) != expected_total {
+            return None;
+        }
+        Some(self.publish_locked(targets))
+    }
+
+    /// The publication body; the caller holds the `publish` lock.
+    fn publish_locked(&self, targets: &[u64]) -> usize {
+        let mut total = 0u64;
+        let mut woken = 0usize;
+        let mut table = None;
+        for (shard, &target) in self.shards.iter().zip(targets) {
+            let capped = target.min(self.shard_capacity as u64);
+            total += capped;
+            shard.target.store(capped, Ordering::Release);
+            let sleepers = shard.sleepers();
+            if sleepers > capped {
+                let table = table.get_or_insert_with(|| self.parkers.lock().unwrap());
+                woken += shard.wake((sleepers - capped) as usize, table.as_slice());
+            }
+        }
+        self.total_target.store(total, Ordering::Release);
+        woken
+    }
+
+    /// Clears up to `count` occupied slots (scanning shards in order) and
+    /// unparks their owners.  Returns how many were actually woken.
+    pub fn wake(&self, count: usize) -> usize {
+        if count == 0 {
+            return 0;
+        }
+        let table = self.parkers.lock().unwrap();
+        let mut woken = 0;
+        for shard in self.shards.iter() {
+            if woken >= count {
+                break;
+            }
+            woken += shard.wake(count - woken, table.as_slice());
+        }
+        woken
+    }
+
+    /// Wakes every sleeper and resets all targets to zero (shutdown path).
+    pub fn wake_all(&self) -> usize {
+        {
+            let _publish = self.publish.lock().unwrap();
+            for shard in self.shards.iter() {
+                shard.target.store(0, Ordering::Release);
+            }
+            self.total_target.store(0, Ordering::Release);
+        }
+        self.wake(self.capacity())
+    }
+
+    /// Snapshot of the buffer's counters, aggregated over all shards.
+    ///
+    /// Within each shard `W` is loaded *before* `S`: a departure is recorded
+    /// only after its matching claim by the same thread, so per shard — and
+    /// therefore in the sum — a snapshot always satisfies
+    /// `ever_slept >= woken_and_left`.
+    pub fn stats(&self) -> SlotBufferStats {
+        let mut stats = SlotBufferStats {
+            target: self.target(),
+            ..SlotBufferStats::default()
+        };
+        for shard in self.shards.iter() {
+            let w = shard.woken.load(Ordering::Acquire);
+            let s = shard.ever_slept.load(Ordering::Acquire);
+            stats.ever_slept += s;
+            stats.woken_and_left += w;
+            stats.controller_wakes += shard.controller_wakes.load(Ordering::Relaxed);
+            stats.claim_races += shard.claim_races.load(Ordering::Relaxed);
+        }
+        stats
+    }
+
+    /// Counters for one shard (`target` is the shard's own `T_i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= shard_count()`.
+    pub fn shard_stats(&self, shard: usize) -> SlotBufferStats {
+        let shard = &self.shards[shard];
+        let w = shard.woken.load(Ordering::Acquire);
+        let s = shard.ever_slept.load(Ordering::Acquire);
+        SlotBufferStats {
+            ever_slept: s,
+            woken_and_left: w,
+            target: shard.target.load(Ordering::Relaxed),
+            controller_wakes: shard.controller_wakes.load(Ordering::Relaxed),
+            claim_races: shard.claim_races.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Per-shard snapshots for the controller's target splitter.
+    pub fn shard_snapshots(&self) -> Vec<ShardSnapshot> {
+        self.shards
+            .iter()
+            .map(|shard| {
+                let w = shard.woken.load(Ordering::Acquire);
+                let s = shard.ever_slept.load(Ordering::Acquire);
+                ShardSnapshot {
+                    sleepers: s.saturating_sub(w),
+                    ever_slept: s,
+                    claim_races: shard.claim_races.load(Ordering::Relaxed),
+                    target: shard.target.load(Ordering::Relaxed),
+                }
+            })
+            .collect()
     }
 }
 
@@ -274,6 +680,7 @@ mod tests {
         let buf = SleepSlotBuffer::new(8);
         let id = sleeper(&buf);
         assert!(!buf.has_space());
+        assert!(!buf.has_space_for(id));
         assert_eq!(buf.try_claim(id), ClaimOutcome::NoSpace);
         assert_eq!(buf.sleepers(), 0);
     }
@@ -393,6 +800,12 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_shards_panic() {
+        let _ = SleepSlotBuffer::with_shards(16, 3);
+    }
+
+    #[test]
     fn concurrent_claims_never_exceed_target_by_much() {
         use std::sync::atomic::AtomicU64 as StdU64;
         use std::thread;
@@ -422,5 +835,276 @@ mod tests {
         let stats = buf.stats();
         assert_eq!(stats.ever_slept, stats.woken_and_left);
         assert_eq!(stats.ever_slept, claimed.load(Ordering::Relaxed));
+    }
+
+    // -- sharded-specific behaviour --------------------------------------
+
+    #[test]
+    fn sharded_capacity_rounds_up_per_shard() {
+        let buf = SleepSlotBuffer::with_shards(10, 4);
+        assert_eq!(buf.shard_count(), 4);
+        assert_eq!(buf.shard_capacity(), 3);
+        assert_eq!(buf.capacity(), 12);
+        // The target cap stays at the requested capacity, not the rounded-up
+        // physical slot count.
+        buf.set_target(100);
+        assert_eq!(buf.target(), 10);
+    }
+
+    #[test]
+    fn home_shard_is_stable_and_registration_order_based() {
+        let buf = SleepSlotBuffer::with_shards(16, 4);
+        let ids: Vec<_> = (0..8).map(|_| sleeper(&buf)).collect();
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(buf.home_shard(*id), i % 4);
+            // Stable on repeated queries.
+            assert_eq!(buf.home_shard(*id), i % 4);
+        }
+    }
+
+    #[test]
+    fn claims_land_on_the_home_shard_when_it_has_room() {
+        let buf = SleepSlotBuffer::with_shards(16, 4);
+        buf.set_shard_targets(&[2, 2, 2, 2]);
+        let ids: Vec<_> = (0..4).map(|_| sleeper(&buf)).collect();
+        for (i, id) in ids.iter().enumerate() {
+            let ClaimOutcome::Claimed(idx) = buf.try_claim(*id) else {
+                panic!("expected a claim for sleeper {i}");
+            };
+            assert_eq!(idx / buf.shard_capacity(), i, "claim left its home shard");
+        }
+        assert_eq!(buf.sleepers(), 4);
+        for i in 0..4 {
+            assert_eq!(buf.shard_sleepers(i), 1);
+        }
+    }
+
+    #[test]
+    fn full_home_shard_overflows_to_the_neighbour() {
+        let buf = SleepSlotBuffer::with_shards(8, 2);
+        // Room in shard 1 only.
+        buf.set_shard_targets(&[1, 1]);
+        let a = sleeper(&buf); // id 0 → home shard 0
+        let c = sleeper(&buf); // id 1 → home shard 1
+        let b = {
+            let _skip = sleeper(&buf); // id 2 → keep ids aligned
+            sleeper(&buf) // id 3 → home shard 1
+        };
+        let _ = c;
+        let ClaimOutcome::Claimed(idx_a) = buf.try_claim(a) else {
+            panic!("first claim must land in the home shard");
+        };
+        assert_eq!(idx_a / buf.shard_capacity(), 0);
+        // Shard 1's one slot goes to `b`…
+        let ClaimOutcome::Claimed(idx_b) = buf.try_claim(b) else {
+            panic!("expected a claim");
+        };
+        assert_eq!(idx_b / buf.shard_capacity(), 1);
+        // …so a second shard-0 sleeper cannot claim anywhere (both full)…
+        let d = {
+            let _skip = sleeper(&buf); // id 4
+            let e = sleeper(&buf); // id 5
+            let _ = e;
+            let f = buf.register_sleeper(Arc::new(Parker::new())); // id 6 → home 0
+            f
+        };
+        assert_eq!(buf.try_claim(d), ClaimOutcome::NoSpace);
+        // …until shard 0 frees up; but with shard 0 full and room in shard 1,
+        // a shard-0 sleeper overflows one hop.
+        buf.set_shard_targets(&[1, 2]);
+        let ClaimOutcome::Claimed(idx_d) = buf.try_claim(d) else {
+            panic!("overflow probe must rescue a full home shard");
+        };
+        assert_eq!(idx_d / buf.shard_capacity(), 1, "expected neighbour shard");
+        for (idx, id) in [(idx_a, a), (idx_b, b), (idx_d, d)] {
+            buf.leave(idx, id);
+        }
+        let stats = buf.stats();
+        assert_eq!(stats.ever_slept, stats.woken_and_left);
+    }
+
+    #[test]
+    fn zero_target_shard_pair_falls_back_to_populated_shards() {
+        // A global target smaller than the shard count leaves shards at
+        // target 0; threads homed on a zero-target pair must still be able
+        // to see and claim the open slots elsewhere.
+        let buf = SleepSlotBuffer::with_shards(16, 4);
+        buf.set_shard_targets(&[1, 0, 0, 0]);
+        // Sleeper with id 1: home shard 1 (target 0), neighbour shard 2
+        // (target 0) — only the fallback can reach shard 0.
+        let _a = sleeper(&buf); // id 0
+        let b = sleeper(&buf); // id 1
+        assert!(buf.has_space_for(b));
+        let ClaimOutcome::Claimed(idx) = buf.try_claim(b) else {
+            panic!("zero-target pair stranded the sleeper");
+        };
+        assert_eq!(
+            idx / buf.shard_capacity(),
+            0,
+            "expected the populated shard"
+        );
+        // With shard 0 now full, nothing is claimable anywhere.
+        let c = {
+            let _skip = sleeper(&buf); // id 2
+            let _skip = sleeper(&buf); // id 3
+            let _skip = sleeper(&buf); // id 4
+            sleeper(&buf) // id 5 → home shard 1 again
+        };
+        assert!(!buf.has_space_for(c));
+        assert_eq!(buf.try_claim(c), ClaimOutcome::NoSpace);
+        buf.leave(idx, b);
+        let stats = buf.stats();
+        assert_eq!(stats.ever_slept, stats.woken_and_left);
+    }
+
+    #[test]
+    fn saturated_local_pair_falls_back_to_open_shards() {
+        // Review scenario: home shard closed (target 0), neighbour populated
+        // but already full — the wider probe must still reach the other open
+        // shard instead of leaving the global target unreachable.
+        let buf = SleepSlotBuffer::with_shards(16, 4);
+        buf.set_shard_targets(&[1, 1, 0, 0]);
+        let ids: Vec<_> = (0..8).map(|_| sleeper(&buf)).collect();
+        // id 3: home shard 3 (target 0) → neighbour shard 0 takes it.
+        let ClaimOutcome::Claimed(first) = buf.try_claim(ids[3]) else {
+            panic!("expected the neighbour to take the claim");
+        };
+        assert_eq!(first / buf.shard_capacity(), 0);
+        // id 7: home shard 3 (target 0), neighbour shard 0 now full — only
+        // the widened probe can reach shard 1's open slot.
+        let ClaimOutcome::Claimed(second) = buf.try_claim(ids[7]) else {
+            panic!("saturated local pair stranded the sleeper");
+        };
+        assert_eq!(second / buf.shard_capacity(), 1);
+        // Global target reached: nothing further is claimable.
+        assert_eq!(buf.sleepers(), buf.target());
+        assert!(!buf.has_space_for(ids[3]));
+        assert_eq!(buf.try_claim(ids[0]), ClaimOutcome::NoSpace);
+        buf.leave(first, ids[3]);
+        buf.leave(second, ids[7]);
+        let stats = buf.stats();
+        assert_eq!(stats.ever_slept, stats.woken_and_left);
+    }
+
+    #[test]
+    fn shard_targets_sum_to_the_global_target() {
+        let buf = SleepSlotBuffer::with_shards(16, 4);
+        buf.set_target(7);
+        let per_shard: Vec<u64> = (0..4).map(|i| buf.shard_target(i)).collect();
+        assert_eq!(per_shard.iter().sum::<u64>(), 7);
+        assert_eq!(buf.target(), 7);
+        // Even split: first `rem` shards carry the extra unit.
+        assert_eq!(per_shard, vec![2, 2, 2, 1]);
+    }
+
+    #[test]
+    fn set_shard_targets_caps_each_shard_and_wakes_only_shrunk_shards() {
+        let buf = SleepSlotBuffer::with_shards(8, 2); // 4 slots per shard
+        let parkers: Vec<Arc<Parker>> = (0..4).map(|_| Arc::new(Parker::new())).collect();
+        let ids: Vec<SleeperId> = parkers
+            .iter()
+            .map(|p| buf.register_sleeper(Arc::clone(p)))
+            .collect();
+        buf.set_shard_targets(&[2, 2]);
+        let mut claims = Vec::new();
+        for id in &ids {
+            match buf.try_claim(*id) {
+                ClaimOutcome::Claimed(idx) => claims.push((idx, *id)),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(buf.shard_sleepers(0), 2);
+        assert_eq!(buf.shard_sleepers(1), 2);
+        // Shrink only shard 0; shard 1 requests far above capacity (capped).
+        let woken = buf.set_shard_targets(&[0, 100]);
+        assert_eq!(woken, 2, "only shard 0's excess may be woken");
+        assert_eq!(buf.shard_target(1), 4, "target capped at shard capacity");
+        assert_eq!(buf.target(), 4);
+        // The two cleared slots both belong to shard 0.
+        let cleared: Vec<usize> = claims
+            .iter()
+            .filter(|(idx, id)| !buf.still_claimed(*idx, *id))
+            .map(|(idx, _)| idx / buf.shard_capacity())
+            .collect();
+        assert_eq!(cleared, vec![0, 0]);
+        for (idx, id) in claims {
+            buf.leave(idx, id);
+        }
+        assert_eq!(buf.sleepers(), 0);
+    }
+
+    #[test]
+    fn even_split_sums_and_caps() {
+        assert_eq!(even_split(7, 4, 4), vec![2, 2, 2, 1]);
+        assert_eq!(even_split(0, 4, 4), vec![0, 0, 0, 0]);
+        assert_eq!(even_split(16, 4, 4), vec![4, 4, 4, 4]);
+        // Over-capacity requests are clamped to the total capacity.
+        assert_eq!(even_split(100, 4, 4), vec![4, 4, 4, 4]);
+        assert_eq!(even_split(5, 1, 8), vec![5]);
+    }
+
+    #[test]
+    fn single_shard_buffer_reports_one_shard() {
+        let buf = SleepSlotBuffer::new(8);
+        assert_eq!(buf.shard_count(), 1);
+        assert_eq!(buf.shard_capacity(), 8);
+        let id = sleeper(&buf);
+        assert_eq!(buf.home_shard(id), 0);
+    }
+
+    #[test]
+    fn shard_stats_aggregate_to_global_stats() {
+        let buf = SleepSlotBuffer::with_shards(16, 4);
+        buf.set_target(8);
+        let ids: Vec<_> = (0..8).map(|_| sleeper(&buf)).collect();
+        let claims: Vec<_> = ids
+            .iter()
+            .filter_map(|id| match buf.try_claim(*id) {
+                ClaimOutcome::Claimed(idx) => Some((idx, *id)),
+                _ => None,
+            })
+            .collect();
+        for (idx, id) in &claims {
+            buf.leave(*idx, *id);
+        }
+        let global = buf.stats();
+        let summed: u64 = (0..4).map(|i| buf.shard_stats(i).ever_slept).sum();
+        assert_eq!(global.ever_slept, summed);
+        let targets: u64 = (0..4).map(|i| buf.shard_stats(i).target).sum();
+        assert_eq!(global.target, targets);
+    }
+
+    #[test]
+    fn stats_snapshot_never_shows_w_above_s_under_concurrency() {
+        use std::thread;
+        let buf = Arc::new(SleepSlotBuffer::with_shards(32, 4));
+        buf.set_target(16);
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let buf = Arc::clone(&buf);
+            handles.push(thread::spawn(move || {
+                let id = buf.register_sleeper(Arc::new(Parker::new()));
+                for _ in 0..2_000 {
+                    if let ClaimOutcome::Claimed(idx) = buf.try_claim(id) {
+                        buf.leave(idx, id);
+                    }
+                }
+            }));
+        }
+        // Snapshot continuously while the hammering runs.
+        for _ in 0..20_000 {
+            let stats = buf.stats();
+            assert!(
+                stats.ever_slept >= stats.woken_and_left,
+                "snapshot saw W ({}) above S ({})",
+                stats.woken_and_left,
+                stats.ever_slept
+            );
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = buf.stats();
+        assert_eq!(stats.ever_slept, stats.woken_and_left);
     }
 }

@@ -274,7 +274,10 @@ impl LoadGate {
             return false;
         }
         let buffer = self.ctx.control.buffer();
-        if !buffer.has_space() {
+        // The cheap per-iteration check touches only the shards this thread's
+        // claim could land on (its home shard and the overflow neighbour);
+        // with a single shard this is exactly the paper's global check.
+        if !buffer.has_space_for(self.ctx.sleeper) {
             return false;
         }
         match buffer.try_claim(self.ctx.sleeper) {
@@ -581,6 +584,25 @@ mod tests {
         }
         assert_eq!(lc.sleepers(), 0);
         let stats = lc.buffer().stats();
+        assert_eq!(stats.ever_slept, stats.woken_and_left);
+    }
+
+    #[test]
+    fn gate_claims_on_the_home_shard_of_a_sharded_buffer() {
+        let lc = LoadControl::with_policy(
+            LoadControlConfig::for_capacity(1).with_shards(4),
+            Box::new(FixedPolicy::manual()),
+        );
+        lc.set_sleep_target(8);
+        let mut gate = LoadGate::new(&lc);
+        assert!(gate.try_claim());
+        let buffer = lc.buffer();
+        // This thread registered first, so its home shard is 0 and the claim
+        // must land there (the shard has room).
+        assert_eq!(buffer.shard_sleepers(0), 1);
+        gate.cancel();
+        assert_eq!(lc.sleepers(), 0);
+        let stats = buffer.stats();
         assert_eq!(stats.ever_slept, stats.woken_and_left);
     }
 

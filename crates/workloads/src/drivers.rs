@@ -4,7 +4,7 @@
 //! `lc-core` (as opposed to the simulator models) and are used by the
 //! criterion benches, the examples and the integration tests.
 
-use lc_core::{LcMutex, LcRwLock, LcSemaphore, LoadControl};
+use lc_core::{LcMutex, LcRwLock, LcSemaphore, LoadControl, LoadControlConfig};
 use lc_locks::registry::DynMutex;
 use lc_locks::{
     AbortableLock, McsLock, Mutex, RawLock, RawRwLock, RawSemaphore, SpinThenYieldLock, TasLock,
@@ -64,6 +64,19 @@ fn busy_work(iters: u32) {
     for _ in 0..iters {
         hint::spin_loop();
     }
+}
+
+/// A running [`LoadControl`] tuned for the oversubscription drivers — small
+/// pretend capacity, 1 ms controller cycles, 5 ms sleep timeout — with a
+/// slot buffer of `shards` shards.  The shard-sweep benches and the sharded
+/// acceptance tests build every configuration through this one helper.
+pub fn oversubscribed_control(capacity: usize, shards: usize) -> Arc<LoadControl> {
+    LoadControl::start(
+        LoadControlConfig::for_capacity(capacity)
+            .with_update_interval(Duration::from_millis(1))
+            .with_sleep_timeout(Duration::from_millis(5))
+            .with_shards(shards),
+    )
 }
 
 /// Runs the microbenchmark over any [`RawLock`]-backed mutex.
@@ -458,6 +471,17 @@ mod tests {
         let r = run_semaphore_microbench_lc(2, quick(), &control);
         control.stop_controller();
         assert!(r.acquisitions > 100, "only {} acquisitions", r.acquisitions);
+    }
+
+    #[test]
+    fn sharded_control_drives_the_microbench() {
+        let control = oversubscribed_control(2, 4);
+        assert_eq!(control.buffer().shard_count(), 4);
+        let r = run_microbench_lc(quick(), &control);
+        control.stop_controller();
+        assert!(r.acquisitions > 100, "only {} acquisitions", r.acquisitions);
+        let stats = control.buffer().stats();
+        assert_eq!(stats.ever_slept, stats.woken_and_left);
     }
 
     #[test]

@@ -257,6 +257,195 @@ fn slot_buffer_controller_clear_plus_leave_counts_one_departure() {
 }
 
 // ---------------------------------------------------------------------------
+// Sharded sleep slot buffer: the paper's invariants hold per shard and
+// globally under random claim/leave/retarget interleavings.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn sharded_buffer_random_interleavings_preserve_the_books() {
+    for_each_seed(64, |seed, rng| {
+        let shards = [1usize, 2, 4][rng.random_range(0usize..3)];
+        let buf = SleepSlotBuffer::with_shards(16, shards);
+        let sleepers: Vec<_> = (0..8)
+            .map(|_| buf.register_sleeper(Arc::new(Parker::new())))
+            .collect();
+        let mut outstanding: Vec<(usize, SleeperId)> = Vec::new();
+
+        let ops = rng.random_range(1usize..200);
+        for op in 0..ops {
+            match rng.random_range(0u32..5) {
+                0 => {
+                    // Retarget globally (even split under the hood).
+                    buf.set_target(rng.random_range(0u64..12));
+                }
+                1 => {
+                    // Retarget per shard with arbitrary (even over-capacity)
+                    // partitions; the buffer caps each at shard capacity.
+                    let targets: Vec<u64> = (0..buf.shard_count())
+                        .map(|_| rng.random_range(0u64..8))
+                        .collect();
+                    buf.set_shard_targets(&targets);
+                    let published: u64 = (0..buf.shard_count()).map(|i| buf.shard_target(i)).sum();
+                    assert_eq!(
+                        buf.target(),
+                        published,
+                        "seed {seed} op {op}: cached global target diverged from sum(T_i)"
+                    );
+                }
+                2 => {
+                    let id = sleepers[rng.random_range(0usize..sleepers.len())];
+                    // A sleeper may only have one outstanding claim at a time.
+                    if outstanding.iter().any(|(_, s)| *s == id) {
+                        continue;
+                    }
+                    let home = buf.home_shard(id);
+                    let neighbour = (home + 1) % buf.shard_count();
+                    // The wider fallback probe runs only when neither local
+                    // shard could take the claim.
+                    let local_space = buf.shard_sleepers(home) < buf.shard_target(home)
+                        || buf.shard_sleepers(neighbour) < buf.shard_target(neighbour);
+                    if let ClaimOutcome::Claimed(idx) = buf.try_claim(id) {
+                        // The claim landed on the home shard or its one-hop
+                        // neighbour — anywhere else only via the fallback,
+                        // i.e. when the local pair was closed or full.
+                        let shard = idx / buf.shard_capacity();
+                        assert!(
+                            shard == home || shard == neighbour || !local_space,
+                            "seed {seed} op {op}: claim landed on shard {shard}, \
+                             home {home}, local space {local_space}"
+                        );
+                        // Immediately after a successful claim the landed
+                        // shard respects its own target bound, hence the
+                        // global bound sum(S_i − W_i) ≤ sum(T_i) is never
+                        // violated *by a claim*.
+                        assert!(
+                            buf.shard_sleepers(shard) <= buf.shard_target(shard),
+                            "seed {seed} op {op}: claim overshot the shard target"
+                        );
+                        outstanding.push((idx, id));
+                    }
+                }
+                3 => {
+                    if !outstanding.is_empty() {
+                        let pick = rng.random_range(0usize..outstanding.len());
+                        let (idx, id) = outstanding.remove(pick);
+                        buf.leave(idx, id);
+                    }
+                }
+                _ => {
+                    buf.wake_all();
+                }
+            }
+            // Invariant: global S − W equals the number of outstanding claims.
+            assert_eq!(
+                buf.sleepers(),
+                outstanding.len() as u64,
+                "seed {seed} op {op}: sleeper count diverged from claims"
+            );
+            // Invariant: per-shard targets never exceed the shard capacity.
+            for i in 0..buf.shard_count() {
+                assert!(
+                    buf.shard_target(i) <= buf.shard_capacity() as u64,
+                    "seed {seed} op {op}: shard {i} target over capacity"
+                );
+            }
+            // Invariant: a snapshot never shows W above S.
+            let stats = buf.stats();
+            assert!(
+                stats.ever_slept >= stats.woken_and_left,
+                "seed {seed} op {op}"
+            );
+        }
+        // Drain and re-check final balance, globally and per shard.
+        for (idx, id) in outstanding.drain(..) {
+            buf.leave(idx, id);
+        }
+        let stats = buf.stats();
+        assert_eq!(stats.ever_slept, stats.woken_and_left, "seed {seed}");
+        for i in 0..buf.shard_count() {
+            let s = buf.shard_stats(i);
+            assert_eq!(s.ever_slept, s.woken_and_left, "seed {seed} shard {i}");
+        }
+    });
+}
+
+#[test]
+fn sharded_buffer_shrink_wakes_exactly_the_excess_per_shard() {
+    // Controller side of Figure 7, per shard: shrinking shard targets must
+    // clear and unpark exactly `sleepers_i − new_target_i` claims in each
+    // shard, while the survivors keep their slots.
+    for_each_seed(64, |seed, rng| {
+        let shards = [2usize, 4][rng.random_range(0usize..2)];
+        let shard_capacity = 4usize;
+        let buf = SleepSlotBuffer::with_shards(shard_capacity * shards, shards);
+        // Open every shard fully, then fill each shard with a chosen number
+        // of claims through sleepers homed on it (claims land at home while
+        // the home shard has room).
+        buf.set_shard_targets(&vec![shard_capacity as u64; shards]);
+        let mut claims_by_shard: Vec<Vec<(usize, SleeperId)>> = vec![Vec::new(); shards];
+        let fill: Vec<usize> = (0..shards)
+            .map(|_| rng.random_range(1usize..=shard_capacity))
+            .collect();
+        let mut next_id = 0u64;
+        for (shard, &count) in fill.iter().enumerate() {
+            while claims_by_shard[shard].len() < count {
+                let id = buf.register_sleeper(Arc::new(Parker::new()));
+                assert_eq!(id.index(), next_id, "seed {seed}: id sequence broke");
+                next_id += 1;
+                if buf.home_shard(id) != shard {
+                    continue; // wrong home; register the next id instead
+                }
+                match buf.try_claim(id) {
+                    ClaimOutcome::Claimed(idx) => {
+                        assert_eq!(
+                            idx / buf.shard_capacity(),
+                            shard,
+                            "seed {seed}: claim left a home shard with room"
+                        );
+                        claims_by_shard[shard].push((idx, id));
+                    }
+                    other => panic!("seed {seed}: unexpected outcome {other:?}"),
+                }
+            }
+        }
+        // Shrink every shard to a random lower-or-equal target.
+        let new_targets: Vec<u64> = fill
+            .iter()
+            .map(|&f| rng.random_range(0u64..=f as u64))
+            .collect();
+        let woken = buf.set_shard_targets(&new_targets);
+        let expected: u64 = fill
+            .iter()
+            .zip(&new_targets)
+            .map(|(&f, &t)| f as u64 - t)
+            .sum();
+        assert_eq!(
+            woken as u64, expected,
+            "seed {seed}: wrong total wake count"
+        );
+        for shard in 0..shards {
+            let surviving = claims_by_shard[shard]
+                .iter()
+                .filter(|(idx, id)| buf.still_claimed(*idx, *id))
+                .count() as u64;
+            assert_eq!(
+                surviving, new_targets[shard],
+                "seed {seed} shard {shard}: wake scan was not exact"
+            );
+        }
+        // Every claimant still leaves exactly once, woken or not.
+        for claims in claims_by_shard {
+            for (idx, id) in claims {
+                buf.leave(idx, id);
+            }
+        }
+        let stats = buf.stats();
+        assert_eq!(stats.ever_slept, stats.woken_and_left, "seed {seed}");
+        assert_eq!(buf.sleepers(), 0, "seed {seed}");
+    });
+}
+
+// ---------------------------------------------------------------------------
 // Load-control configuration arithmetic.
 // ---------------------------------------------------------------------------
 

@@ -83,6 +83,24 @@ fn every_control_policy_name_round_trips_through_its_registry() {
 }
 
 #[test]
+fn every_splitter_name_round_trips_through_its_registry() {
+    let registered: Vec<&str> = policy::SPLITTER_REGISTRY.iter().map(|(n, _)| *n).collect();
+    assert_eq!(registered, policy::ALL_SPLITTER_NAMES);
+    for &name in policy::ALL_SPLITTER_NAMES {
+        let built = policy::build_splitter(name)
+            .unwrap_or_else(|| panic!("{name} in ALL_SPLITTER_NAMES but not buildable"));
+        assert_eq!(built.name(), name, "splitter registry mislabelled {name}");
+        // The builder-style constructor accepts the same names.
+        let control = LoadControl::builder(LoadControlConfig::for_capacity(2).with_shards(2))
+            .splitter_named(name)
+            .unwrap_or_else(|| panic!("builder rejected registered splitter {name}"))
+            .build();
+        assert_eq!(control.splitter_name(), name);
+    }
+    assert!(policy::build_splitter("no-such-splitter").is_none());
+}
+
+#[test]
 fn every_abortable_name_reaches_the_lc_dispatch() {
     // The hand-written name→type match in the workload drivers must cover
     // exactly the advertised abortable families.
