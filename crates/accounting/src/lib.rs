@@ -32,6 +32,27 @@
 //! The crate also contains a fixed-capacity [`TransitionTrace`] ring buffer —
 //! the stand-in for the DTrace scripts the authors use to record every
 //! context switch during an experiment.
+//!
+//! ## Quick example
+//!
+//! Threads publish state transitions; a sampler turns the registry into the
+//! controller's one input, the runnable-thread count:
+//!
+//! ```
+//! use lc_accounting::{LoadSampler, RegistryLoadSampler, ThreadRegistry, ThreadState};
+//! use std::sync::Arc;
+//!
+//! let registry = Arc::new(ThreadRegistry::new());
+//! let worker = registry.register();           // starts Running
+//! let spinner = registry.register();
+//! spinner.set_state(ThreadState::Spinning);   // spinning counts as runnable
+//! let blocked = registry.register();
+//! blocked.set_state(ThreadState::BlockedOnIo); // blocked does not
+//!
+//! let sampler = RegistryLoadSampler::new(Arc::clone(&registry));
+//! assert_eq!(sampler.sample().runnable, 2);
+//! drop((worker, spinner, blocked));
+//! ```
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]

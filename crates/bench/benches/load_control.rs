@@ -8,8 +8,9 @@ use lc_core::slots::SleepSlotBuffer;
 use lc_core::{policy, LcLock, LoadControl, LoadControlConfig};
 use lc_locks::{Parker, RawLock, ABORTABLE_LOCK_NAMES};
 use lc_workloads::drivers::{
-    oversubscribed_control, run_microbench_lc, run_microbench_lc_named, run_rw_microbench_lc,
-    MicrobenchConfig, RwMicrobenchConfig,
+    oversubscribed_control, run_async_semaphore_microbench, run_microbench_lc,
+    run_microbench_lc_named, run_rw_microbench_lc, run_semaphore_microbench_lc,
+    AsyncMicrobenchConfig, MicrobenchConfig, RwMicrobenchConfig,
 };
 use std::hint::black_box;
 use std::sync::Arc;
@@ -228,6 +229,64 @@ fn bench_slot_shards(c: &mut Criterion) {
     group.finish();
 }
 
+/// Async-vs-sync gate sweep: the same permit-pool oversubscription scenario
+/// waited on by OS threads (`LcSemaphore::acquire` through `LoadGate`) and
+/// by tasks on a fixed worker pool (`acquire_async` through
+/// `AsyncLoadGate`).  Both planes share one `LoadControl` configuration, so
+/// the comparison isolates the cost of the waiting plane itself.
+fn bench_async_vs_sync_gate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lc_async_gate");
+    group.sample_size(10);
+    for waiters in [8usize, 16] {
+        group.bench_with_input(
+            BenchmarkId::new("sync_threads", waiters),
+            &waiters,
+            |b, &n| {
+                let control = oversubscribed_control(2, 1);
+                b.iter(|| {
+                    run_semaphore_microbench_lc(
+                        2,
+                        MicrobenchConfig {
+                            threads: n,
+                            critical_iters: 30,
+                            delay_iters: 100,
+                            duration: Duration::from_millis(50),
+                        },
+                        &control,
+                    )
+                    .acquisitions
+                });
+                control.stop_controller();
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("async_tasks", waiters),
+            &waiters,
+            |b, &n| {
+                let control = oversubscribed_control(2, 1);
+                b.iter(|| {
+                    run_async_semaphore_microbench(
+                        AsyncMicrobenchConfig {
+                            workers: 4,
+                            tasks: n,
+                            permits: 2,
+                            critical_iters: 30,
+                            delay_iters: 100,
+                            duration: Duration::from_millis(50),
+                        },
+                        &control,
+                    )
+                    .acquisitions
+                });
+                let stats = control.buffer().stats();
+                control.stop_controller();
+                eprintln!("lc_async_gate/async_tasks/{n}: {stats}");
+            },
+        );
+    }
+    group.finish();
+}
+
 /// Ablation: how often the polling loop consults the slot buffer
 /// (paper §3.2.3 — checking too often slows handoffs, too rarely slows the
 /// response to the controller).
@@ -269,6 +328,7 @@ criterion_group!(
     bench_policy_comparison,
     bench_rw_oversubscription,
     bench_slot_shards,
+    bench_async_vs_sync_gate,
     bench_slot_check_period_ablation
 );
 criterion_main!(benches);

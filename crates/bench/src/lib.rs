@@ -11,7 +11,18 @@
 //! ```
 //!
 //! Criterion micro-benchmarks for the real lock implementations live in
-//! `benches/`.
+//! `benches/` (lock families, the load-control machinery, policy/splitter/
+//! shard sweeps, and the async-vs-sync gate comparison).
+//!
+//! ```
+//! use lc_bench::{fmt, FIGURES};
+//!
+//! // Every runner is registered under the figure id the paper uses.
+//! assert!(FIGURES.iter().any(|(id, _)| *id == "fig01"));
+//! // CSV cells: two decimals for small magnitudes, none for large.
+//! assert_eq!(fmt(3.14159), "3.14");
+//! assert_eq!(fmt(12345.6), "12346");
+//! ```
 
 #![warn(missing_docs)]
 

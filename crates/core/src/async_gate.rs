@@ -1,0 +1,791 @@
+//! The **async waiting plane**: the waiter-side gate of the load-control
+//! mechanism with a `Future` as its park point.
+//!
+//! The paper's client-side algorithm (Figure 7, right) assumes a waiter that
+//! can *block its thread* — [`crate::LoadGate`] parks on a thread parker.  An
+//! async runtime inverts that assumption: tasks busy-wait by returning
+//! `Pending` and being re-polled across a fixed pool of worker threads, so a
+//! waiter that blocked its thread would stall every task multiplexed onto
+//! it.  Oversubscription still happens (more poll-spinning tasks than
+//! hardware contexts is exactly the overload the controller manages); what
+//! changes is only the *park primitive*.
+//!
+//! [`AsyncLoadGate`] is therefore the same gate with a different park:
+//!
+//! * the claim path is **identical** — the same
+//!   [`SleepSlotBuffer`](crate::slots::SleepSlotBuffer)
+//!   (`has_space_for`, `try_claim`, `leave`), the same home-shard /
+//!   overflow-probe route, the same `S`/`W`/`T` books, shared with every
+//!   sync-plane waiter on the same [`LoadControl`];
+//! * the park point is [`AsyncLoadGate::poll_park`] (or the
+//!   [`AsyncLoadGate::park`] future): the task registers its [`Waker`](std::task::Waker)
+//!   with the parker stored in the slot table and suspends, leaving its
+//!   worker thread free.  The controller wakes it by clearing the slot and
+//!   unparking — the very same code path that wakes a parked thread;
+//! * the sleep timeout is enforced by the controller daemon: each cycle it
+//!   unparks async sleepers whose deadline passed (a task cannot wake itself
+//!   like `park_timeout` can), so timeout granularity for tasks is one
+//!   controller update interval.
+//!
+//! Sleeper identities are **pooled**: each gate leases a registered
+//! (`SleeperId`, [`Parker`]) pair from its [`LoadControl`] and returns it on
+//! drop, so the slot buffer's parker table grows to the peak number of
+//! *concurrent* async waiters, not the total number of waits.
+//!
+//! Cancel-safety is load-bearing: dropping a gate (and therefore any future
+//! built on it — `acquire_async`, `lock_async`, [`AsyncSpinHook`] pauses)
+//! with a claim pending releases the claim, exactly like the sync gate's
+//! claim-leak-proof `Drop`.  A leaked claim would permanently inflate
+//! `S − W` and shrink the controller's working target.
+
+use crate::config::LoadControlConfig;
+use crate::controller::LoadControl;
+use crate::slots::{ClaimOutcome, SleeperId};
+use lc_locks::Parker;
+use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll};
+use std::time::Instant;
+
+/// The shared state of the async plane, owned by a [`LoadControl`]: the
+/// sleeper-lease pool and the timeout sweep list.
+///
+/// One instance exists per `LoadControl`; gates talk to it through
+/// [`LoadControl::async_plane`].
+pub(crate) struct AsyncPlane {
+    /// Registered (id, parker) pairs not currently leased by a gate.
+    pool: Mutex<Vec<(SleeperId, Arc<Parker>)>>,
+    /// Parked tasks' deadlines, swept by the controller each cycle.
+    deadlines: Mutex<Vec<DeadlineEntry>>,
+    next_token: AtomicU64,
+}
+
+struct DeadlineEntry {
+    token: u64,
+    deadline: Instant,
+    parker: Arc<Parker>,
+}
+
+impl fmt::Debug for AsyncPlane {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AsyncPlane")
+            .field("pooled_leases", &self.pool.lock().unwrap().len())
+            .field("parked_tasks", &self.deadlines.lock().unwrap().len())
+            .finish()
+    }
+}
+
+impl AsyncPlane {
+    pub(crate) fn new() -> Self {
+        Self {
+            pool: Mutex::new(Vec::new()),
+            deadlines: Mutex::new(Vec::new()),
+            next_token: AtomicU64::new(0),
+        }
+    }
+
+    /// Takes a pooled sleeper lease, if one is available.
+    fn try_lease(&self) -> Option<(SleeperId, Arc<Parker>)> {
+        self.pool.lock().unwrap().pop()
+    }
+
+    /// Returns a lease to the pool for the next gate.
+    fn give_back(&self, sleeper: SleeperId, parker: Arc<Parker>) {
+        self.pool.lock().unwrap().push((sleeper, parker));
+    }
+
+    /// Enrolls a parked task in the timeout sweep; returns a token for
+    /// [`AsyncPlane::unregister`].
+    fn register_deadline(&self, deadline: Instant, parker: &Arc<Parker>) -> u64 {
+        let token = self.next_token.fetch_add(1, Ordering::Relaxed);
+        self.deadlines.lock().unwrap().push(DeadlineEntry {
+            token,
+            deadline,
+            parker: Arc::clone(parker),
+        });
+        token
+    }
+
+    /// Removes a parked task from the timeout sweep (it woke or was
+    /// cancelled).
+    fn unregister(&self, token: u64) {
+        self.deadlines.lock().unwrap().retain(|e| e.token != token);
+    }
+
+    /// Unparks every enrolled task whose deadline has passed.  Entries stay
+    /// enrolled until the task itself unregisters, so a wake that races a
+    /// waker registration is simply retried next cycle — the sweep can never
+    /// strand a task.  Called by [`LoadControl::run_cycle`].
+    pub(crate) fn wake_expired(&self, now: Instant) -> usize {
+        let expired: Vec<Arc<Parker>> = {
+            let deadlines = self.deadlines.lock().unwrap();
+            deadlines
+                .iter()
+                .filter(|e| now >= e.deadline)
+                .map(|e| Arc::clone(&e.parker))
+                .collect()
+        };
+        // Unpark outside the lock: a waker may synchronously re-enqueue the
+        // task into an executor.
+        for parker in &expired {
+            parker.unpark();
+        }
+        expired.len()
+    }
+
+    /// Number of async tasks currently parked (enrolled in the sweep).
+    pub(crate) fn parked_tasks(&self) -> usize {
+        self.deadlines.lock().unwrap().len()
+    }
+}
+
+/// A deadline enrolled in the controller's timeout sweep.
+struct ParkEpisode {
+    deadline: Instant,
+    token: u64,
+}
+
+/// The reusable waiter-side gate for **async** waiting loops — the
+/// [`crate::LoadGate`] of the future world.
+///
+/// A gate is created per waiting episode (typically inside an
+/// `acquire_async` / `lock_async` future, which owns it).  The polling loop
+/// calls [`AsyncLoadGate::check`] once per poll; when it returns `true` the
+/// gate holds a sleep-slot claim and the caller should suspend through
+/// [`AsyncLoadGate::poll_park`] (returning `Pending` to the executor) until
+/// the controller clears the slot — the task's [`Waker`](std::task::Waker) rides in the slot's
+/// parker, so the controller-side wake code is byte-for-byte the code that
+/// wakes threads.
+///
+/// Unlike the sync gate, an `AsyncLoadGate` is `Send`: the task that owns it
+/// may be polled from any worker thread of its executor.
+///
+/// Dropping the gate releases any pending claim (never strands `S − W`).
+pub struct AsyncLoadGate {
+    control: Arc<LoadControl>,
+    config: LoadControlConfig,
+    /// The sleeper identity, leased lazily on the first claim attempt that
+    /// finds open slots — the common fast path (no overload, or the resource
+    /// arrives before the first slot check) never touches the lease pool.
+    lease: Option<(SleeperId, Arc<Parker>)>,
+    claimed: Option<usize>,
+    park: Option<ParkEpisode>,
+    sleeps: u64,
+}
+
+impl fmt::Debug for AsyncLoadGate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AsyncLoadGate")
+            .field("sleeper", &self.lease.as_ref().map(|(id, _)| *id))
+            .field("claimed", &self.claimed)
+            .field("parked", &self.park.is_some())
+            .field("sleeps", &self.sleeps)
+            .finish()
+    }
+}
+
+impl AsyncLoadGate {
+    /// Creates a gate on `control`.  No sleeper identity is leased until the
+    /// gate first finds claimable slots, so constructing (and dropping) a
+    /// gate that never needs to sleep is free of shared-state traffic.
+    pub fn new(control: &Arc<LoadControl>) -> Self {
+        Self {
+            control: Arc::clone(control),
+            config: control.config(),
+            lease: None,
+            claimed: None,
+            park: None,
+            sleeps: 0,
+        }
+    }
+
+    /// The gate's sleeper identity, leasing one from the pool (or
+    /// registering a fresh parker) on first use.
+    fn lease(&mut self) -> SleeperId {
+        if self.lease.is_none() {
+            let lease = match self.control.async_plane().try_lease() {
+                Some(lease) => lease,
+                None => {
+                    let parker = Arc::new(Parker::new());
+                    let sleeper = self.control.buffer().register_sleeper(Arc::clone(&parker));
+                    (sleeper, parker)
+                }
+            };
+            self.lease = Some(lease);
+        }
+        self.lease.as_ref().unwrap().0
+    }
+
+    /// Whether the gate currently holds a sleep-slot claim (the caller must
+    /// resolve it by driving [`AsyncLoadGate::poll_park`] to completion or
+    /// calling [`AsyncLoadGate::cancel`]).
+    pub fn has_claim(&self) -> bool {
+        self.claimed.is_some()
+    }
+
+    /// Number of park episodes this gate has started.
+    pub fn sleeps(&self) -> u64 {
+        self.sleeps
+    }
+
+    /// The per-poll check of the client-side algorithm: every
+    /// `slot_check_period` iterations, consult the slot buffer and claim a
+    /// slot if the controller wants waiters asleep.  Returns `true` when a
+    /// claim is held.
+    ///
+    /// Note one deliberate difference from the sync gate: there is no
+    /// holds-locks refusal here, because a *task's* resource holds are not
+    /// observable from the worker thread its poll happens to run on.  The
+    /// async primitives built on this gate only ever wait while holding
+    /// nothing, which is the same invariant enforced dynamically on the sync
+    /// side.
+    pub fn check(&mut self, iteration: u64) -> bool {
+        if self.claimed.is_some() {
+            return true;
+        }
+        if !iteration.is_multiple_of(u64::from(self.config.slot_check_period)) {
+            return false;
+        }
+        self.try_claim()
+    }
+
+    /// Attempts to claim a sleep slot right now (the unconditioned form of
+    /// [`AsyncLoadGate::check`]).  Returns `true` if a claim is held.
+    pub fn try_claim(&mut self) -> bool {
+        if self.claimed.is_some() {
+            return true;
+        }
+        // Before the first lease, pre-filter on the global target: a gate
+        // under a quiet controller (the common case) never acquires a
+        // sleeper identity at all, keeping the fast path free of the lease
+        // pool's mutex.
+        if self.lease.is_none() && !self.control.buffer().has_space() {
+            return false;
+        }
+        let sleeper = self.lease();
+        let buffer = self.control.buffer();
+        if !buffer.has_space_for(sleeper) {
+            return false;
+        }
+        match buffer.try_claim(sleeper) {
+            ClaimOutcome::Claimed(idx) => {
+                self.claimed = Some(idx);
+                true
+            }
+            ClaimOutcome::NoSpace | ClaimOutcome::Raced => false,
+        }
+    }
+
+    /// The async park point: suspends the task in its claimed slot until the
+    /// controller clears it or the sleep timeout expires.
+    ///
+    /// Returns `Ready(false)` immediately when no claim is held, `Pending`
+    /// while parked (the task's waker is registered with the slot's parker),
+    /// and `Ready(true)` once the episode ends.  Poll this from a `Future`'s
+    /// `poll`; [`AsyncLoadGate::park`] wraps it for `async` blocks.
+    pub fn poll_park(&mut self, cx: &mut Context<'_>) -> Poll<bool> {
+        let Some(idx) = self.claimed else {
+            return Poll::Ready(false);
+        };
+        let (sleeper, parker) = {
+            let (id, parker) = self.lease.as_ref().expect("a claim implies a lease");
+            (*id, Arc::clone(parker))
+        };
+        let buffer = self.control.buffer();
+        if self.park.is_none() {
+            // Episode start: drain any stale permit, then enroll in the
+            // controller's timeout sweep (tasks cannot `park_timeout`).
+            self.sleeps += 1;
+            parker.try_consume_permit();
+            let deadline = Instant::now() + self.config.sleep_timeout;
+            let token = self
+                .control
+                .async_plane()
+                .register_deadline(deadline, &parker);
+            self.park = Some(ParkEpisode { deadline, token });
+        }
+        let deadline = self.park.as_ref().map(|p| p.deadline).unwrap();
+        if !buffer.still_claimed(idx, sleeper) || Instant::now() >= deadline {
+            self.finish_episode();
+            return Poll::Ready(true);
+        }
+        parker.set_waker(cx.waker());
+        // Re-check after the waker is visible: a slot clear (or timeout
+        // unpark) that landed before registration has already fired its wake
+        // into nobody — without this check the task would sleep forever.
+        // Any unpark *after* registration wakes the waker we just stored.
+        if !buffer.still_claimed(idx, sleeper)
+            || Instant::now() >= deadline
+            || parker.try_consume_permit()
+        {
+            self.finish_episode();
+            return Poll::Ready(true);
+        }
+        Poll::Pending
+    }
+
+    /// Suspends the task in its claimed slot; resolves to whether the task
+    /// actually parked (`false` when no claim was held).
+    pub fn park(&mut self) -> ParkFuture<'_> {
+        ParkFuture { gate: self }
+    }
+
+    /// Releases a pending claim without sleeping (the caller obtained the
+    /// awaited resource between claiming and parking, paper §3.1.2); a no-op
+    /// without a claim.
+    pub fn cancel(&mut self) {
+        self.finish_episode();
+    }
+
+    /// Ends a park episode (or an unparked claim): releases the slot claim
+    /// exactly once, leaves the timeout sweep, and clears waker/permit state
+    /// so the pooled parker is pristine for its next lease.  A gate that
+    /// never claimed (no lease, or leased but raced) has nothing to clean.
+    fn finish_episode(&mut self) {
+        let had_claim = self.claimed.is_some() || self.park.is_some();
+        if let Some(idx) = self.claimed.take() {
+            let (sleeper, _) = self.lease.as_ref().expect("a claim implies a lease");
+            self.control.buffer().leave(idx, *sleeper);
+        }
+        if let Some(episode) = self.park.take() {
+            self.control.async_plane().unregister(episode.token);
+        }
+        if had_claim {
+            if let Some((_, parker)) = self.lease.as_ref() {
+                parker.clear_waker();
+                parker.try_consume_permit();
+            }
+        }
+    }
+}
+
+impl Drop for AsyncLoadGate {
+    fn drop(&mut self) {
+        // A claim must never leak, no matter where the owning future was
+        // dropped: an unresolved claim would permanently inflate `S − W`.
+        self.finish_episode();
+        if let Some((sleeper, parker)) = self.lease.take() {
+            self.control.async_plane().give_back(sleeper, parker);
+        }
+    }
+}
+
+/// The shared poll-based acquisition protocol of the async primitives
+/// ([`crate::LcSemaphore::acquire_async`], [`crate::LcMutex::lock_async`]):
+/// drive any in-progress park, try the resource, consult the gate every
+/// `check_period` polls (with one more try in the claim-to-park window,
+/// paper §3.1.2), otherwise self-wake and yield.
+///
+/// The gate — and with it the sleeper lease and the `Arc<LoadControl>`
+/// clone — is created lazily at the first slot-check boundary, so an
+/// acquisition that succeeds before `check_period` polls (the uncontended
+/// fast path) touches no shared load-control state at all.
+#[derive(Debug)]
+pub(crate) struct AsyncAcquire {
+    gate: Option<AsyncLoadGate>,
+    spins: u64,
+    check_period: u32,
+}
+
+impl AsyncAcquire {
+    pub(crate) fn new(check_period: u32) -> Self {
+        Self {
+            gate: None,
+            spins: 0,
+            check_period,
+        }
+    }
+
+    /// One poll of the acquisition protocol; `Ready(())` means `try_acquire`
+    /// succeeded and any pending claim was released.
+    pub(crate) fn poll(
+        &mut self,
+        cx: &mut Context<'_>,
+        control: &Arc<LoadControl>,
+        mut try_acquire: impl FnMut() -> bool,
+    ) -> Poll<()> {
+        loop {
+            // Drive an in-progress park to completion first: while the slot
+            // is claimed the task must stay suspended (that is the point).
+            if let Some(gate) = self.gate.as_mut() {
+                if gate.has_claim() {
+                    match gate.poll_park(cx) {
+                        Poll::Pending => return Poll::Pending,
+                        Poll::Ready(_) => {}
+                    }
+                }
+            }
+            if try_acquire() {
+                // Won in the claim-to-park window (§3.1.2): drop the claim.
+                if let Some(gate) = self.gate.as_mut() {
+                    gate.cancel();
+                }
+                return Poll::Ready(());
+            }
+            self.spins += 1;
+            if self.spins.is_multiple_of(u64::from(self.check_period)) {
+                let gate = self.gate.get_or_insert_with(|| AsyncLoadGate::new(control));
+                if gate.try_claim() {
+                    // One more try between claim and park, mirroring the
+                    // sync policy's `on_acquired` cancellation window.
+                    if try_acquire() {
+                        gate.cancel();
+                        return Poll::Ready(());
+                    }
+                    match gate.poll_park(cx) {
+                        Poll::Pending => return Poll::Pending,
+                        Poll::Ready(_) => continue,
+                    }
+                }
+            }
+            // Poll-spin: stay runnable but hand the worker thread to sibling
+            // tasks — the oversubscription behaviour load control manages.
+            cx.waker().wake_by_ref();
+            return Poll::Pending;
+        }
+    }
+}
+
+/// Future returned by [`AsyncLoadGate::park`].
+#[derive(Debug)]
+pub struct ParkFuture<'a> {
+    gate: &'a mut AsyncLoadGate,
+}
+
+impl Future for ParkFuture<'_> {
+    type Output = bool;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<bool> {
+        self.gate.poll_park(cx)
+    }
+}
+
+/// Load-control participation for arbitrary **async** polling loops — the
+/// [`crate::SpinHook`] of the future world.
+///
+/// Call [`AsyncSpinHook::pause`] (and await it) once per iteration of a
+/// poll-style waiting loop.  Under normal load a pause is one cooperative
+/// yield back to the executor; when the controller wants waiters asleep it
+/// claims a sleep slot and suspends the task until the slot is cleared.
+///
+/// ```
+/// use lc_core::{AsyncSpinHook, LoadControl, LoadControlConfig};
+/// use std::sync::atomic::{AtomicBool, Ordering};
+///
+/// let control = LoadControl::new(LoadControlConfig::for_capacity(4));
+/// let flag = AtomicBool::new(true); // pretend another task will clear it
+/// let mut hook = AsyncSpinHook::new(&control);
+/// futures_executor_block_on(async {
+///     let mut iterations = 0u32;
+///     while flag.load(Ordering::Acquire) {
+///         hook.pause().await;
+///         iterations += 1;
+///         if iterations > 10 {
+///             flag.store(false, Ordering::Release); // keep the example finite
+///         }
+///     }
+///     hook.finish();
+/// });
+/// assert!(hook.spins() >= 10);
+/// # use std::future::Future;
+/// # use std::pin::pin;
+/// # use std::task::{Context, Poll, Waker};
+/// # fn futures_executor_block_on<F: Future>(fut: F) -> F::Output {
+/// #     let mut cx = Context::from_waker(Waker::noop());
+/// #     let mut fut = pin!(fut);
+/// #     loop {
+/// #         if let Poll::Ready(out) = fut.as_mut().poll(&mut cx) {
+/// #             return out;
+/// #         }
+/// #     }
+/// # }
+/// ```
+pub struct AsyncSpinHook {
+    gate: AsyncLoadGate,
+    spins: u64,
+}
+
+impl fmt::Debug for AsyncSpinHook {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AsyncSpinHook")
+            .field("spins", &self.spins)
+            .field("sleeps", &self.gate.sleeps())
+            .finish()
+    }
+}
+
+impl AsyncSpinHook {
+    /// Creates a hook on `control`.
+    pub fn new(control: &Arc<LoadControl>) -> Self {
+        Self {
+            gate: AsyncLoadGate::new(control),
+            spins: 0,
+        }
+    }
+
+    /// One polling-iteration pause.  Resolves to `true` if the task was put
+    /// to sleep by load control, `false` for a plain cooperative yield.
+    pub fn pause(&mut self) -> PauseFuture<'_> {
+        PauseFuture {
+            hook: self,
+            yielded: false,
+        }
+    }
+
+    /// Signals that the condition being waited for arrived; releases any
+    /// pending claim.
+    pub fn finish(&mut self) {
+        self.gate.cancel();
+    }
+
+    /// Number of pauses so far.
+    pub fn spins(&self) -> u64 {
+        self.spins
+    }
+
+    /// Number of times the hook put this task to sleep.
+    pub fn sleeps(&self) -> u64 {
+        self.gate.sleeps()
+    }
+}
+
+/// Future returned by [`AsyncSpinHook::pause`]: one iteration of an async
+/// polling loop — a cooperative yield, or a full load-control park when the
+/// controller wants waiters asleep.
+#[derive(Debug)]
+pub struct PauseFuture<'a> {
+    hook: &'a mut AsyncSpinHook,
+    yielded: bool,
+}
+
+impl Future for PauseFuture<'_> {
+    type Output = bool;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<bool> {
+        let this = &mut *self;
+        // A park in progress (possibly inherited from a previous, dropped
+        // pause) is driven to completion first.
+        if this.hook.gate.has_claim() {
+            return this.hook.gate.poll_park(cx);
+        }
+        if this.yielded {
+            return Poll::Ready(false);
+        }
+        this.hook.spins += 1;
+        if this.hook.gate.check(this.hook.spins) {
+            return this.hook.gate.poll_park(cx);
+        }
+        // Plain iteration: yield once so sibling tasks on this worker run.
+        this.yielded = true;
+        cx.waker().wake_by_ref();
+        Poll::Pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LoadControlConfig;
+    use crate::policy::FixedPolicy;
+    use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+    use std::task::Waker;
+    use std::time::Duration;
+
+    fn manual_control(capacity: usize) -> Arc<LoadControl> {
+        LoadControl::with_policy(
+            LoadControlConfig::for_capacity(capacity),
+            Box::new(FixedPolicy::manual()),
+        )
+    }
+
+    /// A waker that counts wakes, so tests can drive polls by hand.
+    fn test_waker(counter: Arc<AtomicU64>) -> Waker {
+        struct Counting(Arc<AtomicU64>);
+        impl std::task::Wake for Counting {
+            fn wake(self: Arc<Self>) {
+                self.0.fetch_add(1, AtomicOrdering::SeqCst);
+            }
+            fn wake_by_ref(self: &Arc<Self>) {
+                self.0.fetch_add(1, AtomicOrdering::SeqCst);
+            }
+        }
+        Waker::from(Arc::new(Counting(counter)))
+    }
+
+    #[test]
+    fn gate_does_not_claim_without_target() {
+        let lc = manual_control(2);
+        let mut gate = AsyncLoadGate::new(&lc);
+        for i in 1..=1_000 {
+            assert!(!gate.check(i));
+        }
+        assert_eq!(lc.sleepers(), 0);
+    }
+
+    #[test]
+    fn gate_claims_parks_and_wakes_on_slot_clear() {
+        let lc = manual_control(1);
+        lc.set_sleep_target(1);
+        let mut gate = AsyncLoadGate::new(&lc);
+        assert!(gate.try_claim());
+        assert_eq!(lc.sleepers(), 1);
+
+        let wakes = Arc::new(AtomicU64::new(0));
+        let waker = test_waker(Arc::clone(&wakes));
+        let mut cx = Context::from_waker(&waker);
+        assert_eq!(gate.poll_park(&mut cx), Poll::Pending);
+        assert_eq!(lc.async_parked_tasks(), 1);
+
+        // The controller clears the slot: the stored waker must fire and the
+        // next poll must complete the episode.
+        lc.set_sleep_target(0);
+        assert_eq!(wakes.load(AtomicOrdering::SeqCst), 1);
+        assert_eq!(gate.poll_park(&mut cx), Poll::Ready(true));
+        assert_eq!(gate.sleeps(), 1);
+        assert_eq!(lc.sleepers(), 0);
+        assert_eq!(lc.async_parked_tasks(), 0);
+        let stats = lc.buffer().stats();
+        assert_eq!(stats.ever_slept, stats.woken_and_left);
+    }
+
+    #[test]
+    fn controller_sweep_wakes_timed_out_tasks() {
+        let lc = LoadControl::with_policy(
+            LoadControlConfig::for_capacity(1).with_sleep_timeout(Duration::from_millis(5)),
+            Box::new(FixedPolicy::manual()),
+        );
+        lc.set_sleep_target(1);
+        let mut gate = AsyncLoadGate::new(&lc);
+        assert!(gate.try_claim());
+        let wakes = Arc::new(AtomicU64::new(0));
+        let waker = test_waker(Arc::clone(&wakes));
+        let mut cx = Context::from_waker(&waker);
+        assert_eq!(gate.poll_park(&mut cx), Poll::Pending);
+
+        // Past the deadline, a manual controller cycle must unpark the task
+        // (the daemon would do this every update interval).
+        std::thread::sleep(Duration::from_millis(10));
+        lc.run_cycle();
+        assert_eq!(wakes.load(AtomicOrdering::SeqCst), 1);
+        assert_eq!(gate.poll_park(&mut cx), Poll::Ready(true));
+        assert_eq!(lc.sleepers(), 0);
+        let stats = lc.buffer().stats();
+        assert_eq!(stats.ever_slept, stats.woken_and_left);
+    }
+
+    #[test]
+    fn cancel_releases_without_parking() {
+        let lc = manual_control(1);
+        lc.set_sleep_target(1);
+        let mut gate = AsyncLoadGate::new(&lc);
+        assert!(gate.try_claim());
+        assert_eq!(lc.sleepers(), 1);
+        gate.cancel();
+        assert_eq!(lc.sleepers(), 0);
+        assert_eq!(gate.sleeps(), 0);
+    }
+
+    #[test]
+    fn dropping_a_parked_gate_never_leaks_a_claim() {
+        let lc = manual_control(1);
+        lc.set_sleep_target(1);
+        {
+            let mut gate = AsyncLoadGate::new(&lc);
+            assert!(gate.try_claim());
+            let wakes = Arc::new(AtomicU64::new(0));
+            let waker = test_waker(wakes);
+            let mut cx = Context::from_waker(&waker);
+            assert_eq!(gate.poll_park(&mut cx), Poll::Pending);
+            assert_eq!(lc.sleepers(), 1);
+            assert_eq!(lc.async_parked_tasks(), 1);
+            // Dropped mid-park: the future owning this gate was cancelled.
+        }
+        assert_eq!(lc.sleepers(), 0);
+        assert_eq!(lc.async_parked_tasks(), 0);
+        let stats = lc.buffer().stats();
+        assert_eq!(stats.ever_slept, stats.woken_and_left);
+    }
+
+    #[test]
+    fn sleeper_leases_are_pooled_and_reused() {
+        let lc = manual_control(1);
+        lc.set_sleep_target(2);
+        let first = {
+            let mut gate = AsyncLoadGate::new(&lc);
+            assert!(gate.try_claim());
+            let id = gate.lease.as_ref().unwrap().0;
+            gate.cancel();
+            id
+        };
+        // The lease went back to the pool; a new gate must reuse it instead
+        // of registering a fresh parker.
+        let second = {
+            let mut gate = AsyncLoadGate::new(&lc);
+            assert!(gate.try_claim());
+            let id = gate.lease.as_ref().unwrap().0;
+            gate.cancel();
+            id
+        };
+        assert_eq!(first, second);
+        // Two live gates need two distinct leases.
+        let mut a = AsyncLoadGate::new(&lc);
+        let mut b = AsyncLoadGate::new(&lc);
+        assert!(a.try_claim());
+        assert!(b.try_claim());
+        assert_ne!(a.lease.as_ref().unwrap().0, b.lease.as_ref().unwrap().0);
+        a.cancel();
+        b.cancel();
+        let stats = lc.buffer().stats();
+        assert_eq!(stats.ever_slept, stats.woken_and_left);
+    }
+
+    #[test]
+    fn gates_that_never_claim_never_lease() {
+        let lc = manual_control(4);
+        // Zero target: checks and drops must not touch the lease pool or
+        // register any sleeper.
+        {
+            let mut gate = AsyncLoadGate::new(&lc);
+            for i in 1..=1_000 {
+                assert!(!gate.check(i));
+            }
+            assert!(gate.lease.is_none(), "quiet gate acquired a lease");
+        }
+        assert_eq!(lc.buffer().stats().ever_slept, 0);
+    }
+
+    #[test]
+    fn stale_permits_do_not_leak_across_leases() {
+        let lc = manual_control(1);
+        lc.set_sleep_target(1);
+        {
+            let mut gate = AsyncLoadGate::new(&lc);
+            assert!(gate.try_claim());
+            // Clear the slot (deposits a permit in the parker) but drop the
+            // gate without ever polling.
+            lc.set_sleep_target(0);
+        }
+        lc.set_sleep_target(1);
+        let mut gate = AsyncLoadGate::new(&lc);
+        assert!(gate.try_claim());
+        let wakes = Arc::new(AtomicU64::new(0));
+        let waker = test_waker(wakes);
+        let mut cx = Context::from_waker(&waker);
+        // A stale permit from the previous lease must not cause an instant
+        // spurious wake-up.
+        assert_eq!(gate.poll_park(&mut cx), Poll::Pending);
+        gate.cancel();
+        let stats = lc.buffer().stats();
+        assert_eq!(stats.ever_slept, stats.woken_and_left);
+    }
+
+    #[test]
+    fn async_gate_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<AsyncLoadGate>();
+        assert_send::<AsyncSpinHook>();
+    }
+}

@@ -8,6 +8,7 @@
 //! — the paper's `T = load − capacity` rule ([`PaperPolicy`]) is simply the
 //! default.
 
+use crate::async_gate::AsyncPlane;
 use crate::config::LoadControlConfig;
 use crate::policy::{self, ControlPolicy, EvenSplitter, PaperPolicy, PolicyInputs, TargetSplitter};
 use crate::slots::{even_split, SleepSlotBuffer};
@@ -17,7 +18,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Counters describing the controller's activity.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -39,6 +40,9 @@ struct Shared {
     sampler: Box<dyn LoadSampler>,
     policy: Mutex<Box<dyn ControlPolicy>>,
     splitter: Mutex<Box<dyn TargetSplitter>>,
+    /// The async waiting plane: pooled task sleeper leases plus the parked
+    /// tasks' timeout sweep (see [`crate::async_gate`]).
+    async_plane: AsyncPlane,
     running: AtomicBool,
     cycles: AtomicU64,
     last_runnable: AtomicUsize,
@@ -186,6 +190,7 @@ impl LoadControlBuilder {
             sampler,
             policy: Mutex::new(self.policy),
             splitter: Mutex::new(self.splitter),
+            async_plane: AsyncPlane::new(),
             running: AtomicBool::new(false),
             cycles: AtomicU64::new(0),
             last_runnable: AtomicUsize::new(0),
@@ -256,6 +261,19 @@ impl LoadControl {
     /// The sleep slot buffer (exposed for instrumentation and tests).
     pub fn buffer(&self) -> &SleepSlotBuffer {
         &self.shared.buffer
+    }
+
+    /// The async waiting plane shared by every [`crate::AsyncLoadGate`] on
+    /// this instance.
+    pub(crate) fn async_plane(&self) -> &AsyncPlane {
+        &self.shared.async_plane
+    }
+
+    /// Number of async tasks currently parked by load control (diagnostics;
+    /// these tasks also appear in [`LoadControl::sleepers`], which counts
+    /// claims of both waiter kinds).
+    pub fn async_parked_tasks(&self) -> usize {
+        self.shared.async_plane.parked_tasks()
     }
 
     /// Registers the calling thread as a load-controlled worker: it is added
@@ -374,6 +392,11 @@ impl LoadControl {
                 }
             }
         }
+        // Async sleepers cannot wake themselves at their deadline the way a
+        // thread's `park_timeout` does, so the controller sweeps them: any
+        // parked task whose sleep timeout has passed is unparked (its waker
+        // fires through the very same parker a thread wake would use).
+        self.shared.async_plane.wake_expired(Instant::now());
         self.shared.cycles.fetch_add(1, Ordering::Relaxed);
         self.stats()
     }

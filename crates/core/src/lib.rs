@@ -23,6 +23,14 @@
 //! prevents the priority-inversion collapse of ordinary spinlocks past 100 %
 //! load (paper Figures 1, 3 and 11).
 //!
+//! The mechanism manages **two waiting planes** through one buffer and one
+//! controller: threads park through [`LoadGate`] (the sync plane used by
+//! every `Lc*` primitive), and async tasks suspend through
+//! [`AsyncLoadGate`] — a park point that is a `Future`, powering
+//! [`LcSemaphore::acquire_async`], [`LcMutex::lock_async`] and
+//! [`AsyncSpinHook`].  See `ARCHITECTURE.md` at the repository root for the
+//! full layer map and extension recipes.
+//!
 //! ## Quick start
 //!
 //! ```
@@ -50,10 +58,27 @@
 //! }
 //! assert_eq!(*counter.lock(), 8_000);
 //! ```
+//!
+//! The control plane is selected by name through the builder — decision
+//! policy, shard-target splitter, and daemon autostart in one expression:
+//!
+//! ```
+//! use lc_core::{LoadControl, LoadControlConfig};
+//!
+//! let control = LoadControl::builder(
+//!         LoadControlConfig::for_capacity(8).with_shards(2))
+//!     .policy_named("hysteresis").expect("registered policy")
+//!     .splitter_named("load-weighted").expect("registered splitter")
+//!     .build();
+//! assert_eq!(control.policy_name(), "hysteresis");
+//! assert_eq!(control.splitter_name(), "load-weighted");
+//! assert_eq!(control.buffer().shard_count(), 2);
+//! ```
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod async_gate;
 pub mod config;
 pub mod controller;
 pub mod lc_condvar;
@@ -66,12 +91,13 @@ pub mod slots;
 pub mod spin_hook;
 pub mod thread_ctx;
 
+pub use async_gate::{AsyncLoadGate, AsyncSpinHook};
 pub use config::LoadControlConfig;
 pub use controller::{ControllerStats, LoadControl, LoadControlBuilder};
 pub use lc_condvar::LcCondvar;
-pub use lc_lock::{LcLock, LcMutex, LcMutexGuard, TpLcLock};
+pub use lc_lock::{LcLock, LcMutex, LcMutexAsyncGuard, LcMutexGuard, TpLcLock};
 pub use lc_rwlock::{LcRwLock, LcRwLockReadGuard, LcRwLockWriteGuard};
-pub use lc_semaphore::{LcSemaphore, LcSemaphorePermit};
+pub use lc_semaphore::{AcquireAsync, LcSemaphore, LcSemaphoreAsyncPermit, LcSemaphorePermit};
 pub use load_backoff::LoadTriggeredBackoffPolicy;
 pub use policy::{
     ControlPolicy, EvenSplitter, FixedPolicy, HysteresisPolicy, LoadWeightedSplitter, PaperPolicy,

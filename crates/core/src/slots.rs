@@ -90,18 +90,56 @@ pub enum ClaimOutcome {
 }
 
 /// Counters describing the buffer's activity (aggregated over all shards).
+///
+/// Field meanings, in the paper's terms:
+///
+/// * `ever_slept` is **`S`** — cumulative successful slot claims.  It only
+///   ever grows, and a snapshot always satisfies
+///   `ever_slept >= woken_and_left` (each shard loads `W` before `S`, and a
+///   departure is recorded only after its matching claim), so
+///   `ever_slept − woken_and_left` is the outstanding-claim count.
+/// * `woken_and_left` is **`W`** — cumulative departures: woken by the
+///   controller, timed out, or cancelled before sleeping.  A quiesced buffer
+///   has `W == S`.
+/// * `target` is **`T`** — how many waiters the controller currently wants
+///   asleep (`sum(T_i)` over shards).
+/// * `controller_wakes` counts claims cleared *by the controller* (early
+///   wakes), a subset of the departures in `woken_and_left`.
+/// * `claim_races` counts claim attempts that lost a head-`S` CAS.  This is
+///   the buffer's contention signal: per-shard race counts (via
+///   [`SleepSlotBuffer::shard_stats`] / the buffer's `Debug` output) rising
+///   on specific shards is the cue to raise the shard count or switch to the
+///   `load-weighted` splitter.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SlotBufferStats {
     /// Total successful claims (`sum S_i`).
     pub ever_slept: u64,
-    /// Total departures (`sum W_i`).
+    /// Total departures (`sum W_i`); never exceeds `ever_slept` in a
+    /// snapshot.
     pub woken_and_left: u64,
     /// Current sleep target (`sum T_i`).
     pub target: u64,
     /// Claims cleared by the controller (threads woken early).
     pub controller_wakes: u64,
-    /// Claim attempts that lost a head CAS.
+    /// Claim attempts that lost a head CAS (contention on the claim path).
     pub claim_races: u64,
+}
+
+impl fmt::Display for SlotBufferStats {
+    /// Renders the paper's letters directly: `S=.. W=.. T=..` plus the two
+    /// derived diagnostics (`sleeping = S − W`, controller wakes, races).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "S={} W={} T={} sleeping={} controller_wakes={} claim_races={}",
+            self.ever_slept,
+            self.woken_and_left,
+            self.target,
+            self.ever_slept.saturating_sub(self.woken_and_left),
+            self.controller_wakes,
+            self.claim_races,
+        )
+    }
 }
 
 /// One shard's counters as seen by a target splitter
@@ -264,12 +302,18 @@ pub struct SleepSlotBuffer {
 }
 
 impl fmt::Debug for SleepSlotBuffer {
+    /// Shows the aggregate `S`/`W`/`T` books **and** the per-shard claim-race
+    /// counters: an aggregate race count that looks healthy can hide one hot
+    /// shard absorbing all the CAS losses, which is exactly the signal that
+    /// decides shard-count and splitter tuning.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let stats = self.stats();
         f.debug_struct("SleepSlotBuffer")
             .field("S", &stats.ever_slept)
             .field("W", &stats.woken_and_left)
             .field("T", &stats.target)
+            .field("claim_races", &stats.claim_races)
+            .field("claim_races_per_shard", &self.claim_races_per_shard())
             .field("capacity", &self.capacity())
             .field("shards", &self.shards.len())
             .finish()
@@ -647,6 +691,19 @@ impl SleepSlotBuffer {
             controller_wakes: shard.controller_wakes.load(Ordering::Relaxed),
             claim_races: shard.claim_races.load(Ordering::Relaxed),
         }
+    }
+
+    /// Lost head-CAS counts per shard, in shard order.
+    ///
+    /// The per-shard breakdown of [`SlotBufferStats::claim_races`]: a single
+    /// hot shard (skewed home-shard assignment, or too few shards for the
+    /// waiter population) shows up here while the aggregate still looks
+    /// flat.
+    pub fn claim_races_per_shard(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .map(|shard| shard.claim_races.load(Ordering::Relaxed))
+            .collect()
     }
 
     /// Per-shard snapshots for the controller's target splitter.
@@ -1072,6 +1129,29 @@ mod tests {
         assert_eq!(global.ever_slept, summed);
         let targets: u64 = (0..4).map(|i| buf.shard_stats(i).target).sum();
         assert_eq!(global.target, targets);
+    }
+
+    #[test]
+    fn stats_display_and_debug_surface_the_books_and_races() {
+        let buf = SleepSlotBuffer::with_shards(8, 2);
+        buf.set_target(2);
+        let id = sleeper(&buf);
+        let ClaimOutcome::Claimed(idx) = buf.try_claim(id) else {
+            panic!("expected a claim");
+        };
+        let shown = buf.stats().to_string();
+        assert!(shown.contains("S=1"), "missing S in {shown:?}");
+        assert!(shown.contains("W=0"), "missing W in {shown:?}");
+        assert!(shown.contains("T=2"), "missing T in {shown:?}");
+        assert!(shown.contains("sleeping=1"), "missing S−W in {shown:?}");
+        assert!(shown.contains("claim_races=0"));
+        let debugged = format!("{buf:?}");
+        assert!(
+            debugged.contains("claim_races_per_shard: [0, 0]"),
+            "per-shard races missing from {debugged:?}"
+        );
+        buf.leave(idx, id);
+        assert_eq!(buf.claim_races_per_shard(), vec![0, 0]);
     }
 
     #[test]

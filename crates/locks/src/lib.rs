@@ -56,6 +56,21 @@
 //! }
 //! assert_eq!(*counter.lock(), 4000);
 //! ```
+//!
+//! And the same lock constructed **by registry name** — how benches,
+//! drivers and experiment configs select families with strings:
+//!
+//! ```
+//! use lc_locks::registry::DynMutex;
+//! use lc_locks::ALL_LOCK_NAMES;
+//!
+//! let m = DynMutex::build("ticket", 41u32).expect("registered lock");
+//! *m.lock() += 1;
+//! assert_eq!(*m.lock(), 42);
+//! assert_eq!(m.name(), "ticket");
+//! assert!(ALL_LOCK_NAMES.contains(&"ticket"));
+//! assert!(DynMutex::build("no-such-lock", 0u32).is_none());
+//! ```
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]

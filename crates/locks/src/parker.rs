@@ -12,10 +12,19 @@
 //!   never lost even if it races with the decision to park (exactly the
 //!   property the sleep-slot protocol needs: the controller may clear a slot
 //!   *before* the thread has actually blocked, see paper §3.1.1).
+//!
+//! A parker can also represent an **async task** instead of an OS thread: the
+//! task registers its [`Waker`] with [`Parker::set_waker`] each time it
+//! returns `Pending`, and [`Parker::unpark`] then wakes the task in addition
+//! to depositing the permit.  This is what lets the sleep-slot buffer treat
+//! thread waiters and future waiters identically — the controller clears a
+//! slot and unparks its parker without knowing (or caring) which kind of
+//! waiter is behind it.
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
+use std::task::Waker;
 use std::time::Duration;
 
 /// Outcome of a call to [`Parker::park_timeout`].
@@ -35,6 +44,10 @@ pub enum ParkResult {
 pub struct Parker {
     state: Mutex<bool>,
     condvar: Condvar,
+    /// The waker of an async task parked on this parker, if any.  Taken (not
+    /// peeked) by [`Parker::unpark`], so each registered waker is woken at
+    /// most once and the task re-registers on every `Pending` poll.
+    waker: Mutex<Option<Waker>>,
     parks: AtomicU64,
     unparks: AtomicU64,
     timeouts: AtomicU64,
@@ -63,6 +76,7 @@ impl Parker {
         Self {
             state: Mutex::new(false),
             condvar: Condvar::new(),
+            waker: Mutex::new(None),
             parks: AtomicU64::new(0),
             unparks: AtomicU64::new(0),
             timeouts: AtomicU64::new(0),
@@ -114,6 +128,42 @@ impl Parker {
         *permit = true;
         drop(permit);
         self.condvar.notify_one();
+        // An async waiter parked on this parker: wake its task too.  The
+        // waker is taken outside the lock guard's scope so `wake()` (which
+        // may re-enqueue the task into an executor) never runs while a
+        // parker lock is held.
+        let waker = self.waker.lock().unwrap().take();
+        if let Some(waker) = waker {
+            waker.wake();
+        }
+    }
+
+    /// Registers `waker` as the async waiter behind this parker.
+    ///
+    /// The next [`Parker::unpark`] wakes it (in addition to depositing the
+    /// permit for any thread waiter).  A task must re-register on every poll
+    /// that returns `Pending`, exactly as with any `Future`: `unpark`
+    /// *consumes* the stored waker.
+    pub fn set_waker(&self, waker: &Waker) {
+        let mut slot = self.waker.lock().unwrap();
+        match slot.as_ref() {
+            Some(current) if current.will_wake(waker) => {}
+            _ => *slot = Some(waker.clone()),
+        }
+    }
+
+    /// Discards any registered waker without waking it (the task stopped
+    /// waiting on this parker — completion or cancellation).
+    pub fn clear_waker(&self) {
+        self.waker.lock().unwrap().take();
+    }
+
+    /// Consumes a stored permit without blocking, returning whether one was
+    /// present.  This is the polling-path analogue of [`Parker::park`] used
+    /// by async waiters, which can never block the worker thread.
+    pub fn try_consume_permit(&self) -> bool {
+        let mut permit = self.state.lock().unwrap();
+        std::mem::take(&mut *permit)
     }
 
     /// Number of `park`/`park_timeout` calls so far.
@@ -191,5 +241,46 @@ mod tests {
         p.park();
         let _ = p.park_timeout(Duration::from_millis(1));
         assert_eq!(p.park_count(), 2);
+    }
+
+    /// A waker that counts how many times it fired (for async-path tests).
+    fn counting_waker(counter: Arc<std::sync::atomic::AtomicU64>) -> std::task::Waker {
+        struct Counting(Arc<std::sync::atomic::AtomicU64>);
+        impl std::task::Wake for Counting {
+            fn wake(self: Arc<Self>) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+            fn wake_by_ref(self: &Arc<Self>) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        std::task::Waker::from(Arc::new(Counting(counter)))
+    }
+
+    #[test]
+    fn unpark_wakes_a_registered_waker_once() {
+        let p = Parker::new();
+        let fired = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let waker = counting_waker(Arc::clone(&fired));
+        p.set_waker(&waker);
+        p.unpark();
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+        // The waker was consumed: a second unpark wakes nothing.
+        p.unpark();
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+        // The permit is still there for a thread-style consumer.
+        assert!(p.try_consume_permit());
+        assert!(!p.try_consume_permit());
+    }
+
+    #[test]
+    fn clear_waker_discards_without_waking() {
+        let p = Parker::new();
+        let fired = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let waker = counting_waker(Arc::clone(&fired));
+        p.set_waker(&waker);
+        p.clear_waker();
+        p.unpark();
+        assert_eq!(fired.load(Ordering::SeqCst), 0);
     }
 }

@@ -322,6 +322,112 @@ pub fn run_semaphore_microbench_lc(
     })
 }
 
+/// Configuration of the async oversubscription driver
+/// ([`run_async_semaphore_microbench`]): `tasks` async tasks contend for
+/// `permits` semaphore permits while being multiplexed over a fixed pool of
+/// `workers` threads — the tokio-style environment the async load gate
+/// exists for.
+#[derive(Debug, Clone, Copy)]
+pub struct AsyncMicrobenchConfig {
+    /// Worker threads in the [`crate::executor::MiniPool`].
+    pub workers: usize,
+    /// Number of spawned tasks (normally > `workers`: task oversubscription).
+    pub tasks: usize,
+    /// Semaphore permits the tasks contend for (normally < `tasks`).
+    pub permits: u64,
+    /// Approximate critical-section length (busy-wait iterations).
+    pub critical_iters: u32,
+    /// Approximate delay between acquisitions (busy-wait iterations).
+    pub delay_iters: u32,
+    /// Wall-clock measurement duration.
+    pub duration: Duration,
+}
+
+impl Default for AsyncMicrobenchConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            tasks: 16,
+            permits: 2,
+            critical_iters: 50,
+            delay_iters: 200,
+            duration: Duration::from_millis(200),
+        }
+    }
+}
+
+/// A [`crate::executor::WorkerGuard`] that registers the pool worker with a
+/// [`LoadControl`] and keeps its registry state honest: `Running` while the
+/// worker polls tasks, `Idle` while it blocks waiting for ready work.
+///
+/// The idle transition is what closes the async plane's feedback loop: when
+/// the controller parks tasks, the ready queue drains and workers block —
+/// without the state change they would still be sampled as runnable load,
+/// the sleep target could never shrink, and parked tasks would wake only by
+/// timeout.
+pub fn load_registered_guard(control: &Arc<LoadControl>) -> Box<dyn crate::executor::WorkerGuard> {
+    use lc_core::accounting::ThreadState;
+
+    struct Registered(lc_core::WorkerRegistration);
+    impl crate::executor::WorkerGuard for Registered {
+        fn on_idle(&mut self) {
+            self.0.set_state(ThreadState::Idle);
+        }
+        fn on_busy(&mut self) {
+            self.0.set_state(ThreadState::Running);
+        }
+    }
+    Box::new(Registered(control.register_worker()))
+}
+
+/// Runs the async oversubscription scenario: a [`crate::executor::MiniPool`]
+/// of `config.workers` threads (each registered with `control` so the
+/// controller can see the pool's load) multiplexes `config.tasks` tasks that
+/// each loop acquiring a permit from one shared load-controlled
+/// [`LcSemaphore`] via [`LcSemaphore::acquire_async`].
+///
+/// Starved tasks poll-spin — the executor keeps re-polling them — so with
+/// the controller daemon running and the pool oversubscribed, the async gate
+/// claims sleep slots and suspends tasks (`control.buffer().stats().ever_slept`
+/// rises); without a controller nobody sleeps.  Returns total acquisitions.
+pub fn run_async_semaphore_microbench(
+    config: AsyncMicrobenchConfig,
+    control: &Arc<LoadControl>,
+) -> MicrobenchResult {
+    use crate::executor::MiniPool;
+
+    let pool_control = Arc::clone(control);
+    let pool = MiniPool::with_thread_hook(config.workers, move |_| {
+        load_registered_guard(&pool_control)
+    });
+    let semaphore = Arc::new(LcSemaphore::new_with(config.permits, control));
+    let stop = Arc::new(AtomicBool::new(false));
+    let total = Arc::new(AtomicU64::new(0));
+    for _ in 0..config.tasks {
+        let semaphore = Arc::clone(&semaphore);
+        let stop = Arc::clone(&stop);
+        let total = Arc::clone(&total);
+        pool.spawn(async move {
+            while !stop.load(Ordering::Relaxed) {
+                {
+                    let _permit = semaphore.acquire_async().await;
+                    busy_work(config.critical_iters);
+                }
+                busy_work(config.delay_iters);
+                total.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+    }
+    let start = Instant::now();
+    std::thread::sleep(config.duration);
+    stop.store(true, Ordering::Relaxed);
+    pool.wait_idle();
+    MicrobenchResult {
+        acquisitions: total.load(Ordering::Relaxed),
+        elapsed: start.elapsed(),
+    }
+}
+
 /// Generic harness: spawns `config.threads` workers that repeatedly run one
 /// iteration produced by `make_iter`, for `config.duration`.
 fn run_with<F, G>(config: MicrobenchConfig, make_iter: F) -> MicrobenchResult
@@ -482,6 +588,43 @@ mod tests {
         assert!(r.acquisitions > 100, "only {} acquisitions", r.acquisitions);
         let stats = control.buffer().stats();
         assert_eq!(stats.ever_slept, stats.woken_and_left);
+    }
+
+    #[test]
+    fn async_semaphore_microbench_makes_progress_under_forced_overload() {
+        let control = oversubscribed_control(2, 1);
+        let cfg = AsyncMicrobenchConfig {
+            workers: 4,
+            tasks: 12,
+            permits: 2,
+            critical_iters: 10,
+            delay_iters: 50,
+            duration: Duration::from_millis(80),
+        };
+        let r = run_async_semaphore_microbench(cfg, &control);
+        control.stop_controller();
+        assert!(r.acquisitions > 50, "only {} acquisitions", r.acquisitions);
+        let stats = control.buffer().stats();
+        assert_eq!(
+            stats.ever_slept, stats.woken_and_left,
+            "async driver left the books unbalanced"
+        );
+    }
+
+    #[test]
+    fn async_semaphore_microbench_sleeps_nobody_without_a_controller() {
+        let control = LoadControl::new(LoadControlConfig::for_capacity(64));
+        let cfg = AsyncMicrobenchConfig {
+            workers: 2,
+            tasks: 6,
+            permits: 2,
+            critical_iters: 10,
+            delay_iters: 50,
+            duration: Duration::from_millis(40),
+        };
+        let r = run_async_semaphore_microbench(cfg, &control);
+        assert!(r.acquisitions > 10, "only {} acquisitions", r.acquisitions);
+        assert_eq!(control.buffer().stats().ever_slept, 0);
     }
 
     #[test]

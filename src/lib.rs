@@ -11,14 +11,17 @@
 //! * [`accounting`] — in-process microstate accounting (thread registry,
 //!   load samplers, transition traces).
 //! * [`core`] — the paper's contribution: the sleep slot buffer, the load
-//!   controller, and the load-controlled mutex.
+//!   controller, the sync and async waiter-side gates, and the
+//!   load-controlled sync surface.
 //! * [`sim`] — the deterministic multicore scheduler simulator used to
 //!   reproduce the paper's figures at 64-context scale.
 //! * [`workloads`] — the microbenchmark, Raytrace, TM-1 and TPC-C scenarios
-//!   plus real-thread drivers.
+//!   plus real-thread drivers and the `MiniPool` async executor.
 //!
-//! See `README.md` for a tour and `EXPERIMENTS.md` for the reproduced
-//! evaluation.
+//! See `README.md` for a tour and `ARCHITECTURE.md` for the layer map
+//! (accounting → controller/policy/splitter → slots/gates → locks → sync
+//! surface → sim/workloads/bench), the `S`/`W`/`T` invariants, and the
+//! recipes for adding a new lock, policy, splitter, or waiter kind.
 
 pub use lc_accounting as accounting;
 pub use lc_core as core;
