@@ -64,7 +64,10 @@ pub mod trace;
 
 pub use procfs::{HardenedProcfsSampler, ProcfsLoadSampler};
 pub use registry::{ThreadHandle, ThreadRegistry, ThreadState, ThreadUsage, UsageBreakdown};
-pub use sampler::{LoadSample, LoadSampler, RegistryLoadSampler};
+pub use sampler::{
+    build_sampler_spec, LoadSample, LoadSampler, RegistryLoadSampler, ALL_SAMPLER_NAMES,
+    SAMPLER_SPECS,
+};
 pub use trace::{Transition, TransitionTrace};
 
 use std::sync::OnceLock;

@@ -9,7 +9,7 @@ use lc_core::{policy, LcLock, LoadControl, LoadControlConfig};
 use lc_locks::{Parker, RawLock, ABORTABLE_LOCK_NAMES};
 use lc_workloads::drivers::{
     oversubscribed_control, run_async_semaphore_microbench, run_microbench_lc,
-    run_microbench_lc_named, run_rw_microbench_lc, run_semaphore_microbench_lc,
+    run_microbench_lc_spec, run_rw_microbench_lc, run_semaphore_microbench_lc,
     AsyncMicrobenchConfig, MicrobenchConfig, RwMicrobenchConfig,
 };
 use std::hint::black_box;
@@ -69,7 +69,7 @@ fn bench_lc_backend_sweep(c: &mut Criterion) {
                     .with_sleep_timeout(Duration::from_millis(10)),
             );
             b.iter(|| {
-                run_microbench_lc_named(
+                run_microbench_lc_spec(
                     name,
                     MicrobenchConfig {
                         threads: 6,
@@ -117,21 +117,29 @@ fn bench_lc_end_to_end(c: &mut Criterion) {
 }
 
 /// Control-policy comparison: the same oversubscribed microbenchmark under
-/// every registered [`lc_core::policy::ControlPolicy`] — the decision rule is
-/// swapped while mechanism and workload stay fixed, which is exactly what the
-/// pluggable policy plane exists for.
+/// every registered [`lc_core::policy::ControlPolicy`] — each by its bare
+/// name (default parameters) plus tuned parameterized variants, all selected
+/// by spec string.  The decision rule is swapped while mechanism and
+/// workload stay fixed, which is exactly what the pluggable policy plane
+/// exists for.
 fn bench_policy_comparison(c: &mut Criterion) {
     let mut group = c.benchmark_group("lc_control_policy_sweep");
     group.sample_size(10);
-    for &name in policy::ALL_POLICY_NAMES {
-        group.bench_function(name, |b| {
+    let tuned = [
+        "hysteresis(alpha=0.3, deadband=2)",
+        "pid(kp=0.8, ki=0.2)",
+        "pid(kp=0.2, ki=0.05)",
+    ];
+    let specs = policy::ALL_POLICY_NAMES.iter().copied().chain(tuned);
+    for spec in specs {
+        group.bench_function(spec, |b| {
             let control = LoadControl::builder(
                 LoadControlConfig::for_capacity(2)
                     .with_update_interval(Duration::from_millis(2))
                     .with_sleep_timeout(Duration::from_millis(10)),
             )
-            .policy_named(name)
-            .expect("registered policy")
+            .policy_spec(spec)
+            .expect("registered policy spec")
             .start_daemon()
             .build();
             b.iter(|| {

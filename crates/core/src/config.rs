@@ -110,16 +110,33 @@ impl LoadControlConfig {
     }
 
     /// Returns `self` with the shard count taken from the `LC_SHARDS`
-    /// environment variable when it is set to a positive integer, unchanged
-    /// otherwise.  This is how the CI acceptance runs re-exercise the whole
-    /// suite over a sharded buffer without editing each test.
+    /// environment variable, unchanged when the variable is unset or empty.
+    /// This is how the CI acceptance runs re-exercise the whole suite over a
+    /// sharded buffer without editing each test.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `LC_SHARDS` is set but malformed (not a positive
+    /// integer).  A typo in the environment must abort the run, not silently
+    /// fall back to the default shard count; use
+    /// [`LoadControlConfig::try_with_shards_from_env`] to handle the error.
     pub fn with_shards_from_env(self) -> Self {
-        match std::env::var(Self::SHARDS_ENV)
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-        {
-            Some(n) if n > 0 => self.with_shards(n),
-            _ => self,
+        match self.try_with_shards_from_env() {
+            Ok(config) => config,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Returns `self` with the shard count taken from the `LC_SHARDS`
+    /// environment variable, unchanged when the variable is unset or empty,
+    /// and an explicit [`lc_spec::SpecError`] when it is set but malformed.
+    pub fn try_with_shards_from_env(self) -> Result<Self, lc_spec::SpecError> {
+        match std::env::var(Self::SHARDS_ENV) {
+            Ok(v) if !v.trim().is_empty() => {
+                let shards = crate::spec::parse_shards_value(Self::SHARDS_ENV, &v)?;
+                Ok(self.with_shards(shards))
+            }
+            _ => Ok(self),
         }
     }
 
@@ -219,7 +236,10 @@ mod tests {
     }
 
     #[test]
-    fn shards_from_env_parses_or_keeps_the_default() {
+    fn shards_from_env_parses_or_errors_explicitly() {
+        let _env = crate::spec::ENV_TEST_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
         // Process-wide env mutation: use a dedicated variable value and
         // restore it afterwards so parallel tests are unaffected.
         let key = LoadControlConfig::SHARDS_ENV;
@@ -231,13 +251,30 @@ mod tests {
                 .shards,
             4
         );
-        std::env::set_var(key, "not-a-number");
+        // Unset or empty keeps the default.
+        std::env::remove_var(key);
         assert_eq!(
             LoadControlConfig::for_capacity(2)
                 .with_shards_from_env()
                 .shards,
             1
         );
+        std::env::set_var(key, "  ");
+        assert_eq!(
+            LoadControlConfig::for_capacity(2)
+                .with_shards_from_env()
+                .shards,
+            1
+        );
+        // Malformed values are explicit errors (the panicking variant aborts;
+        // the try variant names the variable), never a silent default.
+        for bad in ["not-a-number", "0", "-2", "4.5"] {
+            std::env::set_var(key, bad);
+            let err = LoadControlConfig::for_capacity(2)
+                .try_with_shards_from_env()
+                .expect_err("malformed LC_SHARDS must error");
+            assert!(err.to_string().contains("LC_SHARDS"), "{err}");
+        }
         match previous {
             Some(v) => std::env::set_var(key, v),
             None => std::env::remove_var(key),

@@ -10,10 +10,14 @@
 
 use crate::async_gate::AsyncPlane;
 use crate::config::LoadControlConfig;
-use crate::policy::{self, ControlPolicy, EvenSplitter, PaperPolicy, PolicyInputs, TargetSplitter};
+use crate::policy::{
+    ControlPolicy, EvenSplitter, PaperPolicy, PolicyInputs, TargetSplitter, POLICY_SPECS,
+    SPLITTER_SPECS,
+};
 use crate::slots::{even_split, SleepSlotBuffer};
+use crate::spec::{LoadControlSpec, SpecError};
 use crate::thread_ctx::{current_ctx, WorkerRegistration};
-use lc_accounting::{LoadSampler, RegistryLoadSampler, ThreadRegistry};
+use lc_accounting::{LoadSampler, RegistryLoadSampler, ThreadRegistry, SAMPLER_SPECS};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -73,17 +77,19 @@ impl fmt::Debug for LoadControl {
 }
 
 /// Builder-style construction of a [`LoadControl`]: pick the control policy
-/// (by value or by registry name), optionally a custom sampler, and whether
+/// (by value or by spec string), optionally a custom sampler, and whether
 /// the controller daemon starts immediately.
 ///
 /// ```
 /// use lc_core::{LoadControl, LoadControlConfig};
 ///
 /// let control = LoadControl::builder(LoadControlConfig::for_capacity(4))
-///     .policy_named("hysteresis")
+///     .policy_spec("hysteresis(alpha=0.3, deadband=2)")
 ///     .expect("registered policy")
 ///     .build();
 /// assert_eq!(control.policy_name(), "hysteresis");
+/// // The live spec reports the non-default parameters back.
+/// assert_eq!(control.spec().policy.to_string(), "hysteresis(alpha=0.3, up=2)");
 /// ```
 pub struct LoadControlBuilder {
     config: LoadControlConfig,
@@ -127,10 +133,18 @@ impl LoadControlBuilder {
         self
     }
 
+    /// Selects the control policy from the registry by spec string — a bare
+    /// name from [`crate::policy::ALL_POLICY_NAMES`] or a parameterized
+    /// `name(key=value, ...)` spec such as `pid(kp=0.5, ki=0.1)`.
+    pub fn policy_spec(self, spec: &str) -> Result<Self, SpecError> {
+        Ok(self.boxed_policy(POLICY_SPECS.build(spec)?))
+    }
+
     /// Selects the control policy from the registry by its stable name
     /// (see [`crate::policy::ALL_POLICY_NAMES`]); `None` for an unknown name.
+    #[deprecated(note = "use policy_spec, which also accepts parameterized specs")]
     pub fn policy_named(self, name: &str) -> Option<Self> {
-        policy::build(name).map(|p| self.boxed_policy(p))
+        self.policy_spec(name).ok()
     }
 
     /// Uses `splitter` to partition the sleep target across slot-buffer
@@ -146,11 +160,19 @@ impl LoadControlBuilder {
         self
     }
 
+    /// Selects the target splitter from the registry by spec string — a bare
+    /// name from [`crate::policy::ALL_SPLITTER_NAMES`] or a parameterized
+    /// spec such as `load-weighted(ewma=0.25)`.
+    pub fn splitter_spec(self, spec: &str) -> Result<Self, SpecError> {
+        Ok(self.boxed_splitter(SPLITTER_SPECS.build(spec)?))
+    }
+
     /// Selects the target splitter from the registry by its stable name
     /// (see [`crate::policy::ALL_SPLITTER_NAMES`]); `None` for an unknown
     /// name.
+    #[deprecated(note = "use splitter_spec, which also accepts parameterized specs")]
     pub fn splitter_named(self, name: &str) -> Option<Self> {
-        policy::build_splitter(name).map(|s| self.boxed_splitter(s))
+        self.splitter_spec(name).ok()
     }
 
     /// Uses a caller-supplied thread registry and load sampler instead of the
@@ -158,6 +180,33 @@ impl LoadControlBuilder {
     pub fn sampler(mut self, registry: Arc<ThreadRegistry>, sampler: Box<dyn LoadSampler>) -> Self {
         self.sampler = Some((registry, sampler));
         self
+    }
+
+    /// Selects the load sampler from the registry by spec string — a bare
+    /// name from [`lc_accounting::ALL_SAMPLER_NAMES`] or a parameterized
+    /// spec such as `fixed(runnable=9)`.  A fresh thread registry is created
+    /// as the sampler's context (and becomes this instance's registry),
+    /// exactly as the default construction path does.
+    pub fn sampler_spec(self, spec: &str) -> Result<Self, SpecError> {
+        let registry = Arc::new(ThreadRegistry::new());
+        let sampler = SAMPLER_SPECS.build_in(&registry, spec)?;
+        Ok(self.sampler(registry, sampler))
+    }
+
+    /// Applies a declarative [`LoadControlSpec`] — policy, splitter, shard
+    /// count and (when present) sampler — on top of the current builder
+    /// state.  A spec that never mentioned `shards` keeps the
+    /// configuration's shard count instead of silently resetting it.
+    pub fn apply_spec(mut self, spec: &LoadControlSpec) -> Result<Self, SpecError> {
+        if let Some(shards) = spec.shards {
+            self.config = self.config.with_shards(shards);
+        }
+        self = self.policy_spec(&spec.policy.to_string())?;
+        self = self.splitter_spec(&spec.splitter.to_string())?;
+        if let Some(sampler) = &spec.sampler {
+            self = self.sampler_spec(&sampler.to_string())?;
+        }
+        Ok(self)
     }
 
     /// Starts the controller daemon as part of [`LoadControlBuilder::build`].
@@ -235,6 +284,41 @@ impl LoadControl {
         Self::builder(config).sampler(registry, sampler).build()
     }
 
+    /// Creates a load-control instance from a declarative
+    /// [`LoadControlSpec`] (policy, splitter, shard count, sampler), daemon
+    /// not started.
+    ///
+    /// The spec's shard count is applied on top of `config` exactly like
+    /// [`LoadControlConfig::with_shards`].
+    ///
+    /// ```
+    /// use lc_core::spec::LoadControlSpec;
+    /// use lc_core::{LoadControl, LoadControlConfig};
+    ///
+    /// let spec: LoadControlSpec =
+    ///     "policy=pid(kp=0.8, ki=0.2); splitter=load-weighted; shards=2"
+    ///         .parse()
+    ///         .unwrap();
+    /// let control =
+    ///     LoadControl::from_spec(LoadControlConfig::for_capacity(4), &spec).unwrap();
+    /// assert_eq!(control.policy_name(), "pid");
+    /// assert_eq!(control.buffer().shard_count(), 2);
+    /// // The live configuration reports back as a spec string that
+    /// // reconstructs it.
+    /// let reported = control.spec();
+    /// assert_eq!(reported.policy.to_string(), "pid(kp=0.8, ki=0.2)");
+    /// assert_eq!(
+    ///     reported.to_string().parse::<LoadControlSpec>().unwrap(),
+    ///     reported
+    /// );
+    /// ```
+    pub fn from_spec(
+        config: LoadControlConfig,
+        spec: &LoadControlSpec,
+    ) -> Result<Arc<Self>, SpecError> {
+        Ok(Self::builder(config).apply_spec(spec)?.build())
+    }
+
     /// Creates a load-control instance and starts its controller daemon.
     pub fn start(config: LoadControlConfig) -> Arc<Self> {
         Self::builder(config).start_daemon().build()
@@ -304,6 +388,23 @@ impl LoadControl {
     /// The registry name of the current target splitter.
     pub fn splitter_name(&self) -> &'static str {
         self.shared.splitter.lock().unwrap().name()
+    }
+
+    /// The canonical spec of the **live** configuration: current policy
+    /// (with parameters), current splitter, shard count and sampler.
+    ///
+    /// The rendered string (`spec().to_string()`) parses back to an
+    /// equivalent [`LoadControlSpec`], so logs and bench labels can record
+    /// the exact control plane a measurement ran under.  Runtime swaps
+    /// ([`LoadControl::set_policy`], [`LoadControl::set_splitter`]) are
+    /// reflected immediately.
+    pub fn spec(&self) -> LoadControlSpec {
+        LoadControlSpec {
+            policy: self.shared.policy.lock().unwrap().spec(),
+            splitter: self.shared.splitter.lock().unwrap().spec(),
+            shards: Some(self.shared.config.shards),
+            sampler: Some(self.shared.sampler.spec()),
+        }
     }
 
     /// Manually sets the sleep target.
@@ -560,17 +661,94 @@ mod tests {
     }
 
     #[test]
-    fn builder_selects_policies_by_name() {
+    fn builder_selects_policies_by_spec() {
         for &name in crate::policy::ALL_POLICY_NAMES {
             let lc = LoadControl::builder(LoadControlConfig::for_capacity(2))
-                .policy_named(name)
-                .unwrap_or_else(|| panic!("{name} not registered"))
+                .policy_spec(name)
+                .unwrap_or_else(|e| panic!("{name}: {e}"))
                 .build();
             assert_eq!(lc.policy_name(), name);
         }
         assert!(LoadControl::builder(LoadControlConfig::for_capacity(2))
+            .policy_spec("no-such-policy")
+            .is_err());
+        // Parameterized specs reach the policy.
+        let lc = LoadControl::builder(LoadControlConfig::for_capacity(2))
+            .policy_spec("fixed(target=5)")
+            .unwrap()
+            .build();
+        lc.run_cycle();
+        assert_eq!(lc.sleep_target(), 5);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_named_builder_shims_still_work() {
+        let lc = LoadControl::builder(LoadControlConfig::for_capacity(2))
+            .policy_named("hysteresis")
+            .expect("registered policy")
+            .splitter_named("load-weighted")
+            .expect("registered splitter")
+            .build();
+        assert_eq!(lc.policy_name(), "hysteresis");
+        assert_eq!(lc.splitter_name(), "load-weighted");
+        assert!(LoadControl::builder(LoadControlConfig::for_capacity(2))
             .policy_named("no-such-policy")
             .is_none());
+    }
+
+    #[test]
+    fn builder_selects_samplers_by_spec() {
+        let lc = LoadControl::builder(LoadControlConfig::for_capacity(2))
+            .sampler_spec("fixed(runnable=6)")
+            .expect("registered sampler")
+            .build();
+        let stats = lc.run_cycle();
+        assert_eq!(stats.last_runnable, 6);
+        assert_eq!(stats.last_target, 4);
+        assert!(LoadControl::builder(LoadControlConfig::for_capacity(2))
+            .sampler_spec("fixed(bogus=1)")
+            .is_err());
+    }
+
+    #[test]
+    fn from_spec_builds_the_whole_control_plane() {
+        let spec: LoadControlSpec =
+            "policy=pid(kp=0.8, ki=0.2); splitter=load-weighted(ewma=0.25); shards=2; sampler=fixed(runnable=9)"
+                .parse()
+                .unwrap();
+        let lc = LoadControl::from_spec(LoadControlConfig::for_capacity(4), &spec).unwrap();
+        assert_eq!(lc.policy_name(), "pid");
+        assert_eq!(lc.splitter_name(), "load-weighted");
+        assert_eq!(lc.buffer().shard_count(), 2);
+        let stats = lc.run_cycle();
+        assert_eq!(stats.last_runnable, 9, "spec sampler not wired");
+        // The live spec reports every plane and round-trips through parse.
+        let reported = lc.spec();
+        assert_eq!(reported.policy.to_string(), "pid(kp=0.8, ki=0.2)");
+        assert_eq!(reported.splitter.to_string(), "load-weighted(ewma=0.25)");
+        assert_eq!(reported.shards, Some(2));
+        assert_eq!(
+            reported.sampler.as_ref().unwrap().to_string(),
+            "fixed(runnable=9)"
+        );
+        let reparsed: LoadControlSpec = reported.to_string().parse().unwrap();
+        assert_eq!(reparsed, reported);
+        // And the reported spec reconstructs an equivalent instance.
+        let rebuilt =
+            LoadControl::from_spec(LoadControlConfig::for_capacity(4), &reported).unwrap();
+        assert_eq!(rebuilt.spec(), reported);
+    }
+
+    #[test]
+    fn live_spec_tracks_runtime_policy_swaps() {
+        let lc = LoadControl::new(LoadControlConfig::for_capacity(2));
+        assert_eq!(lc.spec().policy.to_string(), "paper");
+        assert_eq!(lc.spec().sampler.as_ref().unwrap().to_string(), "registry");
+        lc.set_policy(Box::new(crate::policy::PidPolicy::with_gains(
+            0.8, 0.2, 0.0,
+        )));
+        assert_eq!(lc.spec().policy.to_string(), "pid(kp=0.8, ki=0.2)");
     }
 
     #[test]
@@ -621,17 +799,17 @@ mod tests {
     }
 
     #[test]
-    fn builder_selects_splitters_by_name() {
+    fn builder_selects_splitters_by_spec() {
         for &name in crate::policy::ALL_SPLITTER_NAMES {
             let lc = LoadControl::builder(LoadControlConfig::for_capacity(2).with_shards(2))
-                .splitter_named(name)
-                .unwrap_or_else(|| panic!("{name} not registered"))
+                .splitter_spec(name)
+                .unwrap_or_else(|e| panic!("{name}: {e}"))
                 .build();
             assert_eq!(lc.splitter_name(), name);
         }
         assert!(LoadControl::builder(LoadControlConfig::for_capacity(2))
-            .splitter_named("no-such-splitter")
-            .is_none());
+            .splitter_spec("no-such-splitter")
+            .is_err());
     }
 
     #[test]

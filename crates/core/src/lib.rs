@@ -59,20 +59,38 @@
 //! assert_eq!(*counter.lock(), 8_000);
 //! ```
 //!
-//! The control plane is selected by name through the builder — decision
-//! policy, shard-target splitter, and daemon autostart in one expression:
+//! The control plane is selected by **spec string** through the builder —
+//! decision policy, shard-target splitter, and daemon autostart in one
+//! expression, with parameters in the shared `name(key=value)` grammar of
+//! [`spec`]:
 //!
 //! ```
 //! use lc_core::{LoadControl, LoadControlConfig};
 //!
 //! let control = LoadControl::builder(
 //!         LoadControlConfig::for_capacity(8).with_shards(2))
-//!     .policy_named("hysteresis").expect("registered policy")
-//!     .splitter_named("load-weighted").expect("registered splitter")
+//!     .policy_spec("hysteresis(alpha=0.3, deadband=2)").expect("registered policy")
+//!     .splitter_spec("load-weighted(ewma=0.25)").expect("registered splitter")
 //!     .build();
 //! assert_eq!(control.policy_name(), "hysteresis");
 //! assert_eq!(control.splitter_name(), "load-weighted");
 //! assert_eq!(control.buffer().shard_count(), 2);
+//! // The live configuration reports back as a canonical spec string.
+//! assert_eq!(control.spec().splitter.to_string(), "load-weighted(ewma=0.25)");
+//! ```
+//!
+//! Whole control planes are described declaratively by
+//! [`LoadControlSpec`] — parsed from a string, a `key = value` config file,
+//! or the `LC_POLICY` / `LC_SPLITTER` / `LC_SHARDS` / `LC_SAMPLER`
+//! environment variables — and built with [`LoadControl::from_spec`]:
+//!
+//! ```
+//! use lc_core::spec::LoadControlSpec;
+//! use lc_core::{LoadControl, LoadControlConfig};
+//!
+//! let spec: LoadControlSpec = "policy=pid(kp=0.5, ki=0.1); shards=2".parse().unwrap();
+//! let control = LoadControl::from_spec(LoadControlConfig::for_capacity(8), &spec).unwrap();
+//! assert_eq!(control.policy_name(), "pid");
 //! ```
 
 #![warn(missing_docs)]
@@ -88,6 +106,7 @@ pub mod lc_semaphore;
 pub mod load_backoff;
 pub mod policy;
 pub mod slots;
+pub mod spec;
 pub mod spin_hook;
 pub mod thread_ctx;
 
@@ -101,9 +120,10 @@ pub use lc_semaphore::{AcquireAsync, LcSemaphore, LcSemaphoreAsyncPermit, LcSema
 pub use load_backoff::LoadTriggeredBackoffPolicy;
 pub use policy::{
     ControlPolicy, EvenSplitter, FixedPolicy, HysteresisPolicy, LoadWeightedSplitter, PaperPolicy,
-    PolicyInputs, TargetSplitter,
+    PidPolicy, PolicyInputs, TargetSplitter, POLICY_SPECS, SPLITTER_SPECS,
 };
 pub use slots::{ClaimOutcome, ShardSnapshot, SleepSlotBuffer, SlotBufferStats};
+pub use spec::{LoadControlSpec, ParsedSpec, SpecError};
 pub use spin_hook::SpinHook;
 pub use thread_ctx::{LoadControlPolicy, LoadGate, WorkerRegistration};
 

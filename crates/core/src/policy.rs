@@ -10,7 +10,7 @@
 //! can swap the decision rule without touching the data plane — the same
 //! decoupling the mechanism itself applies to contention management.
 //!
-//! Three implementations ship with the suite, each mapping back to §3.1.1:
+//! Four implementations ship with the suite, each mapping back to §3.1.1:
 //!
 //! * [`PaperPolicy`] — the exact rule of the paper, `T = load − capacity`
 //!   (with the configured headroom subtracted as well).  The default; under
@@ -24,11 +24,18 @@
 //!   pinned at construction or steered externally through
 //!   [`crate::LoadControl::set_sleep_target`].  This replaces the old
 //!   `ControllerMode::Manual` and drives the paper's Figure 8 bump test.
+//! * [`PidPolicy`] — a proportional–integral(–derivative) controller on the
+//!   *target error* `(load − threshold) − T`: the integrator walks the target
+//!   toward the excess instead of jumping there, giving smoother convergence
+//!   at large capacities than the paper's direct rule.
 //!
-//! Policies are selected by stable name through [`build`] /
-//! [`ALL_POLICY_NAMES`], mirroring `lc_locks::registry` — experiment
-//! configurations pick the control policy and the contention manager with the
-//! same string-keyed machinery.
+//! Policies are selected by spec string through [`POLICY_SPECS`] /
+//! [`build_policy_spec`] / [`ALL_POLICY_NAMES`], sharing the
+//! `name(key=value)` grammar of [`lc_spec`] with lock families and load
+//! samplers — experiment configurations pick the control policy and the
+//! contention manager with the same string-keyed machinery, parameters
+//! included: `hysteresis(alpha=0.3, deadband=2)`, `fixed(target=8)`,
+//! `pid(kp=0.5, ki=0.1)`.
 //!
 //! ## Target partitioning
 //!
@@ -37,12 +44,14 @@
 //! across shards so that `sum(T_i) = T`.  That decision is the
 //! [`TargetSplitter`] trait — [`EvenSplitter`] (the default; uniform shares)
 //! and [`LoadWeightedSplitter`] (shares proportional to each shard's recent
-//! claim and claim-race activity) ship with the suite, selected by stable
-//! name through [`build_splitter`] / [`ALL_SPLITTER_NAMES`] exactly like the
-//! control policies above.
+//! claim and claim-race activity, `load-weighted(ewma=0.25)`) ship with the
+//! suite, selected by spec string through [`SPLITTER_SPECS`] /
+//! [`build_splitter_spec`] / [`ALL_SPLITTER_NAMES`] exactly like the control
+//! policies above.
 
 use crate::controller::ControllerStats;
 use crate::slots::{even_split, ShardSnapshot};
+use lc_spec::{ParsedSpec, Registry, SpecEntry, SpecError};
 use std::fmt;
 
 /// Everything a policy may consult when computing the next sleep target.
@@ -86,6 +95,14 @@ pub trait ControlPolicy: Send + fmt::Debug {
 
     /// Computes the sleep target for this cycle.
     fn target(&mut self, inputs: &PolicyInputs) -> u64;
+
+    /// The canonical spec of this policy's configuration: the name plus every
+    /// parameter that differs from the registry defaults, in the shared
+    /// `name(key=value)` grammar.  Feeding the rendered spec back to
+    /// [`POLICY_SPECS`] reconstructs an identically configured policy.
+    fn spec(&self) -> ParsedSpec {
+        ParsedSpec::bare(self.name())
+    }
 }
 
 /// The paper's decision rule: `T = load − capacity` (§3.1.1, Figure 7 left),
@@ -206,6 +223,20 @@ impl ControlPolicy for HysteresisPolicy {
             inputs.current_target
         }
     }
+
+    fn spec(&self) -> ParsedSpec {
+        let mut spec = ParsedSpec::bare("hysteresis");
+        if self.alpha != Self::DEFAULT_ALPHA {
+            spec = spec.with_param("alpha", self.alpha);
+        }
+        if self.up_deadband != Self::DEFAULT_UP_DEADBAND {
+            spec = spec.with_param("up", self.up_deadband);
+        }
+        if self.down_deadband != Self::DEFAULT_DOWN_DEADBAND {
+            spec = spec.with_param("down", self.down_deadband);
+        }
+        spec
+    }
 }
 
 /// A target that ignores load measurements.
@@ -243,6 +274,119 @@ impl ControlPolicy for FixedPolicy {
     fn target(&mut self, inputs: &PolicyInputs) -> u64 {
         self.pinned.unwrap_or(inputs.current_target)
     }
+
+    fn spec(&self) -> ParsedSpec {
+        match self.pinned {
+            Some(target) => ParsedSpec::bare("fixed").with_param("target", target),
+            None => ParsedSpec::bare("fixed"),
+        }
+    }
+}
+
+/// A proportional–integral(–derivative) controller on the target error.
+///
+/// Where [`PaperPolicy`] jumps the target straight to the measured excess,
+/// the PID policy treats the published target as the actuator of a feedback
+/// loop: each cycle it computes the error
+/// `e = (load − threshold) − current_target` — how far the target is from
+/// absorbing the excess — and moves the target by
+/// `kp·e + ki·∫e (+ kd·Δe)`.  The integrator is what converges: at steady
+/// state `e = 0` and the target sits exactly at the excess, while `kp`
+/// controls how aggressively single-cycle swings are chased.  Small `ki`
+/// therefore gives the smoother convergence at large capacities the ROADMAP
+/// asks for; `kp = 1, ki → ∞` degenerates toward the paper's rule.
+///
+/// The integral is clamped to `[0, `[`PidPolicy::INTEGRAL_CAP`]`]` so a long
+/// overload cannot wind it up past any reachable target (anti-windup), and
+/// negative errors drain it, so the target decays to zero when the overload
+/// ends.
+#[derive(Debug, Clone, Copy)]
+pub struct PidPolicy {
+    /// Proportional gain on the target error.
+    kp: f64,
+    /// Integral gain (must be positive: the integrator is what converges).
+    ki: f64,
+    /// Derivative gain on the error delta (0 = disabled, the default).
+    kd: f64,
+    /// Accumulated error, clamped to `[0, INTEGRAL_CAP]`.
+    integral: f64,
+    /// Previous cycle's error (`None` until the first sample).
+    last_error: Option<f64>,
+}
+
+impl PidPolicy {
+    /// Default proportional gain.
+    pub const DEFAULT_KP: f64 = 0.5;
+    /// Default integral gain.
+    pub const DEFAULT_KI: f64 = 0.1;
+    /// Default derivative gain (disabled).
+    pub const DEFAULT_KD: f64 = 0.0;
+    /// Anti-windup bound on the accumulated error.
+    pub const INTEGRAL_CAP: f64 = 1e9;
+
+    /// A policy with the default gains.
+    pub fn new() -> Self {
+        Self::with_gains(Self::DEFAULT_KP, Self::DEFAULT_KI, Self::DEFAULT_KD)
+    }
+
+    /// A policy with explicit gains.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `kp ≥ 0`, `ki > 0` and `kd ≥ 0` are all finite.
+    pub fn with_gains(kp: f64, ki: f64, kd: f64) -> Self {
+        assert!(kp.is_finite() && kp >= 0.0, "kp must be non-negative");
+        assert!(ki.is_finite() && ki > 0.0, "ki must be positive");
+        assert!(kd.is_finite() && kd >= 0.0, "kd must be non-negative");
+        Self {
+            kp,
+            ki,
+            kd,
+            integral: 0.0,
+            last_error: None,
+        }
+    }
+
+    /// The current accumulated (clamped) error integral.
+    pub fn integral(&self) -> f64 {
+        self.integral
+    }
+}
+
+impl Default for PidPolicy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ControlPolicy for PidPolicy {
+    fn name(&self) -> &'static str {
+        "pid"
+    }
+
+    fn target(&mut self, inputs: &PolicyInputs) -> u64 {
+        let excess = inputs.load as f64 - inputs.threshold() as f64;
+        let error = excess - inputs.current_target as f64;
+        let delta = error - self.last_error.unwrap_or(error);
+        self.last_error = Some(error);
+        self.integral = (self.integral + error).clamp(0.0, Self::INTEGRAL_CAP);
+        let output = self.kp * error + self.ki * self.integral + self.kd * delta;
+        output.round().max(0.0) as u64
+    }
+
+    fn spec(&self) -> ParsedSpec {
+        let mut spec = ParsedSpec::bare("pid");
+        if self.kp != Self::DEFAULT_KP {
+            spec = spec.with_param("kp", self.kp);
+        }
+        if self.ki != Self::DEFAULT_KI {
+            spec = spec.with_param("ki", self.ki);
+        }
+        if self.kd != Self::DEFAULT_KD {
+            spec = spec.with_param("kd", self.kd);
+        }
+        spec
+    }
 }
 
 /// How the controller partitions the global sleep target `T` across the
@@ -276,6 +420,12 @@ pub trait TargetSplitter: Send + fmt::Debug {
     /// most `shard_capacity` sleepers.  The result must sum to
     /// `min(total, shards.len() * shard_capacity)`.
     fn split(&mut self, total: u64, shards: &[ShardSnapshot], shard_capacity: u64) -> Vec<u64>;
+
+    /// The canonical spec of this splitter's configuration (see
+    /// [`ControlPolicy::spec`]); defaults to the bare name.
+    fn spec(&self) -> ParsedSpec {
+        ParsedSpec::bare(self.name())
+    }
 }
 
 /// Uniform partitioning: every shard receives `T / N`, with the remainder
@@ -410,53 +560,165 @@ impl TargetSplitter for LoadWeightedSplitter {
         }
         out
     }
+
+    fn spec(&self) -> ParsedSpec {
+        let mut spec = ParsedSpec::bare("load-weighted");
+        if self.alpha != Self::DEFAULT_ALPHA {
+            spec = spec.with_param("ewma", self.alpha);
+        }
+        spec
+    }
 }
 
-/// A factory constructing one policy with default parameters.
-pub type PolicyFactory = fn() -> Box<dyn ControlPolicy>;
+/// Names of every control policy, in the stable order of [`POLICY_SPECS`]
+/// (a test asserts the two stay in sync).
+pub const ALL_POLICY_NAMES: &[&str] = &["paper", "hysteresis", "fixed", "pid"];
 
-/// Every control policy in the suite: `(name, factory)`, in the stable order
-/// of [`ALL_POLICY_NAMES`].  Mirrors `lc_locks::registry::REGISTRY`.
-pub const POLICY_REGISTRY: &[(&str, PolicyFactory)] = &[
-    ("paper", || Box::new(PaperPolicy)),
-    ("hysteresis", || Box::new(HysteresisPolicy::new())),
-    ("fixed", || Box::new(FixedPolicy::manual())),
-];
+fn build_hysteresis(spec: &ParsedSpec) -> Result<Box<dyn ControlPolicy>, SpecError> {
+    let alpha = spec.param_or("alpha", HysteresisPolicy::DEFAULT_ALPHA)?;
+    // `deadband` is shorthand for setting both directions; `up` / `down`
+    // override it individually.
+    let deadband = spec.param::<f64>("deadband")?;
+    let up = spec
+        .param("up")?
+        .or(deadband)
+        .unwrap_or(HysteresisPolicy::DEFAULT_UP_DEADBAND);
+    let down = spec
+        .param("down")?
+        .or(deadband)
+        .unwrap_or(HysteresisPolicy::DEFAULT_DOWN_DEADBAND);
+    if !(alpha > 0.0 && alpha <= 1.0) {
+        return Err(spec.invalid_value("alpha", "must be in (0, 1]"));
+    }
+    if up < 0.0 {
+        return Err(spec.invalid_value("up", "must be non-negative"));
+    }
+    if down < 0.0 {
+        return Err(spec.invalid_value("down", "must be non-negative"));
+    }
+    Ok(Box::new(HysteresisPolicy::with_params(alpha, up, down)))
+}
 
-/// Names of every control policy, in a stable order ([`build`] constructs
-/// any entry; a test asserts the two stay in sync).
-pub const ALL_POLICY_NAMES: &[&str] = &["paper", "hysteresis", "fixed"];
+fn build_pid(spec: &ParsedSpec) -> Result<Box<dyn ControlPolicy>, SpecError> {
+    let kp = spec.param_or("kp", PidPolicy::DEFAULT_KP)?;
+    let ki = spec.param_or("ki", PidPolicy::DEFAULT_KI)?;
+    let kd = spec.param_or("kd", PidPolicy::DEFAULT_KD)?;
+    if !(kp.is_finite() && kp >= 0.0) {
+        return Err(spec.invalid_value("kp", "must be non-negative"));
+    }
+    if !(ki.is_finite() && ki > 0.0) {
+        return Err(spec.invalid_value("ki", "must be positive"));
+    }
+    if !(kd.is_finite() && kd >= 0.0) {
+        return Err(spec.invalid_value("kd", "must be non-negative"));
+    }
+    Ok(Box::new(PidPolicy::with_gains(kp, ki, kd)))
+}
+
+/// Every control policy in the suite, constructed through the shared
+/// `name(key=value)` spec grammar.
+///
+/// ```
+/// use lc_core::policy::POLICY_SPECS;
+///
+/// let policy = POLICY_SPECS.build("pid(kp=0.8, ki=0.2)").unwrap();
+/// assert_eq!(policy.name(), "pid");
+/// assert_eq!(policy.spec().to_string(), "pid(kp=0.8, ki=0.2)");
+/// assert!(POLICY_SPECS.build("pid(gain=1)").is_err());
+/// ```
+pub static POLICY_SPECS: Registry<Box<dyn ControlPolicy>> = Registry::new(
+    "policy",
+    &[
+        SpecEntry {
+            name: "paper",
+            keys: &[],
+            summary: "the paper's rule: T = load - capacity",
+            build: |_, _| Ok(Box::new(PaperPolicy)),
+        },
+        SpecEntry {
+            name: "hysteresis",
+            keys: &["alpha", "up", "down", "deadband"],
+            summary: "the paper's rule on an EWMA-smoothed load with deadbands",
+            build: |_, spec| build_hysteresis(spec),
+        },
+        SpecEntry {
+            name: "fixed",
+            keys: &["target"],
+            summary: "pinned target (target=N) or externally steered (bare)",
+            build: |_, spec| {
+                Ok(Box::new(match spec.param::<u64>("target")? {
+                    Some(target) => FixedPolicy::pinned(target),
+                    None => FixedPolicy::manual(),
+                }))
+            },
+        },
+        SpecEntry {
+            name: "pid",
+            keys: &["kp", "ki", "kd"],
+            summary: "PID integrator on the target error (smooth convergence)",
+            build: |_, spec| build_pid(spec),
+        },
+    ],
+);
+
+/// Constructs the control policy described by `spec` (a bare name or a
+/// parameterized `name(key=value, ...)` spec).  Unknown names, unknown keys
+/// and malformed values are explicit errors.
+pub fn build_policy_spec(spec: &str) -> Result<Box<dyn ControlPolicy>, SpecError> {
+    POLICY_SPECS.build(spec)
+}
 
 /// Constructs the policy registered under `name` with default parameters, or
 /// `None` for an unknown name.
+#[deprecated(note = "use build_policy_spec / POLICY_SPECS, which also accept parameterized specs")]
 pub fn build(name: &str) -> Option<Box<dyn ControlPolicy>> {
-    POLICY_REGISTRY
-        .iter()
-        .find(|(n, _)| *n == name)
-        .map(|(_, factory)| factory())
+    build_policy_spec(name).ok()
 }
 
-/// A factory constructing one target splitter with default parameters.
-pub type SplitterFactory = fn() -> Box<dyn TargetSplitter>;
-
-/// Every target splitter in the suite: `(name, factory)`, in the stable
-/// order of [`ALL_SPLITTER_NAMES`].  Mirrors [`POLICY_REGISTRY`].
-pub const SPLITTER_REGISTRY: &[(&str, SplitterFactory)] = &[
-    ("even", || Box::new(EvenSplitter)),
-    ("load-weighted", || Box::new(LoadWeightedSplitter::new())),
-];
-
-/// Names of every target splitter, in a stable order ([`build_splitter`]
-/// constructs any entry; a test asserts the two stay in sync).
+/// Names of every target splitter, in the stable order of [`SPLITTER_SPECS`]
+/// (a test asserts the two stay in sync).
 pub const ALL_SPLITTER_NAMES: &[&str] = &["even", "load-weighted"];
+
+/// Every target splitter in the suite, constructed through the shared
+/// `name(key=value)` spec grammar (e.g. `load-weighted(ewma=0.25)`).
+pub static SPLITTER_SPECS: Registry<Box<dyn TargetSplitter>> = Registry::new(
+    "splitter",
+    &[
+        SpecEntry {
+            name: "even",
+            keys: &[],
+            summary: "uniform shares (the default; identity with one shard)",
+            build: |_, _| Ok(Box::new(EvenSplitter)),
+        },
+        SpecEntry {
+            name: "load-weighted",
+            keys: &["ewma"],
+            summary: "shares follow per-shard claim traffic (EWMA-smoothed)",
+            build: |_, spec| {
+                let ewma = spec.param_or("ewma", LoadWeightedSplitter::DEFAULT_ALPHA)?;
+                if !(ewma > 0.0 && ewma <= 1.0) {
+                    return Err(spec.invalid_value("ewma", "must be in (0, 1]"));
+                }
+                Ok(Box::new(LoadWeightedSplitter::with_alpha(ewma)))
+            },
+        },
+    ],
+);
+
+/// Constructs the target splitter described by `spec` (a bare name or a
+/// parameterized `name(key=value, ...)` spec).  Unknown names, unknown keys
+/// and malformed values are explicit errors.
+pub fn build_splitter_spec(spec: &str) -> Result<Box<dyn TargetSplitter>, SpecError> {
+    SPLITTER_SPECS.build(spec)
+}
 
 /// Constructs the splitter registered under `name` with default parameters,
 /// or `None` for an unknown name.
+#[deprecated(
+    note = "use build_splitter_spec / SPLITTER_SPECS, which also accept parameterized specs"
+)]
 pub fn build_splitter(name: &str) -> Option<Box<dyn TargetSplitter>> {
-    SPLITTER_REGISTRY
-        .iter()
-        .find(|(n, _)| *n == name)
-        .map(|(_, factory)| factory())
+    build_splitter_spec(name).ok()
 }
 
 #[cfg(test)]
@@ -535,23 +797,134 @@ mod tests {
     }
 
     #[test]
+    fn pid_policy_converges_to_the_excess_and_decays() {
+        let mut p = PidPolicy::new();
+        // Sustained demand of 8 over capacity 4: the integrator must walk the
+        // target to the excess (4) and hold it there.
+        let mut target = 0;
+        for _ in 0..200 {
+            target = p.target(&inputs(8, 4, target));
+        }
+        assert_eq!(target, 4, "PID did not converge to the excess");
+        for _ in 0..5 {
+            target = p.target(&inputs(8, 4, target));
+            assert_eq!(target, 4, "PID did not hold at steady state");
+        }
+        // Load returns to capacity: the target must drain back to zero.
+        for _ in 0..400 {
+            target = p.target(&inputs(4, 4, target));
+        }
+        assert_eq!(target, 0, "PID target pinned above zero after idle");
+    }
+
+    #[test]
+    fn pid_policy_moves_gradually_not_in_one_jump() {
+        let mut p = PidPolicy::new();
+        // First cycle of a big overload: the paper rule would jump to 60;
+        // the PID output must be a fraction of it.
+        let first = p.target(&inputs(64, 4, 0));
+        assert!(first > 0, "no initial response");
+        assert!(first < 60, "PID jumped straight to the excess ({first})");
+    }
+
+    #[test]
+    fn pid_spec_reports_non_default_gains() {
+        assert_eq!(PidPolicy::new().spec().to_string(), "pid");
+        let tuned = PidPolicy::with_gains(0.8, 0.2, 0.0);
+        assert_eq!(tuned.spec().to_string(), "pid(kp=0.8, ki=0.2)");
+    }
+
+    #[test]
     fn registry_backs_all_policy_names_exactly() {
-        let registered: Vec<&str> = POLICY_REGISTRY.iter().map(|(n, _)| *n).collect();
-        assert_eq!(registered, ALL_POLICY_NAMES);
+        assert_eq!(POLICY_SPECS.names(), ALL_POLICY_NAMES);
         for &name in ALL_POLICY_NAMES {
-            let policy = build(name).unwrap_or_else(|| panic!("{name} not registered"));
+            let policy = build_policy_spec(name).unwrap_or_else(|e| panic!("{name}: {e}"));
             assert_eq!(policy.name(), name);
+            assert_eq!(policy.spec(), ParsedSpec::bare(name));
+        }
+        assert!(build_policy_spec("no-such-policy").is_err());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_bare_name_shims_still_build() {
+        for &name in ALL_POLICY_NAMES {
+            assert!(build(name).is_some(), "{name}");
         }
         assert!(build("no-such-policy").is_none());
+        for &name in ALL_SPLITTER_NAMES {
+            assert!(build_splitter(name).is_some(), "{name}");
+        }
+        assert!(build_splitter("no-such-splitter").is_none());
+    }
+
+    #[test]
+    fn parameterized_policy_specs_configure_policies() {
+        let p = build_policy_spec("hysteresis(alpha=0.3, deadband=2)").unwrap();
+        // down=2 is the default, so the canonical report elides it.
+        assert_eq!(p.spec().to_string(), "hysteresis(alpha=0.3, up=2)");
+        let p = build_policy_spec("hysteresis(alpha=0.25, up=1.5, down=3)").unwrap();
+        assert_eq!(
+            p.spec().to_string(),
+            "hysteresis(alpha=0.25, up=1.5, down=3)"
+        );
+        let mut f = build_policy_spec("fixed(target=8)").unwrap();
+        assert_eq!(f.target(&inputs(0, 1, 3)), 8, "pinned target ignored");
+        assert_eq!(f.spec().to_string(), "fixed(target=8)");
+        let p = build_policy_spec("pid(kp=0.8, ki=0.2)").unwrap();
+        assert_eq!(p.spec().to_string(), "pid(kp=0.8, ki=0.2)");
+    }
+
+    #[test]
+    fn policy_specs_reject_unknown_keys_and_bad_values() {
+        assert!(matches!(
+            build_policy_spec("paper(alpha=0.5)"),
+            Err(SpecError::UnknownKey { .. })
+        ));
+        assert!(matches!(
+            build_policy_spec("hysteresis(smoothing=0.5)"),
+            Err(SpecError::UnknownKey { .. })
+        ));
+        assert!(matches!(
+            build_policy_spec("hysteresis(alpha=2)"),
+            Err(SpecError::InvalidValue { .. })
+        ));
+        assert!(matches!(
+            build_policy_spec("hysteresis(alpha=lots)"),
+            Err(SpecError::InvalidValue { .. })
+        ));
+        assert!(matches!(
+            build_policy_spec("pid(ki=0)"),
+            Err(SpecError::InvalidValue { .. })
+        ));
+        assert!(matches!(
+            build_policy_spec("fixed(target=-1)"),
+            Err(SpecError::InvalidValue { .. })
+        ));
+    }
+
+    #[test]
+    fn policy_spec_round_trips_rebuild_the_same_policy() {
+        for spec in [
+            "paper",
+            "hysteresis(alpha=0.3, up=2, down=3)",
+            "fixed(target=8)",
+            "pid(kp=0.8, ki=0.2)",
+        ] {
+            let built = build_policy_spec(spec).unwrap();
+            assert_eq!(built.spec().to_string(), spec, "canonical spelling drifted");
+            let rebuilt = build_policy_spec(&built.spec().to_string()).unwrap();
+            assert_eq!(rebuilt.spec(), built.spec());
+        }
     }
 
     #[test]
     fn default_built_policies_behave_like_their_types() {
         // "paper" from the registry must reproduce the hard-coded rule.
-        let mut p = build("paper").unwrap();
+        let mut p = build_policy_spec("paper").unwrap();
         assert_eq!(p.target(&inputs(96, 64, 0)), 32);
         // "fixed" from the registry is the manual variant.
-        let mut f = build("fixed").unwrap();
+        let mut f = build_policy_spec("fixed").unwrap();
         assert_eq!(f.target(&inputs(96, 64, 5)), 5);
     }
 
@@ -641,12 +1014,28 @@ mod tests {
 
     #[test]
     fn splitter_registry_backs_all_names_exactly() {
-        let registered: Vec<&str> = SPLITTER_REGISTRY.iter().map(|(n, _)| *n).collect();
-        assert_eq!(registered, ALL_SPLITTER_NAMES);
+        assert_eq!(SPLITTER_SPECS.names(), ALL_SPLITTER_NAMES);
         for &name in ALL_SPLITTER_NAMES {
-            let splitter = build_splitter(name).unwrap_or_else(|| panic!("{name} not registered"));
+            let splitter = build_splitter_spec(name).unwrap_or_else(|e| panic!("{name}: {e}"));
             assert_eq!(splitter.name(), name);
+            assert_eq!(splitter.spec(), ParsedSpec::bare(name));
         }
-        assert!(build_splitter("no-such-splitter").is_none());
+        assert!(build_splitter_spec("no-such-splitter").is_err());
+    }
+
+    #[test]
+    fn parameterized_splitter_specs_configure_splitters() {
+        let s = build_splitter_spec("load-weighted(ewma=0.25)").unwrap();
+        assert_eq!(s.spec().to_string(), "load-weighted(ewma=0.25)");
+        let rebuilt = build_splitter_spec(&s.spec().to_string()).unwrap();
+        assert_eq!(rebuilt.spec(), s.spec());
+        assert!(matches!(
+            build_splitter_spec("even(ewma=0.25)"),
+            Err(SpecError::UnknownKey { .. })
+        ));
+        assert!(matches!(
+            build_splitter_spec("load-weighted(ewma=0)"),
+            Err(SpecError::InvalidValue { .. })
+        ));
     }
 }

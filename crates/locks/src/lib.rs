@@ -57,8 +57,9 @@
 //! assert_eq!(*counter.lock(), 4000);
 //! ```
 //!
-//! And the same lock constructed **by registry name** — how benches,
-//! drivers and experiment configs select families with strings:
+//! And the same lock constructed **by spec string** — how benches, drivers
+//! and experiment configs select (and tune) families with strings in the
+//! shared `name(key=value)` grammar of [`lc_spec`]:
 //!
 //! ```
 //! use lc_locks::registry::DynMutex;
@@ -70,6 +71,10 @@
 //! assert_eq!(m.name(), "ticket");
 //! assert!(ALL_LOCK_NAMES.contains(&"ticket"));
 //! assert!(DynMutex::build("no-such-lock", 0u32).is_none());
+//!
+//! // Bare names take defaults; parameters tune the family.
+//! let tuned = DynMutex::build("ttas-backoff(max_spins=256)", 0u32).unwrap();
+//! assert_eq!(tuned.spec().to_string(), "ttas-backoff(max_spins=256)");
 //! ```
 
 #![warn(missing_docs)]
@@ -101,7 +106,7 @@ pub use raw::{
     AbortAfter, AbortableLock, BoundedAbort, NeverAbort, RawLock, RawTryLock, SpinDecision,
     SpinPolicy,
 };
-pub use registry::{DynLock, DynMutex, DynMutexGuard, LockFactory};
+pub use registry::{DynLock, DynMutex, DynMutexGuard, LOCK_SPECS};
 pub use rwlock::RawRwLock;
 pub use semaphore::RawSemaphore;
 pub use spin_then_yield::SpinThenYieldLock;

@@ -1,11 +1,14 @@
 //! A runtime registry of every lock family in the crate.
 //!
 //! Benchmarks, workload drivers and configuration files refer to locks by
-//! their stable string names (`"mcs"`, `"tp-queue"`, …).  Instead of each
-//! consumer hand-enumerating concrete types in a `match`, the registry
-//! constructs any lock from its name behind the object-safe [`DynLock`]
-//! adapter — so adding a lock to the suite means adding one registry entry,
-//! and every bench table, driver and scenario picks it up automatically.
+//! their stable string names (`"mcs"`, `"tp-queue"`, …) — optionally with
+//! tuning parameters in the shared [`lc_spec`] grammar, e.g.
+//! `ttas-backoff(max_spins=1024)` or `tp-queue(patience_us=500)`.  Instead of
+//! each consumer hand-enumerating concrete types in a `match`, the
+//! [`LOCK_SPECS`] registry constructs any lock from its spec string behind
+//! the object-safe [`DynLock`] adapter — so adding a lock to the suite means
+//! adding one [`SpecEntry`], and every bench table, driver and scenario picks
+//! it up automatically.
 //!
 //! [`DynLock`] mirrors the [`RawLock`] + [`RawTryLock`] + [`AbortableLock`]
 //! surface without generics.  For the spinning primitives, `lock_with`
@@ -15,13 +18,17 @@
 //! [`DynLock::is_abortable`] `false`).
 
 use crate::raw::{AbortableLock, RawLock, RawTryLock, SpinPolicy};
+use crate::spin_wait::Backoff;
+use crate::time_published::TpConfig;
 use crate::{
-    AdaptiveLock, BlockingLock, McsLock, RawRwLock, RawSemaphore, SpinThenYieldLock, TasLock,
-    TicketLock, TimePublishedLock, TtasLock,
+    AdaptiveConfig, AdaptiveLock, BlockingLock, McsLock, RawRwLock, RawSemaphore,
+    SpinThenYieldLock, TasLock, TicketLock, TimePublishedLock, TtasLock,
 };
+use lc_spec::{ParsedSpec, Registry, SpecEntry, SpecError};
 use std::cell::UnsafeCell;
 use std::fmt;
 use std::ops::{Deref, DerefMut};
+use std::time::Duration;
 
 /// Object-safe view of a lock: the [`RawLock`]/[`RawTryLock`] surface plus a
 /// dynamically dispatched [`AbortableLock::lock_with`].
@@ -45,6 +52,12 @@ pub trait DynLock: Send + Sync + fmt::Debug {
     /// The lock's stable registry name.
     fn name(&self) -> &'static str;
 
+    /// The canonical spec of this lock's live configuration: the name plus
+    /// every parameter that differs from the entry's default, in the shared
+    /// `name(key=value)` grammar.  Feeding the rendered spec back to
+    /// [`LOCK_SPECS`] reconstructs an identically configured lock.
+    fn spec(&self) -> ParsedSpec;
+
     /// Whether `lock_with` honors [`crate::SpinDecision::Abort`].
     fn is_abortable(&self) -> bool;
 
@@ -56,27 +69,34 @@ pub trait DynLock: Send + Sync + fmt::Debug {
 }
 
 /// Adapter giving an [`AbortableLock`] the [`DynLock`] interface.
-struct Abortable<R>(R);
+struct Abortable<R> {
+    raw: R,
+    spec: ParsedSpec,
+}
 
 impl<R: AbortableLock + RawTryLock + fmt::Debug> DynLock for Abortable<R> {
     fn lock(&self) {
-        self.0.lock();
+        self.raw.lock();
     }
 
     unsafe fn unlock(&self) {
-        self.0.unlock();
+        self.raw.unlock();
     }
 
     fn try_lock(&self) -> bool {
-        self.0.try_lock()
+        self.raw.try_lock()
     }
 
     fn is_locked(&self) -> bool {
-        self.0.is_locked()
+        self.raw.is_locked()
     }
 
     fn name(&self) -> &'static str {
-        self.0.name()
+        self.raw.name()
+    }
+
+    fn spec(&self) -> ParsedSpec {
+        self.spec.clone()
     }
 
     fn is_abortable(&self) -> bool {
@@ -84,39 +104,46 @@ impl<R: AbortableLock + RawTryLock + fmt::Debug> DynLock for Abortable<R> {
     }
 
     fn lock_with(&self, policy: &mut dyn SpinPolicy) {
-        self.0.lock_with(policy);
+        self.raw.lock_with(policy);
     }
 }
 
 impl<R: fmt::Debug> fmt::Debug for Abortable<R> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        self.0.fmt(f)
+        self.raw.fmt(f)
     }
 }
 
 /// Adapter for lock families whose waiting cannot be aborted (they park in
 /// the kernel rather than spin).
-struct NonAbortable<R>(R);
+struct NonAbortable<R> {
+    raw: R,
+    spec: ParsedSpec,
+}
 
 impl<R: RawLock + RawTryLock + fmt::Debug> DynLock for NonAbortable<R> {
     fn lock(&self) {
-        self.0.lock();
+        self.raw.lock();
     }
 
     unsafe fn unlock(&self) {
-        self.0.unlock();
+        self.raw.unlock();
     }
 
     fn try_lock(&self) -> bool {
-        self.0.try_lock()
+        self.raw.try_lock()
     }
 
     fn is_locked(&self) -> bool {
-        self.0.is_locked()
+        self.raw.is_locked()
     }
 
     fn name(&self) -> &'static str {
-        self.0.name()
+        self.raw.name()
+    }
+
+    fn spec(&self) -> ParsedSpec {
+        self.spec.clone()
     }
 
     fn is_abortable(&self) -> bool {
@@ -124,52 +151,200 @@ impl<R: RawLock + RawTryLock + fmt::Debug> DynLock for NonAbortable<R> {
     }
 
     fn lock_with(&self, policy: &mut dyn SpinPolicy) {
-        self.0.lock();
+        self.raw.lock();
         policy.on_acquired(0);
     }
 }
 
 impl<R: fmt::Debug> fmt::Debug for NonAbortable<R> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        self.0.fmt(f)
+        self.raw.fmt(f)
     }
 }
 
-/// A factory that constructs one lock family with default configuration.
-pub type LockFactory = fn() -> Box<dyn DynLock>;
-
-macro_rules! registry {
-    ($( $name:literal => $adapter:ident($ty:ty) ),+ $(,)?) => {
-        /// Every lock family in the crate: `(name, factory)`, in the stable
-        /// order of [`crate::ALL_LOCK_NAMES`].
-        pub const REGISTRY: &[(&str, LockFactory)] = &[
-            $(($name, || Box::new($adapter(<$ty as RawLock>::new())) as Box<dyn DynLock>)),+
-        ];
-    };
+fn abortable<R>(raw: R, spec: ParsedSpec) -> Box<dyn DynLock>
+where
+    R: AbortableLock + RawTryLock + fmt::Debug + 'static,
+{
+    Box::new(Abortable { raw, spec })
 }
 
-registry! {
-    "tas" => Abortable(TasLock),
-    "ttas-backoff" => Abortable(TtasLock),
-    "ticket" => Abortable(TicketLock),
-    "mcs" => Abortable(McsLock),
-    "tp-queue" => Abortable(TimePublishedLock),
-    "spin-then-yield" => Abortable(SpinThenYieldLock),
-    // The rwlock and semaphore join through their exclusive/binary modes, in
-    // which they satisfy the mutex contract the registry surface promises.
-    "rw-lock" => Abortable(RawRwLock),
-    "semaphore" => Abortable(RawSemaphore),
-    "blocking" => NonAbortable(BlockingLock),
-    "adaptive" => NonAbortable(AdaptiveLock),
+fn non_abortable<R>(raw: R, spec: ParsedSpec) -> Box<dyn DynLock>
+where
+    R: RawLock + RawTryLock + fmt::Debug + 'static,
+{
+    Box::new(NonAbortable { raw, spec })
+}
+
+/// A factory that constructs one lock family with default configuration.
+#[deprecated(note = "construct through LOCK_SPECS / build_spec instead")]
+pub type LockFactory = fn() -> Box<dyn DynLock>;
+
+fn build_ttas(spec: &ParsedSpec) -> Result<Box<dyn DynLock>, SpecError> {
+    // `max_spins` is the longest backoff pause, in spin-loop hints; the lock
+    // tunes in powers of two, so the value is rounded up to the next one.
+    // `Backoff` caps the shift at 20, so larger requests are rejected rather
+    // than silently clamped (the reported spec must match the live lock).
+    let default = 1u64 << Backoff::DEFAULT_MAX_SHIFT;
+    let max_spins = spec.param_or("max_spins", default)?;
+    if max_spins == 0 {
+        return Err(spec.invalid_value("max_spins", "must be at least 1"));
+    }
+    if max_spins > 1 << 20 {
+        return Err(spec.invalid_value("max_spins", "must be at most 2^20 (1048576)"));
+    }
+    let shift = 63 - max_spins.next_power_of_two().leading_zeros();
+    let canonical = if 1u64 << shift == default {
+        ParsedSpec::bare("ttas-backoff")
+    } else {
+        ParsedSpec::bare("ttas-backoff").with_param("max_spins", 1u64 << shift)
+    };
+    Ok(abortable(
+        TtasLock::with_max_backoff_shift(shift),
+        canonical,
+    ))
+}
+
+fn build_tp_queue(spec: &ParsedSpec) -> Result<Box<dyn DynLock>, SpecError> {
+    let defaults = TpConfig::default();
+    let patience_us = spec.param_or("patience_us", defaults.patience.as_micros() as u64)?;
+    let publish_every = spec.param_or("publish_every", defaults.publish_every)?;
+    let time_publishing = spec.param_or("time_publishing", defaults.time_publishing)?;
+    if publish_every == 0 {
+        return Err(spec.invalid_value("publish_every", "must be at least 1"));
+    }
+    let config = TpConfig {
+        patience: Duration::from_micros(patience_us),
+        publish_every,
+        time_publishing,
+    };
+    let mut canonical = ParsedSpec::bare("tp-queue");
+    if config.patience != defaults.patience {
+        canonical = canonical.with_param("patience_us", patience_us);
+    }
+    if config.publish_every != defaults.publish_every {
+        canonical = canonical.with_param("publish_every", publish_every);
+    }
+    if config.time_publishing != defaults.time_publishing {
+        canonical = canonical.with_param("time_publishing", time_publishing);
+    }
+    Ok(abortable(TimePublishedLock::with_config(config), canonical))
+}
+
+fn build_adaptive(spec: &ParsedSpec) -> Result<Box<dyn DynLock>, SpecError> {
+    let defaults = AdaptiveConfig::default();
+    let spin_budget = spec.param_or("spin_budget", defaults.spin_budget)?;
+    let park_timeout_ms =
+        spec.param_or("park_timeout_ms", defaults.park_timeout.as_millis() as u64)?;
+    let config = AdaptiveConfig {
+        spin_budget,
+        park_timeout: Duration::from_millis(park_timeout_ms),
+    };
+    let mut canonical = ParsedSpec::bare("adaptive");
+    if config.spin_budget != defaults.spin_budget {
+        canonical = canonical.with_param("spin_budget", spin_budget);
+    }
+    if config.park_timeout != defaults.park_timeout {
+        canonical = canonical.with_param("park_timeout_ms", park_timeout_ms);
+    }
+    Ok(non_abortable(AdaptiveLock::with_config(config), canonical))
+}
+
+/// Every lock family in the crate, keyed by the stable names of
+/// [`crate::ALL_LOCK_NAMES`] and constructed through the shared
+/// `name(key=value)` spec grammar.
+///
+/// ```
+/// use lc_locks::registry::LOCK_SPECS;
+///
+/// let lock = LOCK_SPECS.build("ttas-backoff(max_spins=256)").unwrap();
+/// assert_eq!(lock.name(), "ttas-backoff");
+/// assert_eq!(lock.spec().to_string(), "ttas-backoff(max_spins=256)");
+/// assert!(LOCK_SPECS.build("ttas-backoff(bogus=1)").is_err());
+/// ```
+pub static LOCK_SPECS: Registry<Box<dyn DynLock>> = Registry::new(
+    "lock",
+    &[
+        SpecEntry {
+            name: "tas",
+            keys: &[],
+            summary: "test-and-set spinlock",
+            build: |_, spec| Ok(abortable(<TasLock as RawLock>::new(), spec.clone())),
+        },
+        SpecEntry {
+            name: "ttas-backoff",
+            keys: &["max_spins"],
+            summary: "test-and-test-and-set with exponential backoff (max_spins = longest pause, rounded up to a power of two)",
+            build: |_, spec| build_ttas(spec),
+        },
+        SpecEntry {
+            name: "ticket",
+            keys: &[],
+            summary: "FIFO ticket spinlock",
+            build: |_, spec| Ok(abortable(<TicketLock as RawLock>::new(), spec.clone())),
+        },
+        SpecEntry {
+            name: "mcs",
+            keys: &[],
+            summary: "classic MCS queue lock",
+            build: |_, spec| Ok(abortable(<McsLock as RawLock>::new(), spec.clone())),
+        },
+        SpecEntry {
+            name: "tp-queue",
+            keys: &["patience_us", "publish_every", "time_publishing"],
+            summary: "time-published queue lock (the paper's contention manager)",
+            build: |_, spec| build_tp_queue(spec),
+        },
+        SpecEntry {
+            name: "spin-then-yield",
+            keys: &[],
+            summary: "spins briefly, then yields to the OS scheduler",
+            build: |_, spec| {
+                Ok(abortable(<SpinThenYieldLock as RawLock>::new(), spec.clone()))
+            },
+        },
+        // The rwlock and semaphore join through their exclusive/binary modes,
+        // in which they satisfy the mutex contract the registry promises.
+        SpecEntry {
+            name: "rw-lock",
+            keys: &[],
+            summary: "writer-preference rwlock in exclusive mode",
+            build: |_, spec| Ok(abortable(<RawRwLock as RawLock>::new(), spec.clone())),
+        },
+        SpecEntry {
+            name: "semaphore",
+            keys: &[],
+            summary: "counting semaphore in binary (mutex) mode",
+            build: |_, spec| Ok(abortable(<RawSemaphore as RawLock>::new(), spec.clone())),
+        },
+        SpecEntry {
+            name: "blocking",
+            keys: &[],
+            summary: "parks every waiter (heavyweight mutex)",
+            build: |_, spec| Ok(non_abortable(<BlockingLock as RawLock>::new(), spec.clone())),
+        },
+        SpecEntry {
+            name: "adaptive",
+            keys: &["spin_budget", "park_timeout_ms"],
+            summary: "spins while the holder runs, then parks",
+            build: |_, spec| build_adaptive(spec),
+        },
+    ],
+);
+
+/// Constructs the lock described by `spec` (a bare name or a parameterized
+/// `name(key=value, ...)` spec).  Every name in [`crate::ALL_LOCK_NAMES`] is
+/// covered; unknown names, unknown keys and malformed values are explicit
+/// errors.
+pub fn build_spec(spec: &str) -> Result<Box<dyn DynLock>, SpecError> {
+    LOCK_SPECS.build(spec)
 }
 
 /// Constructs the lock registered under `name`, or `None` for an unknown
-/// name.  Every name in [`crate::ALL_LOCK_NAMES`] is covered.
+/// name.
+#[deprecated(note = "use build_spec / LOCK_SPECS, which also accept parameterized specs")]
 pub fn build(name: &str) -> Option<Box<dyn DynLock>> {
-    REGISTRY
-        .iter()
-        .find(|(n, _)| *n == name)
-        .map(|(_, factory)| factory())
+    build_spec(name).ok()
 }
 
 /// A value protected by a lock chosen at runtime from the registry.
@@ -184,6 +359,10 @@ pub fn build(name: &str) -> Option<Box<dyn DynLock>> {
 /// *m.lock() += 1;
 /// assert_eq!(*m.lock(), 42);
 /// assert_eq!(m.name(), "mcs");
+///
+/// // Parameterized specs use the same construction path.
+/// let tuned = DynMutex::build("ttas-backoff(max_spins=256)", 0u64).unwrap();
+/// assert_eq!(tuned.spec().to_string(), "ttas-backoff(max_spins=256)");
 /// ```
 pub struct DynMutex<T: ?Sized> {
     raw: Box<dyn DynLock>,
@@ -202,9 +381,18 @@ impl<T> DynMutex<T> {
         }
     }
 
-    /// Wraps `value` behind the lock registered under `name`.
-    pub fn build(name: &str, value: T) -> Option<Self> {
-        Some(Self::new(build(name)?, value))
+    /// Wraps `value` behind the lock described by `spec` (a bare name or a
+    /// parameterized `name(key=value, ...)` spec), or `None` when the spec
+    /// does not describe a registered lock.  [`DynMutex::try_build`] reports
+    /// *why* a spec was rejected.
+    pub fn build(spec: &str, value: T) -> Option<Self> {
+        Self::try_build(spec, value).ok()
+    }
+
+    /// Wraps `value` behind the lock described by `spec`, with parse and
+    /// registry errors surfaced.
+    pub fn try_build(spec: &str, value: T) -> Result<Self, SpecError> {
+        Ok(Self::new(build_spec(spec)?, value))
     }
 
     /// Consumes the mutex and returns the protected value.
@@ -238,6 +426,11 @@ impl<T: ?Sized> DynMutex<T> {
     /// The registry name of the underlying lock.
     pub fn name(&self) -> &'static str {
         self.raw.name()
+    }
+
+    /// The canonical spec of the underlying lock (see [`DynLock::spec`]).
+    pub fn spec(&self) -> ParsedSpec {
+        self.raw.spec()
     }
 
     /// The underlying lock object.
@@ -310,15 +503,15 @@ mod tests {
 
     #[test]
     fn registry_backs_all_lock_names_exactly() {
-        let registered: Vec<&str> = REGISTRY.iter().map(|(n, _)| *n).collect();
-        assert_eq!(registered, ALL_LOCK_NAMES);
+        assert_eq!(LOCK_SPECS.names(), ALL_LOCK_NAMES);
     }
 
     #[test]
     fn build_covers_every_name_and_reports_it_back() {
         for &name in ALL_LOCK_NAMES {
-            let lock = build(name).unwrap_or_else(|| panic!("{name} not registered"));
+            let lock = build_spec(name).unwrap_or_else(|e| panic!("{name}: {e}"));
             assert_eq!(lock.name(), name);
+            assert_eq!(lock.spec(), lc_spec::ParsedSpec::bare(name));
             lock.lock();
             assert!(!lock.try_lock(), "{name}: try_lock must fail while held");
             unsafe { lock.unlock() };
@@ -328,15 +521,86 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn build_rejects_unknown_names() {
         assert!(build("no-such-lock").is_none());
+        assert!(build_spec("no-such-lock").is_err());
         assert!(DynMutex::build("no-such-lock", 0u8).is_none());
+        // The deprecated bare-name shim still covers the full name list.
+        for &name in ALL_LOCK_NAMES {
+            assert!(build(name).is_some(), "{name}");
+        }
+    }
+
+    #[test]
+    fn parameterized_specs_configure_locks() {
+        let lock = build_spec("ttas-backoff(max_spins=100)").unwrap();
+        // 100 rounds up to the power of two the backoff actually uses.
+        assert_eq!(lock.spec().to_string(), "ttas-backoff(max_spins=128)");
+        let lock = build_spec("tp-queue(patience_us=500, publish_every=16)").unwrap();
+        assert_eq!(
+            lock.spec().to_string(),
+            "tp-queue(patience_us=500, publish_every=16)"
+        );
+        let lock = build_spec("adaptive(spin_budget=64)").unwrap();
+        assert_eq!(lock.spec().to_string(), "adaptive(spin_budget=64)");
+        assert!(!lock.is_abortable());
+    }
+
+    #[test]
+    fn parameterized_spec_round_trips_rebuild_the_same_lock() {
+        for spec in [
+            "ttas-backoff(max_spins=256)",
+            "tp-queue(patience_us=500, publish_every=16, time_publishing=false)",
+            "adaptive(spin_budget=64, park_timeout_ms=50)",
+        ] {
+            let built = build_spec(spec).unwrap();
+            let reported = built.spec().to_string();
+            assert_eq!(reported, spec, "canonical spelling drifted");
+            let rebuilt = build_spec(&reported).unwrap();
+            assert_eq!(rebuilt.spec(), built.spec());
+        }
+    }
+
+    #[test]
+    fn bad_parameters_are_explicit_errors() {
+        assert!(matches!(
+            build_spec("ttas-backoff(max_spins=0)"),
+            Err(SpecError::InvalidValue { .. })
+        ));
+        assert!(matches!(
+            build_spec("ttas-backoff(max_spins=lots)"),
+            Err(SpecError::InvalidValue { .. })
+        ));
+        // Above the Backoff shift cap (2^20) must be rejected, not silently
+        // clamped — including values that would overflow next_power_of_two.
+        assert!(matches!(
+            build_spec("ttas-backoff(max_spins=16777216)"),
+            Err(SpecError::InvalidValue { .. })
+        ));
+        assert!(matches!(
+            build_spec("ttas-backoff(max_spins=18446744073709551615)"),
+            Err(SpecError::InvalidValue { .. })
+        ));
+        assert!(build_spec("ttas-backoff(max_spins=1048576)").is_ok());
+        assert!(matches!(
+            build_spec("tp-queue(publish_every=0)"),
+            Err(SpecError::InvalidValue { .. })
+        ));
+        assert!(matches!(
+            build_spec("ticket(max_spins=1)"),
+            Err(SpecError::UnknownKey { .. })
+        ));
+        assert!(matches!(
+            build_spec("tp-queue(patience=500)"),
+            Err(SpecError::UnknownKey { .. })
+        ));
     }
 
     #[test]
     fn spinning_families_are_abortable_blocking_ones_are_not() {
         for &name in ALL_LOCK_NAMES {
-            let lock = build(name).unwrap();
+            let lock = build_spec(name).unwrap();
             let expect_abortable = !matches!(name, "blocking" | "adaptive");
             assert_eq!(lock.is_abortable(), expect_abortable, "{name}");
         }
@@ -345,7 +609,7 @@ mod tests {
     #[test]
     fn lock_with_falls_back_to_plain_lock_for_blocking_families() {
         for name in ["blocking", "adaptive"] {
-            let lock = build(name).unwrap();
+            let lock = build_spec(name).unwrap();
             let mut policy = AbortAfter::new(0);
             lock.lock_with(&mut policy);
             assert!(lock.is_locked());

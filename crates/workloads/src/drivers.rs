@@ -4,12 +4,11 @@
 //! `lc-core` (as opposed to the simulator models) and are used by the
 //! criterion benches, the examples and the integration tests.
 
+use lc_core::spec::SpecError;
+use lc_core::thread_ctx::LoadControlPolicy;
 use lc_core::{LcMutex, LcRwLock, LcSemaphore, LoadControl, LoadControlConfig};
-use lc_locks::registry::DynMutex;
-use lc_locks::{
-    AbortableLock, McsLock, Mutex, RawLock, RawRwLock, RawSemaphore, SpinThenYieldLock, TasLock,
-    TicketLock, TimePublishedLock, TtasLock,
-};
+use lc_locks::registry::{build_spec, DynMutex};
+use lc_locks::{AbortableLock, Mutex, RawLock, TimePublishedLock};
 use std::hint;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -98,13 +97,15 @@ where
     })
 }
 
-/// Runs the microbenchmark over the lock registered under `name` in
-/// [`lc_locks::registry`], or `None` for an unknown name.
+/// Runs the microbenchmark over the lock described by `spec` — a bare name
+/// from [`lc_locks::ALL_LOCK_NAMES`] or a parameterized spec such as
+/// `ttas-backoff(max_spins=1024)` — or `None` when the spec does not
+/// describe a registered lock.
 ///
 /// This is how the benches sweep every family in
 /// [`lc_locks::ALL_LOCK_NAMES`] without enumerating concrete types.
-pub fn run_microbench_named(name: &str, config: MicrobenchConfig) -> Option<MicrobenchResult> {
-    let mutex = Arc::new(DynMutex::build(name, 0u64)?);
+pub fn run_microbench_named(spec: &str, config: MicrobenchConfig) -> Option<MicrobenchResult> {
+    let mutex = Arc::new(DynMutex::build(spec, 0u64)?);
     Some(run_with(config, move |cfg| {
         let m = Arc::clone(&mutex);
         move || {
@@ -151,30 +152,58 @@ where
     })
 }
 
-/// Runs the load-controlled microbenchmark over the abortable backend named
-/// `name` (see [`lc_locks::ABORTABLE_LOCK_NAMES`]), or `None` for a name that
-/// is unknown or not abortable.
+/// Runs the load-controlled microbenchmark over the abortable backend
+/// described by `spec` — a bare name from
+/// [`lc_locks::ABORTABLE_LOCK_NAMES`] or a parameterized spec such as
+/// `ttas-backoff(max_spins=1024)`.  Unknown specs, unknown keys and
+/// non-abortable families (which cannot abandon a wait to sleep) are
+/// explicit errors.
 ///
-/// This is the one place where registry names meet the generic
-/// [`LcMutex<T, R>`]: everything downstream (benches, sweeps, figure
-/// drivers) selects load-controlled backends by name.
+/// The backend is built through [`lc_locks::registry::LOCK_SPECS`] and
+/// driven by [`LoadControlPolicy`] through the dynamically dispatched
+/// [`lc_locks::DynLock::lock_with`] — the same waiter-side algorithm the
+/// monomorphized [`LcMutex`] uses, reached entirely through spec strings.
+pub fn run_microbench_lc_spec(
+    spec: &str,
+    config: MicrobenchConfig,
+    control: &Arc<LoadControl>,
+) -> Result<MicrobenchResult, SpecError> {
+    let lock = build_spec(spec)?;
+    if !lock.is_abortable() {
+        return Err(SpecError::Config {
+            source: format!("lock spec {spec:?}"),
+            reason: format!(
+                "{} cannot abort its waits, so it cannot be load-controlled",
+                lock.name()
+            ),
+        });
+    }
+    let mutex = Arc::new(DynMutex::new(lock, 0u64));
+    let control = Arc::clone(control);
+    Ok(run_with(config, move |cfg| {
+        let m = Arc::clone(&mutex);
+        let lc = Arc::clone(&control);
+        move || {
+            let mut policy = LoadControlPolicy::new(&lc);
+            {
+                let mut g = m.lock_with(&mut policy);
+                *g += 1;
+                busy_work(cfg.critical_iters);
+            }
+            busy_work(cfg.delay_iters);
+        }
+    }))
+}
+
+/// Runs the load-controlled microbenchmark over the abortable backend named
+/// `name`, or `None` for a name that is unknown or not abortable.
+#[deprecated(note = "use run_microbench_lc_spec, which also accepts parameterized specs")]
 pub fn run_microbench_lc_named(
     name: &str,
     config: MicrobenchConfig,
     control: &Arc<LoadControl>,
 ) -> Option<MicrobenchResult> {
-    Some(match name {
-        "tas" => run_microbench_lc_backend::<TasLock>(config, control),
-        "ttas-backoff" => run_microbench_lc_backend::<TtasLock>(config, control),
-        "ticket" => run_microbench_lc_backend::<TicketLock>(config, control),
-        "mcs" => run_microbench_lc_backend::<McsLock>(config, control),
-        "tp-queue" => run_microbench_lc_backend::<TimePublishedLock>(config, control),
-        "spin-then-yield" => run_microbench_lc_backend::<SpinThenYieldLock>(config, control),
-        // Exclusive / binary modes of the rest of the sync surface.
-        "rw-lock" => run_microbench_lc_backend::<RawRwLock>(config, control),
-        "semaphore" => run_microbench_lc_backend::<RawSemaphore>(config, control),
-        _ => return None,
-    })
+    run_microbench_lc_spec(name, config, control).ok()
 }
 
 /// Configuration of the reader-writer oversubscription scenarios: `threads`
@@ -517,9 +546,7 @@ mod tests {
     }
 
     #[test]
-    fn lc_named_dispatch_covers_every_abortable_backend() {
-        // The one hand-written name->type match must not drift from the
-        // advertised abortable-name list.
+    fn lc_spec_dispatch_covers_every_abortable_backend() {
         let control = LoadControl::new(lc_core::LoadControlConfig::for_capacity(8));
         let tiny = MicrobenchConfig {
             threads: 2,
@@ -528,12 +555,32 @@ mod tests {
             duration: Duration::from_millis(10),
         };
         for &name in lc_locks::ABORTABLE_LOCK_NAMES {
-            let r = run_microbench_lc_named(name, tiny, &control)
-                .unwrap_or_else(|| panic!("{name} missing from the LC dispatch"));
+            let r = run_microbench_lc_spec(name, tiny, &control)
+                .unwrap_or_else(|e| panic!("{name} rejected by the LC dispatch: {e}"));
             assert!(r.acquisitions > 0, "{name}: no progress");
         }
-        assert!(run_microbench_lc_named("blocking", tiny, &control).is_none());
-        assert!(run_microbench_lc_named("bogus", tiny, &control).is_none());
+        assert!(run_microbench_lc_spec("blocking", tiny, &control).is_err());
+        assert!(run_microbench_lc_spec("bogus", tiny, &control).is_err());
+        #[allow(deprecated)]
+        {
+            assert!(run_microbench_lc_named("blocking", tiny, &control).is_none());
+            assert!(run_microbench_lc_named("tp-queue", tiny, &control).is_some());
+        }
+    }
+
+    #[test]
+    fn lc_spec_dispatch_accepts_parameterized_backends() {
+        let control = LoadControl::start(
+            LoadControlConfig::for_capacity(2)
+                .with_update_interval(Duration::from_millis(1))
+                .with_sleep_timeout(Duration::from_millis(5)),
+        );
+        let r = run_microbench_lc_spec("ttas-backoff(max_spins=256)", quick(), &control)
+            .expect("parameterized abortable backend");
+        control.stop_controller();
+        assert!(r.acquisitions > 100, "only {} acquisitions", r.acquisitions);
+        // Unknown keys are rejected, not silently defaulted.
+        assert!(run_microbench_lc_spec("ttas-backoff(spins=256)", quick(), &control).is_err());
     }
 
     #[test]

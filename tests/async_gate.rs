@@ -78,7 +78,7 @@ fn dropping_a_pending_acquire_async_future_releases_its_claim() {
     use std::task::{Context, Poll, Waker};
 
     let control = LoadControl::builder(LoadControlConfig::for_capacity(1).with_shards_from_env())
-        .policy_named("fixed")
+        .policy_spec("fixed")
         .expect("registered policy")
         .build();
     control.set_sleep_target(2);

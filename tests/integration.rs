@@ -108,13 +108,14 @@ fn lc_mutex_works_over_every_spinning_backend() {
 #[test]
 fn lock_registry_builds_every_advertised_name() {
     for &name in ALL_LOCK_NAMES {
-        let lock = registry::build(name).unwrap_or_else(|| panic!("{name} missing from registry"));
+        let lock = registry::build_spec(name)
+            .unwrap_or_else(|e| panic!("{name} missing from registry: {e}"));
         assert_eq!(lock.name(), name);
         lock.lock();
         assert!(lock.is_locked());
         unsafe { lock.unlock() };
     }
-    assert!(registry::build("bogus").is_none());
+    assert!(registry::build_spec("bogus").is_err());
 }
 
 #[test]

@@ -601,3 +601,114 @@ fn transition_trace_keeps_the_most_recent_entries() {
         );
     });
 }
+
+// ---------------------------------------------------------------------------
+// Spec grammar: parse → Display → parse is the identity.
+// ---------------------------------------------------------------------------
+
+mod spec_round_trip {
+    use super::{for_each_seed, StdRng};
+    use lc_core::spec::ParsedSpec;
+    use rand::Rng;
+
+    const NAME_CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789-_.";
+    const VALUE_CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789-_./:";
+
+    fn random_token(rng: &mut StdRng, chars: &[u8], max_len: usize) -> String {
+        let len = rng.random_range(1usize..=max_len);
+        (0..len)
+            .map(|_| chars[rng.random_range(0usize..chars.len())] as char)
+            .collect()
+    }
+
+    /// A random syntactically valid spec with 0..=4 distinct-keyed params.
+    fn random_spec(rng: &mut StdRng) -> ParsedSpec {
+        let mut spec = ParsedSpec::bare(random_token(rng, NAME_CHARS, 12));
+        let params = rng.random_range(0usize..=4);
+        let mut used: Vec<String> = Vec::new();
+        for _ in 0..params {
+            let key = random_token(rng, NAME_CHARS, 8);
+            if used.contains(&key) {
+                continue; // duplicate keys are a parse error by design
+            }
+            used.push(key.clone());
+            spec = spec.with_param(key, random_token(rng, VALUE_CHARS, 10));
+        }
+        spec
+    }
+
+    /// Renders `spec` with random (legal) whitespace jitter around every
+    /// token, exercising the lenient side of the parser.
+    fn render_with_jitter(rng: &mut StdRng, spec: &ParsedSpec) -> String {
+        let pad = |rng: &mut StdRng| " ".repeat(rng.random_range(0usize..3));
+        if spec.is_bare() && rng.random_range(0u32..2) == 0 {
+            return format!("{}{}{}", pad(rng), spec.name(), pad(rng));
+        }
+        let mut out = format!("{}{}(", pad(rng), spec.name());
+        for (i, (k, v)) in spec.params().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{}{}{}={}{}{}",
+                pad(rng),
+                k,
+                pad(rng),
+                pad(rng),
+                v,
+                pad(rng)
+            ));
+        }
+        out.push(')');
+        out.push_str(&pad(rng));
+        out
+    }
+
+    #[test]
+    fn parse_display_parse_is_identity_for_random_specs() {
+        for_each_seed(512, |seed, rng| {
+            let spec = random_spec(rng);
+            let rendered = spec.to_string();
+            let reparsed = ParsedSpec::parse(&rendered)
+                .unwrap_or_else(|e| panic!("seed {seed}: {rendered:?} does not parse: {e}"));
+            assert_eq!(reparsed, spec, "seed {seed}: parse(display) != identity");
+            // And a second lap is a fixed point.
+            assert_eq!(reparsed.to_string(), rendered, "seed {seed}");
+        });
+    }
+
+    #[test]
+    fn whitespace_jitter_parses_to_the_same_spec() {
+        for_each_seed(512, |seed, rng| {
+            let spec = random_spec(rng);
+            let jittered = render_with_jitter(rng, &spec);
+            let reparsed = ParsedSpec::parse(&jittered)
+                .unwrap_or_else(|e| panic!("seed {seed}: {jittered:?} does not parse: {e}"));
+            assert_eq!(reparsed, spec, "seed {seed}: jittered {jittered:?}");
+        });
+    }
+
+    #[test]
+    fn registry_specs_round_trip_with_random_numeric_parameters() {
+        // Specs targeting real registry entries, with randomized (valid)
+        // values: build → report → rebuild must preserve the reported spec.
+        for_each_seed(128, |seed, rng| {
+            let alpha = (rng.random_range(1u32..=100) as f64) / 100.0;
+            let up = rng.random_range(0u32..8);
+            let spins = rng.random_range(1u64..100_000);
+            let policy_spec = format!("hysteresis(alpha={alpha}, up={up})");
+            let policy = lc_core::policy::build_policy_spec(&policy_spec)
+                .unwrap_or_else(|e| panic!("seed {seed}: {policy_spec:?}: {e}"));
+            let rebuilt = lc_core::policy::build_policy_spec(&policy.spec().to_string())
+                .unwrap_or_else(|e| panic!("seed {seed}: reported policy spec: {e}"));
+            assert_eq!(rebuilt.spec(), policy.spec(), "seed {seed}");
+
+            let lock_spec = format!("ttas-backoff(max_spins={spins})");
+            let lock = lc_locks::registry::build_spec(&lock_spec)
+                .unwrap_or_else(|e| panic!("seed {seed}: {lock_spec:?}: {e}"));
+            let rebuilt = lc_locks::registry::build_spec(&lock.spec().to_string())
+                .unwrap_or_else(|e| panic!("seed {seed}: reported lock spec: {e}"));
+            assert_eq!(rebuilt.spec(), lock.spec(), "seed {seed}");
+        });
+    }
+}

@@ -1,25 +1,33 @@
 //! Registry-consistency tests: the string-keyed construction paths must stay
 //! in lockstep.
 //!
-//! Three registries share names: the lock registry in `lc_locks::registry`,
-//! the simulator policy labels in `lc_sim::LockPolicy`, and the control-plane
-//! policy registry in `lc_core::policy`.  Benchmarks, drivers and experiment
-//! configurations assume a name accepted by one is meaningful to the others;
-//! these tests fail the build the moment any side drifts.
+//! Four registries now share one `name(key=value)` spec grammar and one
+//! generic `Registry<T>` (`lc_spec`): the lock registry in
+//! `lc_locks::registry`, the control-policy and target-splitter registries in
+//! `lc_core::policy`, and the load-sampler registry in `lc_accounting` — plus
+//! the simulator policy labels in `lc_sim::LockPolicy`.  Benchmarks, drivers
+//! and experiment configurations assume a spec accepted by one is meaningful
+//! to the others; these tests fail the build the moment any side drifts.
 
-use load_control_suite::core::policy;
+use load_control_suite::accounting::{build_sampler_spec, ThreadRegistry, ALL_SAMPLER_NAMES};
+use load_control_suite::core::policy::{
+    self, build_policy_spec, build_splitter_spec, POLICY_SPECS, SPLITTER_SPECS,
+};
+use load_control_suite::core::spec::{LoadControlSpec, ParsedSpec, SpecError};
 use load_control_suite::core::{LoadControl, LoadControlConfig};
-use load_control_suite::locks::registry;
+use load_control_suite::locks::registry::{self, LOCK_SPECS};
 use load_control_suite::locks::{ABORTABLE_LOCK_NAMES, ALL_LOCK_NAMES};
 use load_control_suite::sim::LockPolicy;
-use load_control_suite::workloads::drivers::{run_microbench_lc_named, MicrobenchConfig};
+use load_control_suite::workloads::drivers::{run_microbench_lc_spec, MicrobenchConfig};
+use std::sync::Arc;
 use std::time::Duration;
 
 #[test]
 fn every_lock_name_round_trips_through_the_registry() {
+    assert_eq!(LOCK_SPECS.names(), ALL_LOCK_NAMES);
     for &name in ALL_LOCK_NAMES {
-        let lock = registry::build(name)
-            .unwrap_or_else(|| panic!("{name} in ALL_LOCK_NAMES but not buildable"));
+        let lock = registry::build_spec(name)
+            .unwrap_or_else(|e| panic!("{name} in ALL_LOCK_NAMES but not buildable: {e}"));
         assert_eq!(lock.name(), name, "registry returned a mislabelled lock");
         // And the lock actually works as a mutex.
         lock.lock();
@@ -27,7 +35,7 @@ fn every_lock_name_round_trips_through_the_registry() {
         unsafe { lock.unlock() };
         assert!(!lock.is_locked(), "{name} does not report being free");
     }
-    assert!(registry::build("no-such-lock").is_none());
+    assert!(registry::build_spec("no-such-lock").is_err());
 }
 
 #[test]
@@ -66,44 +74,221 @@ fn sim_canonical_labels_stay_known() {
 
 #[test]
 fn every_control_policy_name_round_trips_through_its_registry() {
-    let registered: Vec<&str> = policy::POLICY_REGISTRY.iter().map(|(n, _)| *n).collect();
-    assert_eq!(registered, policy::ALL_POLICY_NAMES);
+    assert_eq!(POLICY_SPECS.names(), policy::ALL_POLICY_NAMES);
     for &name in policy::ALL_POLICY_NAMES {
-        let built = policy::build(name)
-            .unwrap_or_else(|| panic!("{name} in ALL_POLICY_NAMES but not buildable"));
+        let built = build_policy_spec(name)
+            .unwrap_or_else(|e| panic!("{name} in ALL_POLICY_NAMES but not buildable: {e}"));
         assert_eq!(built.name(), name, "policy registry mislabelled {name}");
-        // The builder-style constructor accepts the same names.
+        // The builder-style constructor accepts the same specs.
         let control = LoadControl::builder(LoadControlConfig::for_capacity(2))
-            .policy_named(name)
-            .unwrap_or_else(|| panic!("builder rejected registered policy {name}"))
+            .policy_spec(name)
+            .unwrap_or_else(|e| panic!("builder rejected registered policy {name}: {e}"))
             .build();
         assert_eq!(control.policy_name(), name);
     }
-    assert!(policy::build("no-such-policy").is_none());
+    assert!(build_policy_spec("no-such-policy").is_err());
 }
 
 #[test]
 fn every_splitter_name_round_trips_through_its_registry() {
-    let registered: Vec<&str> = policy::SPLITTER_REGISTRY.iter().map(|(n, _)| *n).collect();
-    assert_eq!(registered, policy::ALL_SPLITTER_NAMES);
+    assert_eq!(SPLITTER_SPECS.names(), policy::ALL_SPLITTER_NAMES);
     for &name in policy::ALL_SPLITTER_NAMES {
-        let built = policy::build_splitter(name)
-            .unwrap_or_else(|| panic!("{name} in ALL_SPLITTER_NAMES but not buildable"));
+        let built = build_splitter_spec(name)
+            .unwrap_or_else(|e| panic!("{name} in ALL_SPLITTER_NAMES but not buildable: {e}"));
         assert_eq!(built.name(), name, "splitter registry mislabelled {name}");
-        // The builder-style constructor accepts the same names.
+        // The builder-style constructor accepts the same specs.
         let control = LoadControl::builder(LoadControlConfig::for_capacity(2).with_shards(2))
-            .splitter_named(name)
-            .unwrap_or_else(|| panic!("builder rejected registered splitter {name}"))
+            .splitter_spec(name)
+            .unwrap_or_else(|e| panic!("builder rejected registered splitter {name}: {e}"))
             .build();
         assert_eq!(control.splitter_name(), name);
+    }
+    assert!(build_splitter_spec("no-such-splitter").is_err());
+}
+
+#[test]
+fn every_sampler_name_round_trips_through_its_registry() {
+    let reg = Arc::new(ThreadRegistry::new());
+    for &name in ALL_SAMPLER_NAMES {
+        let built = build_sampler_spec(&reg, name)
+            .unwrap_or_else(|e| panic!("{name} in ALL_SAMPLER_NAMES but not buildable: {e}"));
+        assert_eq!(built.name(), name, "sampler registry mislabelled {name}");
+        // The builder-style constructor accepts the same specs.
+        let control = LoadControl::builder(LoadControlConfig::for_capacity(2))
+            .sampler_spec(name)
+            .unwrap_or_else(|e| panic!("builder rejected registered sampler {name}: {e}"))
+            .build();
+        assert_eq!(control.spec().sampler.unwrap().name(), name);
+    }
+    assert!(build_sampler_spec(&reg, "no-such-sampler").is_err());
+}
+
+/// Every registered entry in every registry must parse both bare and with
+/// empty parens, and must reject an unknown parameter key — the grammar-level
+/// guarantees of the unified spec surface.
+#[test]
+fn every_registered_name_parses_with_and_without_parens_and_rejects_unknown_keys() {
+    let reg = Arc::new(ThreadRegistry::new());
+    let mut checked = 0usize;
+    let mut check = |kind: &str, name: &str, build: &dyn Fn(&str) -> Result<(), SpecError>| {
+        build(name).unwrap_or_else(|e| panic!("{kind} {name}: bare name rejected: {e}"));
+        build(&format!("{name}()"))
+            .unwrap_or_else(|e| panic!("{kind} {name}(): empty parens rejected: {e}"));
+        match build(&format!("{name}(definitely_unknown_key=1)")) {
+            Err(SpecError::UnknownKey { key, .. }) => {
+                assert_eq!(key, "definitely_unknown_key", "{kind} {name}");
+            }
+            other => panic!("{kind} {name}: unknown key not rejected (got {other:?})"),
+        }
+        checked += 1;
+    };
+    for &name in ALL_LOCK_NAMES {
+        check("lock", name, &|s| registry::build_spec(s).map(|_| ()));
+    }
+    for &name in policy::ALL_POLICY_NAMES {
+        check("policy", name, &|s| build_policy_spec(s).map(|_| ()));
+    }
+    for &name in policy::ALL_SPLITTER_NAMES {
+        check("splitter", name, &|s| build_splitter_spec(s).map(|_| ()));
+    }
+    for &name in ALL_SAMPLER_NAMES {
+        check("sampler", name, &|s| {
+            build_sampler_spec(&reg, s).map(|_| ())
+        });
+    }
+    assert_eq!(
+        checked,
+        ALL_LOCK_NAMES.len()
+            + policy::ALL_POLICY_NAMES.len()
+            + policy::ALL_SPLITTER_NAMES.len()
+            + ALL_SAMPLER_NAMES.len()
+    );
+}
+
+/// For every registered entry: `parse → Display → parse` is the identity on
+/// the spec, and the spec a built plugin *reports* reconstructs an
+/// identically configured plugin.
+#[test]
+fn every_registered_entry_spec_round_trips() {
+    let reg = Arc::new(ThreadRegistry::new());
+    for &name in ALL_LOCK_NAMES {
+        let parsed = ParsedSpec::parse(name).unwrap();
+        assert_eq!(ParsedSpec::parse(&parsed.to_string()).unwrap(), parsed);
+        let built = registry::build_spec(name).unwrap();
+        let rebuilt = registry::build_spec(&built.spec().to_string())
+            .unwrap_or_else(|e| panic!("{name}: reported spec does not rebuild: {e}"));
+        assert_eq!(rebuilt.spec(), built.spec(), "{name}");
+    }
+    for &name in policy::ALL_POLICY_NAMES {
+        let built = build_policy_spec(name).unwrap();
+        let rebuilt = build_policy_spec(&built.spec().to_string())
+            .unwrap_or_else(|e| panic!("{name}: reported spec does not rebuild: {e}"));
+        assert_eq!(rebuilt.spec(), built.spec(), "{name}");
+    }
+    for &name in policy::ALL_SPLITTER_NAMES {
+        let built = build_splitter_spec(name).unwrap();
+        let rebuilt = build_splitter_spec(&built.spec().to_string())
+            .unwrap_or_else(|e| panic!("{name}: reported spec does not rebuild: {e}"));
+        assert_eq!(rebuilt.spec(), built.spec(), "{name}");
+    }
+    for &name in ALL_SAMPLER_NAMES {
+        let built = build_sampler_spec(&reg, name).unwrap();
+        let rebuilt = build_sampler_spec(&reg, &built.spec().to_string())
+            .unwrap_or_else(|e| panic!("{name}: reported spec does not rebuild: {e}"));
+        assert_eq!(rebuilt.spec(), built.spec(), "{name}");
+    }
+}
+
+/// Parameterized variants round-trip too, across all four registries.
+#[test]
+fn parameterized_specs_round_trip_across_registries() {
+    let reg = Arc::new(ThreadRegistry::new());
+    for spec in [
+        "ttas-backoff(max_spins=256)",
+        "tp-queue(patience_us=500, publish_every=16)",
+        "adaptive(spin_budget=64)",
+    ] {
+        let built = registry::build_spec(spec).unwrap();
+        assert_eq!(built.spec().to_string(), spec, "lock spelling drifted");
+    }
+    for spec in [
+        "hysteresis(alpha=0.3, up=2, down=3)",
+        "fixed(target=8)",
+        "pid(kp=0.8, ki=0.2)",
+    ] {
+        let built = build_policy_spec(spec).unwrap();
+        assert_eq!(built.spec().to_string(), spec, "policy spelling drifted");
+    }
+    let built = build_splitter_spec("load-weighted(ewma=0.25)").unwrap();
+    assert_eq!(built.spec().to_string(), "load-weighted(ewma=0.25)");
+    let built = build_sampler_spec(&reg, "fixed(runnable=9)").unwrap();
+    assert_eq!(built.spec().to_string(), "fixed(runnable=9)");
+}
+
+/// The deprecated bare-name shims stay wired to the same registries.
+#[test]
+#[allow(deprecated)]
+fn deprecated_bare_name_shims_stay_in_lockstep() {
+    for &name in ALL_LOCK_NAMES {
+        assert!(registry::build(name).is_some(), "{name}");
+    }
+    assert!(registry::build("no-such-lock").is_none());
+    for &name in policy::ALL_POLICY_NAMES {
+        assert!(policy::build(name).is_some(), "{name}");
+    }
+    assert!(policy::build("no-such-policy").is_none());
+    for &name in policy::ALL_SPLITTER_NAMES {
+        assert!(policy::build_splitter(name).is_some(), "{name}");
     }
     assert!(policy::build_splitter("no-such-splitter").is_none());
 }
 
+/// The showcase parameterized entry: `pid(kp=.., ki=..)` selected by spec
+/// string, end to end through the builder, with the live `LoadControl::spec`
+/// reporting it back.
 #[test]
-fn every_abortable_name_reaches_the_lc_dispatch() {
-    // The hand-written name→type match in the workload drivers must cover
-    // exactly the advertised abortable families.
+fn pid_policy_is_selectable_by_spec_string_end_to_end() {
+    let control = LoadControl::builder(LoadControlConfig::for_capacity(1))
+        .policy_spec("pid(kp=0.8, ki=0.2)")
+        .expect("pid spec")
+        .build();
+    assert_eq!(control.policy_name(), "pid");
+    assert_eq!(control.spec().policy.to_string(), "pid(kp=0.8, ki=0.2)");
+    // The PID integrator actually steers the target under sustained load.
+    let _handles: Vec<_> = (0..5).map(|_| control.registry().register()).collect();
+    let mut target = 0;
+    for _ in 0..200 {
+        target = control.run_cycle().last_target;
+    }
+    assert_eq!(target, 4, "pid policy did not converge to the excess");
+}
+
+/// A whole declarative `LoadControlSpec` round-trips: parse → build →
+/// live-report → parse → build gives the same configuration.
+#[test]
+fn load_control_spec_round_trips_through_a_live_instance() {
+    let spec: LoadControlSpec =
+        "policy=hysteresis(alpha=0.3, up=3, down=4); splitter=load-weighted(ewma=0.25); shards=4"
+            .parse()
+            .unwrap();
+    let control = LoadControl::from_spec(LoadControlConfig::for_capacity(2), &spec).unwrap();
+    let reported = control.spec();
+    assert_eq!(
+        reported.policy.to_string(),
+        "hysteresis(alpha=0.3, up=3, down=4)"
+    );
+    assert_eq!(reported.splitter.to_string(), "load-weighted(ewma=0.25)");
+    assert_eq!(reported.shards, Some(4));
+    let reparsed: LoadControlSpec = reported.to_string().parse().unwrap();
+    assert_eq!(reparsed, reported);
+    let rebuilt = LoadControl::from_spec(LoadControlConfig::for_capacity(2), &reparsed).unwrap();
+    assert_eq!(rebuilt.spec(), reported);
+}
+
+#[test]
+fn every_abortable_spec_reaches_the_lc_dispatch() {
+    // The spec-driven LC dispatch must cover exactly the advertised
+    // abortable families — and reject the rest with an explicit error.
     let control = LoadControl::new(LoadControlConfig::for_capacity(8));
     let tiny = MicrobenchConfig {
         threads: 2,
@@ -113,19 +298,25 @@ fn every_abortable_name_reaches_the_lc_dispatch() {
     };
     for &name in ABORTABLE_LOCK_NAMES {
         assert!(
-            registry::build(name).expect("registered").is_abortable(),
+            registry::build_spec(name)
+                .expect("registered")
+                .is_abortable(),
             "{name} advertised as abortable but its adapter is not"
         );
-        let r = run_microbench_lc_named(name, tiny, &control)
-            .unwrap_or_else(|| panic!("{name} missing from the LC dispatch"));
+        let r = run_microbench_lc_spec(name, tiny, &control)
+            .unwrap_or_else(|e| panic!("{name} rejected by the LC dispatch: {e}"));
         assert!(r.acquisitions > 0, "{name}: no progress under load control");
     }
     for &name in ALL_LOCK_NAMES {
         if !ABORTABLE_LOCK_NAMES.contains(&name) {
             assert!(
-                run_microbench_lc_named(name, tiny, &control).is_none(),
+                run_microbench_lc_spec(name, tiny, &control).is_err(),
                 "{name} is not abortable but the LC dispatch accepted it"
             );
         }
     }
+    // Parameterized backends flow through the same dispatch.
+    let r = run_microbench_lc_spec("ttas-backoff(max_spins=128)", tiny, &control)
+        .expect("parameterized backend");
+    assert!(r.acquisitions > 0);
 }
