@@ -48,7 +48,7 @@ use std::pin::Pin;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::task::{Context, Poll};
-use std::time::Instant;
+use std::time::Duration;
 
 /// The shared state of the async plane, owned by a [`LoadControl`]: the
 /// sleeper-lease pool and the timeout sweep list.
@@ -65,7 +65,9 @@ pub(crate) struct AsyncPlane {
 
 struct DeadlineEntry {
     token: u64,
-    deadline: Instant,
+    /// Absolute deadline in the owning [`LoadControl`]'s
+    /// [`TimeSource`](crate::time::TimeSource) timebase.
+    deadline: Duration,
     parker: Arc<Parker>,
 }
 
@@ -99,7 +101,7 @@ impl AsyncPlane {
 
     /// Enrolls a parked task in the timeout sweep; returns a token for
     /// [`AsyncPlane::unregister`].
-    fn register_deadline(&self, deadline: Instant, parker: &Arc<Parker>) -> u64 {
+    fn register_deadline(&self, deadline: Duration, parker: &Arc<Parker>) -> u64 {
         let token = self.next_token.fetch_add(1, Ordering::Relaxed);
         self.deadlines.lock().unwrap().push(DeadlineEntry {
             token,
@@ -119,7 +121,7 @@ impl AsyncPlane {
     /// enrolled until the task itself unregisters, so a wake that races a
     /// waker registration is simply retried next cycle — the sweep can never
     /// strand a task.  Called by [`LoadControl::run_cycle`].
-    pub(crate) fn wake_expired(&self, now: Instant) -> usize {
+    pub(crate) fn wake_expired(&self, now: Duration) -> usize {
         let expired: Vec<Arc<Parker>> = {
             let deadlines = self.deadlines.lock().unwrap();
             deadlines
@@ -144,7 +146,8 @@ impl AsyncPlane {
 
 /// A deadline enrolled in the controller's timeout sweep.
 struct ParkEpisode {
-    deadline: Instant,
+    /// Absolute deadline in the control instance's time source's timebase.
+    deadline: Duration,
     token: u64,
 }
 
@@ -300,7 +303,7 @@ impl AsyncLoadGate {
             // controller's timeout sweep (tasks cannot `park_timeout`).
             self.sleeps += 1;
             parker.try_consume_permit();
-            let deadline = Instant::now() + self.config.sleep_timeout;
+            let deadline = self.control.time().now() + self.config.sleep_timeout;
             let token = self
                 .control
                 .async_plane()
@@ -308,7 +311,7 @@ impl AsyncLoadGate {
             self.park = Some(ParkEpisode { deadline, token });
         }
         let deadline = self.park.as_ref().map(|p| p.deadline).unwrap();
-        if !buffer.still_claimed(idx, sleeper) || Instant::now() >= deadline {
+        if !buffer.still_claimed(idx, sleeper) || self.control.time().now() >= deadline {
             self.finish_episode();
             return Poll::Ready(true);
         }
@@ -318,7 +321,7 @@ impl AsyncLoadGate {
         // into nobody — without this check the task would sleep forever.
         // Any unpark *after* registration wakes the waker we just stored.
         if !buffer.still_claimed(idx, sleeper)
-            || Instant::now() >= deadline
+            || self.control.time().now() >= deadline
             || parker.try_consume_permit()
         {
             self.finish_episode();

@@ -17,12 +17,13 @@ use crate::policy::{
 use crate::slots::{even_split, SleepSlotBuffer};
 use crate::spec::{LoadControlSpec, SpecError};
 use crate::thread_ctx::{current_ctx, WorkerRegistration};
+use crate::time::{ParkOps, RealClock, ThreadPark, TimeSource};
 use lc_accounting::{LoadSampler, RegistryLoadSampler, ThreadRegistry, SAMPLER_SPECS};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Counters describing the controller's activity.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -47,6 +48,12 @@ struct Shared {
     /// The async waiting plane: pooled task sleeper leases plus the parked
     /// tasks' timeout sweep (see [`crate::async_gate`]).
     async_plane: AsyncPlane,
+    /// The clock every time-dependent path of this instance reads (the
+    /// controller's timeout sweep, the waiters' sleep deadlines).  Real by
+    /// default; virtual under the `lc-des` simulator.
+    time: Arc<dyn TimeSource>,
+    /// How waiter threads block in their slots (see [`crate::time::ParkOps`]).
+    park_ops: Arc<dyn ParkOps>,
     running: AtomicBool,
     cycles: AtomicU64,
     last_runnable: AtomicUsize,
@@ -96,6 +103,8 @@ pub struct LoadControlBuilder {
     policy: Box<dyn ControlPolicy>,
     splitter: Box<dyn TargetSplitter>,
     sampler: Option<(Arc<ThreadRegistry>, Box<dyn LoadSampler>)>,
+    time: Option<Arc<dyn TimeSource>>,
+    park_ops: Option<Arc<dyn ParkOps>>,
     start: bool,
 }
 
@@ -117,6 +126,8 @@ impl LoadControlBuilder {
             policy: Box::new(PaperPolicy),
             splitter: Box::new(EvenSplitter),
             sampler: None,
+            time: None,
+            park_ops: None,
             start: false,
         }
     }
@@ -209,6 +220,23 @@ impl LoadControlBuilder {
         Ok(self)
     }
 
+    /// Uses `time` as this instance's clock (default: a fresh
+    /// [`RealClock`]).  Every time-dependent path — the controller's async
+    /// timeout sweep and the waiters' sleep deadlines — reads this source,
+    /// which is how the `lc-des` simulator runs the whole control plane on
+    /// virtual time with no code forks.
+    pub fn time_source(mut self, time: Arc<dyn TimeSource>) -> Self {
+        self.time = Some(time);
+        self
+    }
+
+    /// Uses `park_ops` as the blocking primitive for waiter threads
+    /// (default: [`ThreadPark`], which really blocks).
+    pub fn park_ops(mut self, park_ops: Arc<dyn ParkOps>) -> Self {
+        self.park_ops = Some(park_ops);
+        self
+    }
+
     /// Starts the controller daemon as part of [`LoadControlBuilder::build`].
     pub fn start_daemon(mut self) -> Self {
         self.start = true;
@@ -240,6 +268,12 @@ impl LoadControlBuilder {
             policy: Mutex::new(self.policy),
             splitter: Mutex::new(self.splitter),
             async_plane: AsyncPlane::new(),
+            time: self
+                .time
+                .unwrap_or_else(|| Arc::new(RealClock::new()) as Arc<dyn TimeSource>),
+            park_ops: self
+                .park_ops
+                .unwrap_or_else(|| Arc::new(ThreadPark) as Arc<dyn ParkOps>),
             running: AtomicBool::new(false),
             cycles: AtomicU64::new(0),
             last_runnable: AtomicUsize::new(0),
@@ -351,6 +385,18 @@ impl LoadControl {
     /// this instance.
     pub(crate) fn async_plane(&self) -> &AsyncPlane {
         &self.shared.async_plane
+    }
+
+    /// The clock this instance runs on (see
+    /// [`LoadControlBuilder::time_source`]).
+    pub fn time(&self) -> &Arc<dyn TimeSource> {
+        &self.shared.time
+    }
+
+    /// The blocking primitive waiter threads park through (see
+    /// [`LoadControlBuilder::park_ops`]).
+    pub fn park_ops(&self) -> &Arc<dyn ParkOps> {
+        &self.shared.park_ops
     }
 
     /// Number of async tasks currently parked by load control (diagnostics;
@@ -497,7 +543,7 @@ impl LoadControl {
         // thread's `park_timeout` does, so the controller sweeps them: any
         // parked task whose sleep timeout has passed is unparked (its waker
         // fires through the very same parker a thread wake would use).
-        self.shared.async_plane.wake_expired(Instant::now());
+        self.shared.async_plane.wake_expired(self.shared.time.now());
         self.shared.cycles.fetch_add(1, Ordering::Relaxed);
         self.stats()
     }

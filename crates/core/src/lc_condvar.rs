@@ -12,23 +12,36 @@
 //!
 //! * Spurious wakeups are permitted (as with every condition variable):
 //!   always re-check the predicate, or use [`LcCondvar::wait_while`].
-//! * [`LcCondvar::notify_one`] and [`LcCondvar::notify_all`] both advance the
-//!   epoch and therefore release *every* current waiter to re-check its
-//!   predicate; `notify_one` is kept for API familiarity and future
-//!   refinement, not as a single-waiter handoff guarantee.
-//! * A waiter parked by load control notices a notification when the
-//!   controller clears its slot or its sleep timeout expires (default
-//!   100 ms) — under overload, notification latency is deliberately traded
-//!   for load, exactly like lock handoff latency is for [`crate::LcLock`].
+//! * [`LcCondvar::notify_all`] advances the epoch, releasing every current
+//!   waiter to re-check its predicate.
+//! * [`LcCondvar::notify_one`] is a *directed* wakeup: every waiter leaves a
+//!   wait node holding its parker on a wait-list before it releases the
+//!   mutex, and `notify_one` pops exactly one node, flags it and unparks that
+//!   thread's parker.  Because the waiter's load-control park runs through
+//!   [`LoadGate::park_while`] with "my node is not yet notified" as the stay-
+//!   parked condition, the handoff reaches a waiter parked by load control
+//!   *immediately* — not at slot clear or sleep timeout, as in earlier
+//!   versions of this crate.  (Lost-wakeup freedom: the node is enqueued
+//!   while the caller still holds the mutex, so a notifier that changes the
+//!   predicate under the same mutex always observes it.)
 
 use crate::controller::LoadControl;
 use crate::lc_lock::{LcMutex, LcMutexGuard};
 use crate::thread_ctx::{current_ctx, LoadGate};
 use lc_accounting::ThreadState;
-use lc_locks::AbortableLock;
+use lc_locks::{AbortableLock, Parker};
+use std::collections::VecDeque;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One waiter's entry on the condvar wait-list: its wake flag plus the
+/// parker `notify_one` uses to lift it out of a load-control park.
+#[derive(Debug)]
+struct WaitNode {
+    notified: AtomicBool,
+    parker: Arc<Parker>,
+}
 
 /// A condition variable whose waiters participate in load control.
 ///
@@ -54,15 +67,19 @@ use std::sync::Arc;
 pub struct LcCondvar {
     control: Arc<LoadControl>,
     /// Notification epoch: waiters snapshot it under the mutex and spin until
-    /// it moves.  Doubles as the notification count (it only ever moves in
-    /// [`LcCondvar::notify_all`]).
+    /// it moves or their own wait node is flagged.
     epoch: AtomicU64,
+    /// Total notifications issued (diagnostics; `notify_one` + `notify_all`).
+    notifications: AtomicU64,
+    /// Registered waiters, in arrival order — `notify_one` pops the front.
+    waiters: Mutex<VecDeque<Arc<WaitNode>>>,
 }
 
 impl fmt::Debug for LcCondvar {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("LcCondvar")
             .field("epoch", &self.epoch.load(Ordering::Relaxed))
+            .field("notifications", &self.notifications.load(Ordering::Relaxed))
             .finish()
     }
 }
@@ -78,6 +95,8 @@ impl LcCondvar {
         Self {
             control: Arc::clone(control),
             epoch: AtomicU64::new(0),
+            notifications: AtomicU64::new(0),
+            waiters: Mutex::new(VecDeque::new()),
         }
     }
 
@@ -92,20 +111,30 @@ impl LcCondvar {
         guard: LcMutexGuard<'a, T, R>,
     ) -> LcMutexGuard<'a, T, R> {
         let mutex: &'a LcMutex<T, R> = guard.mutex();
-        // Snapshot the epoch *before* releasing the mutex: a notify that runs
-        // after our predicate check (under the lock) but before we start
-        // polling advances the epoch past the snapshot and is never lost.
+        let ctx = current_ctx(&self.control);
+        // Register *before* releasing the mutex: a notify that runs after our
+        // predicate check (under the lock) but before we start polling either
+        // advances the epoch past the snapshot or pops our node — never lost.
         let target = self.epoch.load(Ordering::Acquire);
+        let node = Arc::new(WaitNode {
+            notified: AtomicBool::new(false),
+            parker: Arc::clone(ctx.parker()),
+        });
+        self.waiters.lock().unwrap().push_back(Arc::clone(&node));
         drop(guard);
 
-        let ctx = current_ctx(&self.control);
+        let still_waiting = || {
+            self.epoch.load(Ordering::Acquire) == target && !node.notified.load(Ordering::Acquire)
+        };
         let previous = ctx.set_registry_state(ThreadState::Spinning);
         let mut gate = LoadGate::from_ctx(ctx.clone(), self.control.config());
         let mut iteration = 0u64;
-        while self.epoch.load(Ordering::Acquire) == target {
+        while still_waiting() {
             iteration += 1;
             if gate.check(iteration) {
-                gate.park();
+                // Stay parked only while unnotified: `notify_one` unparks our
+                // parker and we fall straight out of the slot.
+                gate.park_while(still_waiting);
             } else {
                 std::hint::spin_loop();
                 // Be polite to small hosts: a condvar wait can be long, and
@@ -116,6 +145,12 @@ impl LcCondvar {
             }
         }
         gate.cancel();
+        // Deregister.  If a `notify_one` already popped our node, this finds
+        // nothing — that notification woke us, and `wait_while` re-checks.
+        self.waiters
+            .lock()
+            .unwrap()
+            .retain(|n| !Arc::ptr_eq(n, &node));
         ctx.set_registry_state(previous);
         mutex.lock()
     }
@@ -133,22 +168,44 @@ impl LcCondvar {
         guard
     }
 
-    /// Wakes waiters to re-check their predicates.
+    /// Wakes (at least) one waiter to re-check its predicate.
     ///
-    /// See the module docs: epoch-based waiting means this releases every
-    /// current waiter, not exactly one.
+    /// Pops the oldest wait node, flags it and unparks its thread — so a
+    /// waiter parked by load control is handed the notification immediately,
+    /// without waiting for the controller to clear its slot.  Falls back to
+    /// an epoch advance (waking every spinner) if no waiter is registered.
     pub fn notify_one(&self) {
-        self.notify_all();
+        self.notifications.fetch_add(1, Ordering::Relaxed);
+        let popped = self.waiters.lock().unwrap().pop_front();
+        match popped {
+            Some(node) => {
+                node.notified.store(true, Ordering::Release);
+                node.parker.unpark();
+            }
+            // No registered waiter: advance the epoch so a thread racing into
+            // `wait` still observes the notification (spurious for others).
+            None => {
+                self.epoch.fetch_add(1, Ordering::Release);
+            }
+        }
     }
 
     /// Wakes all current waiters to re-check their predicates.
     pub fn notify_all(&self) {
+        self.notifications.fetch_add(1, Ordering::Relaxed);
         self.epoch.fetch_add(1, Ordering::Release);
+        // Drain outside the lock: unpark can wake a thread that immediately
+        // re-enters `wait` and needs the waiters lock to register.
+        let drained: Vec<_> = self.waiters.lock().unwrap().drain(..).collect();
+        for node in drained {
+            node.notified.store(true, Ordering::Release);
+            node.parker.unpark();
+        }
     }
 
     /// Total notifications issued (diagnostics).
     pub fn notification_count(&self) -> u64 {
-        self.epoch.load(Ordering::Relaxed)
+        self.notifications.load(Ordering::Relaxed)
     }
 
     /// The [`LoadControl`] instance this condition variable participates in.
@@ -169,7 +226,7 @@ mod tests {
     use crate::config::LoadControlConfig;
     use crate::policy::FixedPolicy;
     use std::thread;
-    use std::time::Duration;
+    use std::time::{Duration, Instant};
 
     fn manual_control(capacity: usize) -> Arc<LoadControl> {
         LoadControl::with_policy(
@@ -194,6 +251,25 @@ mod tests {
         drop(guard);
         setter.join().unwrap();
         assert_eq!(cv.notification_count(), 1);
+    }
+
+    #[test]
+    fn notify_one_observes_a_notification() {
+        let lc = manual_control(4);
+        let flag = Arc::new(LcMutex::<bool>::new_with(false, &lc));
+        let cv = Arc::new(LcCondvar::new_with(&lc));
+        let (flag2, cv2) = (Arc::clone(&flag), Arc::clone(&cv));
+        let setter = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(10));
+            *flag2.lock() = true;
+            cv2.notify_one();
+        });
+        let guard = cv.wait_while(flag.lock(), |done| !*done);
+        assert!(*guard);
+        drop(guard);
+        setter.join().unwrap();
+        // The wait-list is empty again once the waiter has left.
+        assert!(cv.waiters.lock().unwrap().is_empty());
     }
 
     #[test]
@@ -268,6 +344,42 @@ mod tests {
         cv.notify_all();
         let sleeps = waiter.join().unwrap();
         assert!(sleeps > 0, "overloaded condvar waiter never parked");
+        let stats = lc.buffer().stats();
+        assert_eq!(stats.ever_slept, stats.woken_and_left);
+    }
+
+    #[test]
+    fn notify_one_hands_off_to_a_load_parked_waiter_immediately() {
+        // A sleep timeout far longer than the test: the waiter can only
+        // return promptly if `notify_one` reaches through its parked slot.
+        let lc = LoadControl::with_policy(
+            LoadControlConfig::for_capacity(1).with_sleep_timeout(Duration::from_secs(30)),
+            Box::new(FixedPolicy::manual()),
+        );
+        lc.set_sleep_target(1);
+        let flag = Arc::new(LcMutex::<bool>::new_with(false, &lc));
+        let cv = Arc::new(LcCondvar::new_with(&lc));
+        let (flag2, cv2, lc2) = (Arc::clone(&flag), Arc::clone(&cv), Arc::clone(&lc));
+        let waiter = thread::spawn(move || {
+            let w = lc2.register_worker();
+            let guard = cv2.wait_while(flag2.lock(), |done| !*done);
+            assert!(*guard);
+            drop(guard);
+            w.sleep_count()
+        });
+        // Let the waiter spin into the gate and park.
+        while lc.buffer().sleepers() == 0 {
+            thread::sleep(Duration::from_millis(1));
+        }
+        *flag.lock() = true;
+        let notified_at = Instant::now();
+        cv.notify_one();
+        let sleeps = waiter.join().unwrap();
+        assert!(sleeps > 0, "waiter never parked despite the open target");
+        assert!(
+            notified_at.elapsed() < Duration::from_secs(5),
+            "notify_one did not reach the parked waiter before its timeout"
+        );
         let stats = lc.buffer().stats();
         assert_eq!(stats.ever_slept, stats.woken_and_left);
     }

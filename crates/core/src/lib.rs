@@ -109,6 +109,7 @@ pub mod slots;
 pub mod spec;
 pub mod spin_hook;
 pub mod thread_ctx;
+pub mod time;
 
 pub use async_gate::{AsyncLoadGate, AsyncSpinHook};
 pub use config::LoadControlConfig;
@@ -122,10 +123,13 @@ pub use policy::{
     ControlPolicy, EvenSplitter, FixedPolicy, HysteresisPolicy, LoadWeightedSplitter, PaperPolicy,
     PidPolicy, PolicyInputs, TargetSplitter, POLICY_SPECS, SPLITTER_SPECS,
 };
-pub use slots::{ClaimOutcome, ShardSnapshot, SleepSlotBuffer, SlotBufferStats};
+pub use slots::{ClaimOutcome, ShardSnapshot, SleepSlotBuffer, SleeperId, SlotBufferStats};
 pub use spec::{LoadControlSpec, ParsedSpec, SpecError};
 pub use spin_hook::SpinHook;
 pub use thread_ctx::{LoadControlPolicy, LoadGate, WorkerRegistration};
+pub use time::{
+    ParkOps, RealClock, SlotWait, ThreadPark, TimeSource, VirtualClock, WaitOutcome, WaitPoll,
+};
 
 // Re-export the pieces of the substrate crates that appear in this crate's
 // public API, so downstream users only need one import path.

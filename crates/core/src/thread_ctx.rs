@@ -25,6 +25,7 @@
 use crate::config::LoadControlConfig;
 use crate::controller::LoadControl;
 use crate::slots::{ClaimOutcome, SleeperId};
+use crate::time::{SlotWait, WaitPoll};
 use lc_accounting::{ThreadHandle, ThreadState};
 use lc_locks::{Parker, SpinDecision, SpinPolicy};
 use std::cell::{Cell, RefCell};
@@ -32,7 +33,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Per-(thread, [`LoadControl`]) state.
 pub(crate) struct ThreadCtx {
@@ -97,21 +98,41 @@ impl ThreadCtx {
         self.handle.set_state(state)
     }
 
-    /// The paper's sleep procedure: block while the slot is still ours, up to
-    /// the configured timeout, then release the claim.
-    fn sleep_in_slot(&self, slot_idx: usize, config: &LoadControlConfig) {
+    /// The paper's sleep procedure — block while the slot is still ours, up
+    /// to the configured timeout, then release the claim — with an extra
+    /// caller-side condition: the thread also wakes (and releases its claim)
+    /// as soon as `keep_parked` turns false after an unpark.  This is what
+    /// lets a precise [`crate::LcCondvar::notify_one`] hand off to a
+    /// load-parked waiter immediately instead of at slot clear or timeout.
+    ///
+    /// The wait protocol itself is [`SlotWait`] — the same state machine the
+    /// `lc-des` simulator polls at event times — driven here against the
+    /// control instance's [`TimeSource`](crate::time::TimeSource) and
+    /// [`ParkOps`](crate::time::ParkOps).
+    fn sleep_in_slot_while(
+        &self,
+        slot_idx: usize,
+        config: &LoadControlConfig,
+        keep_parked: &dyn Fn() -> bool,
+    ) {
         self.sleeps.set(self.sleeps.get() + 1);
         let buffer = self.control.buffer();
+        let time = Arc::clone(self.control.time());
+        let park_ops = Arc::clone(self.control.park_ops());
         let previous = self.handle.set_state(ThreadState::ParkedByLoadControl);
-        let deadline = Instant::now() + config.sleep_timeout;
-        while buffer.still_claimed(slot_idx, self.sleeper) {
-            let now = Instant::now();
-            if now >= deadline {
+        let wait = SlotWait::begin(slot_idx, self.sleeper, time.now(), config.sleep_timeout);
+        loop {
+            if !keep_parked() {
                 break;
             }
-            let _ = self.parker.park_timeout(deadline - now);
+            match wait.poll(buffer, time.now()) {
+                WaitPoll::Done(_) => break,
+                WaitPoll::Keep(remaining) => {
+                    let _ = park_ops.park(&self.parker, remaining);
+                }
+            }
         }
-        buffer.leave(slot_idx, self.sleeper);
+        wait.finish(buffer);
         // Go back to spinning (or whatever we were doing before).
         self.handle
             .set_state(if previous == ThreadState::ParkedByLoadControl {
@@ -119,6 +140,12 @@ impl ThreadCtx {
             } else {
                 previous
             });
+    }
+
+    /// This thread's parker (the controller-facing wake handle registered in
+    /// the slot buffer).
+    pub(crate) fn parker(&self) -> &Arc<Parker> {
+        &self.parker
     }
 }
 
@@ -294,10 +321,26 @@ impl LoadGate {
     ///
     /// Returns `true` if the thread actually slept.
     pub fn park(&mut self) -> bool {
+        self.park_while(|| true)
+    }
+
+    /// [`LoadGate::park`] with an extra caller-side wake condition: after any
+    /// unpark the thread re-evaluates `keep_parked` and, if it turned false,
+    /// releases its claim and returns immediately — even though the slot is
+    /// still claimed and the timeout has not expired.
+    ///
+    /// This is the waiter half of a *directed* wakeup: a notifier that knows
+    /// this specific thread should resume (e.g.
+    /// [`crate::LcCondvar::notify_one`]) flips the condition and unparks the
+    /// thread's parker, and the sleeper leaves its slot at once instead of
+    /// waiting for the controller or its timeout.  Returns `true` if the
+    /// thread actually slept.
+    pub fn park_while(&mut self, keep_parked: impl Fn() -> bool) -> bool {
         match self.claimed.take() {
             Some(idx) => {
                 self.sleeps += 1;
-                self.ctx.sleep_in_slot(idx, &self.config);
+                self.ctx
+                    .sleep_in_slot_while(idx, &self.config, &keep_parked);
                 true
             }
             None => false,
@@ -407,6 +450,7 @@ mod tests {
     use super::*;
     use crate::config::LoadControlConfig;
     use crate::policy::FixedPolicy;
+    use std::time::Instant;
 
     fn test_control(capacity: usize) -> Arc<LoadControl> {
         LoadControl::with_policy(

@@ -1,0 +1,58 @@
+//! The interleaving fuzzer, as a CI-runnable binary.
+//!
+//! ```text
+//! # fixed-seed smoke (deterministic, must pass):
+//! cargo run --release -p lc-des --bin des_fuzz -- --cases 50
+//!
+//! # randomized budget (echoes the seed; export LC_TEST_SEED to reproduce):
+//! cargo run --release -p lc-des --bin des_fuzz -- --seed $RANDOM_SEED --cases 200
+//! ```
+//!
+//! Exit status 0 means every case held the invariants; 1 means a violation
+//! was found (the shrunk, replayable trace is printed — check it in under
+//! `tests/fixtures/des/` to pin the regression), 2 means bad usage.
+
+use lc_des::fuzz::{run_fuzz, FuzzConfig};
+
+fn main() {
+    let mut seed = lc_des::test_seed();
+    let mut config = FuzzConfig::default();
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .and_then(|v| lc_des::parse_seed(&v))
+                .ok_or_else(|| format!("{name} needs a numeric value"))
+        };
+        let parsed = match flag.as_str() {
+            "--seed" => value("--seed").map(|v| seed = v),
+            "--cases" => value("--cases").map(|v| config.cases = v),
+            "--actions" => value("--actions").map(|v| config.actions_per_case = v as usize),
+            "--workers" => value("--workers").map(|v| config.workers = v as u32),
+            "--capacity" => value("--capacity").map(|v| config.capacity = v as usize),
+            "--shards" => value("--shards").map(|v| config.shards = v as usize),
+            other => Err(format!("unknown flag: {other}")),
+        };
+        if let Err(message) = parsed {
+            eprintln!("des_fuzz: {message}");
+            std::process::exit(2);
+        }
+    }
+
+    println!(
+        "des_fuzz: seed={seed:#x} cases={} actions/case={} workers={} capacity={} shards={}",
+        config.cases, config.actions_per_case, config.workers, config.capacity, config.shards
+    );
+    match run_fuzz(seed, &config) {
+        Ok(summary) => {
+            println!(
+                "des_fuzz: OK — {} cases, {} actions, all invariants held",
+                summary.cases, summary.actions
+            );
+        }
+        Err(failure) => {
+            println!("{failure}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! The simulator's metrics plane: per-cycle control traces, derived summary
+//! statistics, and a deterministic JSON rendering for `BENCH_*.json` files.
+//!
+//! Everything here is bit-stable for a given run: no wall-clock timestamps,
+//! no hash-map iteration, fixed float formatting — so two runs with the same
+//! seed produce byte-identical JSON (the acceptance check of the `lc-des`
+//! perf trajectory).
+
+/// One controller cycle as observed by the engine, in the paper's letters:
+/// `S` (ever slept), `W` (woken and left), `T` (sleep target).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CycleRow {
+    /// Virtual time of the cycle (nanoseconds since simulation start).
+    pub at_ns: u64,
+    /// Runnable (non-parked) workers after the cycle's claims settled.
+    pub runnable: u64,
+    /// Outstanding sleepers (`S − W`).
+    pub sleepers: u64,
+    /// Published sleep target (`T`).
+    pub target: u64,
+    /// Cumulative successful claims (`S`).
+    pub ever_slept: u64,
+    /// Cumulative departures (`W`).
+    pub woken_and_left: u64,
+    /// Cumulative claims cleared by the controller (early wakes).
+    pub controller_wakes: u64,
+    /// Cumulative completed critical sections across all workers.
+    pub completed: u64,
+}
+
+/// Summary of one simulation run, plus its full cycle trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Canonical control-plane spec the run executed
+    /// (`LoadControl::spec().to_string()`).
+    pub spec: String,
+    /// Seed the run was driven by.
+    pub seed: u64,
+    /// Worker population.
+    pub workers: u64,
+    /// Simulated hardware contexts.
+    pub capacity: u64,
+    /// Virtual horizon of the run, in nanoseconds.
+    pub horizon_ns: u64,
+    /// Events processed by the engine.
+    pub events: u64,
+    /// Completed critical sections.
+    pub completed: u64,
+    /// Completions per virtual second.
+    pub throughput_per_vsec: f64,
+    /// Departures not initiated by the controller (timeouts / voluntary
+    /// leaves): `W − controller_wakes` at the end of the run.  High churn
+    /// means sleepers cycle through slots instead of staying parked.
+    pub timeout_wakes: u64,
+    /// Claims cleared by the controller.
+    pub controller_wakes: u64,
+    /// First cycle index after which runnable load stayed within the
+    /// convergence band around capacity (see [`convergence_cycle`]);
+    /// `None` if the run never settled.
+    pub convergence_cycle: Option<u64>,
+    /// Jain's fairness index over per-worker completion counts (1.0 = all
+    /// workers progressed equally).
+    pub fairness: f64,
+    /// The per-cycle control trace.
+    pub trace: Vec<CycleRow>,
+}
+
+/// Jain's fairness index: `(Σx)² / (n · Σx²)`, in `(0, 1]`; `1.0` when all
+/// workers completed the same amount, `→ 1/n` when one worker did everything.
+/// Returns `1.0` for an empty population (nothing to be unfair about).
+pub fn jains_index(counts: &[u32]) -> f64 {
+    if counts.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = counts.iter().map(|&c| c as f64).sum();
+    let sq_sum: f64 = counts.iter().map(|&c| (c as f64) * (c as f64)).sum();
+    if sq_sum == 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (counts.len() as f64 * sq_sum)
+}
+
+/// Finds the convergence cycle: the first index `i` such that `runnable`
+/// stays within `capacity ± slack` for `window` consecutive cycles starting
+/// at `i`.  `slack` is `max(2, capacity / 8)`.
+pub fn convergence_cycle(trace: &[CycleRow], capacity: u64, window: usize) -> Option<u64> {
+    let slack = (capacity / 8).max(2);
+    let in_band =
+        |row: &CycleRow| row.runnable <= capacity + slack && row.runnable + slack >= capacity;
+    if trace.len() < window || window == 0 {
+        return None;
+    }
+    let mut run = 0usize;
+    for (i, row) in trace.iter().enumerate() {
+        if in_band(row) {
+            run += 1;
+            if run == window {
+                return Some((i + 1 - window) as u64);
+            }
+        } else {
+            run = 0;
+        }
+    }
+    None
+}
+
+/// Formats a float deterministically for JSON (fixed six decimal places; the
+/// formatting, like the arithmetic producing the value, is platform-stable).
+fn fmt_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+impl RunReport {
+    /// Renders the report as deterministic JSON.
+    ///
+    /// `max_trace_rows` bounds the embedded cycle trace (evenly subsampled,
+    /// always keeping the final row) so megascale sweeps stay reviewable;
+    /// pass `usize::MAX` to keep everything.  The number of rows dropped is
+    /// recorded in the output (`trace_rows_dropped`) so truncation is never
+    /// silent.
+    pub fn to_json(&self, max_trace_rows: usize) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"spec\": \"{}\",\n", self.spec));
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str(&format!("  \"workers\": {},\n", self.workers));
+        out.push_str(&format!("  \"capacity\": {},\n", self.capacity));
+        out.push_str(&format!("  \"horizon_ns\": {},\n", self.horizon_ns));
+        out.push_str(&format!("  \"events\": {},\n", self.events));
+        out.push_str(&format!("  \"completed\": {},\n", self.completed));
+        out.push_str(&format!(
+            "  \"throughput_per_vsec\": {},\n",
+            fmt_f64(self.throughput_per_vsec)
+        ));
+        out.push_str(&format!(
+            "  \"controller_wakes\": {},\n",
+            self.controller_wakes
+        ));
+        out.push_str(&format!("  \"timeout_wakes\": {},\n", self.timeout_wakes));
+        match self.convergence_cycle {
+            Some(c) => out.push_str(&format!("  \"convergence_cycle\": {c},\n")),
+            None => out.push_str("  \"convergence_cycle\": null,\n"),
+        }
+        out.push_str(&format!("  \"fairness\": {},\n", fmt_f64(self.fairness)));
+
+        let keep = self.trace_subsample(max_trace_rows);
+        out.push_str(&format!(
+            "  \"trace_rows_dropped\": {},\n",
+            self.trace.len() - keep.len()
+        ));
+        out.push_str("  \"trace\": [\n");
+        for (i, row) in keep.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"at_ns\": {}, \"runnable\": {}, \"sleepers\": {}, \"target\": {}, \
+                 \"S\": {}, \"W\": {}, \"controller_wakes\": {}, \"completed\": {}}}{}\n",
+                row.at_ns,
+                row.runnable,
+                row.sleepers,
+                row.target,
+                row.ever_slept,
+                row.woken_and_left,
+                row.controller_wakes,
+                row.completed,
+                if i + 1 == keep.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ]\n}");
+        out
+    }
+
+    /// Evenly subsamples the trace to at most `max_rows` rows, always
+    /// retaining the last row (the run's final state).
+    fn trace_subsample(&self, max_rows: usize) -> Vec<CycleRow> {
+        let n = self.trace.len();
+        if n <= max_rows {
+            return self.trace.clone();
+        }
+        let max_rows = max_rows.max(1);
+        let mut keep = Vec::with_capacity(max_rows);
+        for i in 0..max_rows - 1 {
+            keep.push(self.trace[i * n / (max_rows - 1).max(1)]);
+        }
+        keep.push(self.trace[n - 1]);
+        keep.dedup();
+        keep
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(runnable: u64) -> CycleRow {
+        CycleRow {
+            at_ns: 0,
+            runnable,
+            sleepers: 0,
+            target: 0,
+            ever_slept: 0,
+            woken_and_left: 0,
+            controller_wakes: 0,
+            completed: 0,
+        }
+    }
+
+    #[test]
+    fn jains_index_brackets() {
+        assert_eq!(jains_index(&[]), 1.0);
+        assert_eq!(jains_index(&[5, 5, 5, 5]), 1.0);
+        let skewed = jains_index(&[100, 0, 0, 0]);
+        assert!((skewed - 0.25).abs() < 1e-9);
+        let mid = jains_index(&[4, 2, 4, 2]);
+        assert!(mid > 0.25 && mid < 1.0);
+    }
+
+    #[test]
+    fn convergence_needs_a_full_window() {
+        let cap = 16;
+        // Band is 16 ± 2.
+        let trace: Vec<CycleRow> = [40, 30, 17, 15, 16, 18, 16].into_iter().map(row).collect();
+        assert_eq!(convergence_cycle(&trace, cap, 4), Some(2));
+        assert_eq!(convergence_cycle(&trace, cap, 6), None);
+        let diverging: Vec<CycleRow> = [40, 41, 42].into_iter().map(row).collect();
+        assert_eq!(convergence_cycle(&diverging, cap, 2), None);
+    }
+
+    #[test]
+    fn json_is_deterministic_and_bounds_trace() {
+        let report = RunReport {
+            spec: "policy=paper".into(),
+            seed: 7,
+            workers: 100,
+            capacity: 4,
+            horizon_ns: 1_000,
+            events: 50,
+            completed: 10,
+            throughput_per_vsec: 10_000_000.0,
+            timeout_wakes: 1,
+            controller_wakes: 2,
+            convergence_cycle: None,
+            fairness: 0.5,
+            trace: (0..100).map(row).collect(),
+        };
+        let a = report.to_json(10);
+        let b = report.to_json(10);
+        assert_eq!(a, b);
+        assert!(
+            a.contains("\"trace_rows_dropped\": 91") || a.contains("\"trace_rows_dropped\": 90")
+        );
+        assert!(a.contains("\"convergence_cycle\": null"));
+        // The final row always survives subsampling.
+        assert!(a.contains("\"runnable\": 99"));
+    }
+}

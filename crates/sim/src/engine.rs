@@ -10,6 +10,7 @@ use crate::config::SimConfig;
 use crate::metrics::{LockReport, MicroState, SimReport, ThreadReport, MICROSTATE_COUNT};
 use crate::program::{Step, TransactionMix};
 use crate::SimTime;
+use lc_des::discipline::WaiterDiscipline;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::cmp::Reverse;
@@ -103,29 +104,34 @@ impl LockPolicy {
     /// Constructs the policy labelled `name` with its default parameters, or
     /// `None` for an unknown label.
     ///
-    /// Accepts every label produced by [`LockPolicy::name`] *and* every lock
-    /// name in `lc_locks::ALL_LOCK_NAMES`, so experiment configurations can
-    /// select simulator policies and real lock backends with the same strings
-    /// (a registry-consistency test keeps the two lists in lockstep).  The
-    /// simulator has fewer models than the suite has lock families, so
-    /// several names alias the nearest model:
-    ///
-    /// * `"ticket"` — strict-FIFO spinning, like `"mcs"`;
-    /// * `"tas"`, `"ttas-backoff"`, `"rw-lock"`, `"semaphore"` — unordered
-    ///   spinning, modeled as the non-FIFO `"tp-queue"` policy (the rwlock
-    ///   and semaphore are modeled through their exclusive/binary modes);
-    /// * `"spin-then-yield"` — spins and then involves the scheduler, modeled
-    ///   as the adaptive spin-then-block policy.
+    /// The name→model alias table (every label produced by
+    /// [`LockPolicy::name`] *plus* every lock name in
+    /// `lc_locks::ALL_LOCK_NAMES`) now lives in
+    /// [`lc_des::discipline::WaiterDiscipline`], the single source of truth
+    /// shared with the discrete-event simulator; this shim only maps the
+    /// discipline onto this crate's scheduler model.
+    #[deprecated(
+        since = "0.6.0",
+        note = "resolve names through `lc_des::discipline::WaiterDiscipline::for_lock` and \
+                convert with `LockPolicy::from`"
+    )]
     pub fn from_name(name: &str) -> Option<Self> {
-        Some(match name {
-            "mcs" | "ticket" => LockPolicy::spin_fifo(),
-            "tp-queue" | "tas" | "ttas-backoff" | "rw-lock" | "semaphore" => LockPolicy::spin(),
-            "blocking" => LockPolicy::blocking(),
-            "adaptive" | "spin-then-yield" => LockPolicy::adaptive(),
-            "load-control" => LockPolicy::load_controlled(),
-            "load-backoff" => LockPolicy::load_backoff(),
-            _ => return None,
-        })
+        WaiterDiscipline::for_lock(name).map(LockPolicy::from)
+    }
+}
+
+impl From<WaiterDiscipline> for LockPolicy {
+    /// The scheduler model implementing a waiter discipline, with this
+    /// crate's default parameters for the parameterized models.
+    fn from(discipline: WaiterDiscipline) -> Self {
+        match discipline {
+            WaiterDiscipline::FifoSpin => LockPolicy::spin_fifo(),
+            WaiterDiscipline::UnorderedSpin => LockPolicy::spin(),
+            WaiterDiscipline::Block => LockPolicy::blocking(),
+            WaiterDiscipline::SpinThenBlock => LockPolicy::adaptive(),
+            WaiterDiscipline::LoadControlledSpin => LockPolicy::load_controlled(),
+            WaiterDiscipline::LoadBackoff => LockPolicy::load_backoff(),
+        }
     }
 }
 
@@ -1212,6 +1218,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn policy_names_round_trip_through_from_name() {
         let policies = [
             LockPolicy::spin_fifo(),

@@ -16,6 +16,11 @@
 //!   load-controlled sync surface.
 //! * [`sim`] — the deterministic multicore scheduler simulator used to
 //!   reproduce the paper's figures at 64-context scale.
+//! * [`des`] — the deterministic discrete-event simulator that runs the
+//!   *real* control plane (policies, splitters, slot buffer) against a
+//!   million-plus simulated waiters on a virtual clock, plus the
+//!   interleaving fuzzer and the seeded-randomness conventions
+//!   (`LC_TEST_SEED`).
 //! * [`workloads`] — the microbenchmark, Raytrace, TM-1 and TPC-C scenarios
 //!   plus real-thread drivers and the `MiniPool` async executor.
 //!
@@ -26,6 +31,7 @@
 
 pub use lc_accounting as accounting;
 pub use lc_core as core;
+pub use lc_des as des;
 pub use lc_locks as locks;
 pub use lc_sim as sim;
 pub use lc_workloads as workloads;

@@ -1,0 +1,36 @@
+//! Seed-replay regression suite: every fuzz trace checked in under
+//! `tests/fixtures/des/` is replayed against the real control plane on
+//! every test run, with the fuzzer's full invariant set enforced after
+//! each action.  See `tests/fixtures/des/README.md` for how failures
+//! found by `des_fuzz` become fixtures here.
+
+use load_control_suite::des::fuzz::{parse_trace, replay};
+use std::fs;
+use std::path::PathBuf;
+
+#[test]
+fn every_checked_in_fuzz_trace_replays_clean() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/des");
+    let mut paths: Vec<PathBuf> = fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("{}: {e}", dir.display()))
+        .map(|entry| entry.expect("readable fixture directory entry").path())
+        .filter(|path| path.extension().and_then(|e| e.to_str()) == Some("trace"))
+        .collect();
+    paths.sort();
+    assert!(
+        !paths.is_empty(),
+        "no fixture traces found in {}",
+        dir.display()
+    );
+    for path in paths {
+        let text = fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let case =
+            parse_trace(&text).unwrap_or_else(|e| panic!("{}: bad trace: {e}", path.display()));
+        replay(&case).unwrap_or_else(|violation| {
+            panic!(
+                "{}: regression — invariant violated again: {violation}",
+                path.display()
+            )
+        });
+    }
+}

@@ -2,8 +2,10 @@
 //!
 //! The container has no registry access, so instead of the `proptest` crate
 //! these run each property over many seeded-random cases drawn from the
-//! vendored [`rand`] shim.  Failures print the offending seed/case so a run
-//! can be reproduced exactly.
+//! vendored [`rand`] shim.  The base seed comes from the suite-wide
+//! `LC_TEST_SEED` environment knob (see [`lc_des::test_seed`]); failures
+//! print the offending case seed and the `LC_TEST_SEED=...` incantation that
+//! reproduces the run exactly.
 
 use lc_core::slots::{ClaimOutcome, SleepSlotBuffer, SleeperId};
 use lc_core::LoadControlConfig;
@@ -15,11 +17,35 @@ use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 
 /// Runs `body` for `cases` seeded cases, labelling failures with the seed.
+///
+/// Each case's seed is `LC_TEST_SEED + case`, so a failure message naming a
+/// seed is reproduced by exporting `LC_TEST_SEED` to the *base* it prints.
 fn for_each_seed(cases: u64, body: impl Fn(u64, &mut StdRng)) {
+    let base = lc_des::test_seed();
     for case in 0..cases {
-        let seed = 0xdeca_f000 + case;
+        let seed = base.wrapping_add(case);
         let mut rng = StdRng::seed_from_u64(seed);
+        let guard = SeedReport { base, seed, case };
         body(seed, &mut rng);
+        std::mem::forget(guard);
+    }
+}
+
+/// Prints the reproduction recipe if a property panics mid-case.
+struct SeedReport {
+    base: u64,
+    seed: u64,
+    case: u64,
+}
+
+impl Drop for SeedReport {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "proptest case failed: case {} seed {:#x} — reproduce with LC_TEST_SEED={:#x}",
+                self.case, self.seed, self.base
+            );
+        }
     }
 }
 

@@ -15,6 +15,7 @@ use load_control_suite::core::policy::{
 };
 use load_control_suite::core::spec::{LoadControlSpec, ParsedSpec, SpecError};
 use load_control_suite::core::{LoadControl, LoadControlConfig};
+use load_control_suite::des::discipline::{self, WaiterDiscipline};
 use load_control_suite::locks::registry::{self, LOCK_SPECS};
 use load_control_suite::locks::{ABORTABLE_LOCK_NAMES, ALL_LOCK_NAMES};
 use load_control_suite::sim::LockPolicy;
@@ -39,27 +40,37 @@ fn every_lock_name_round_trips_through_the_registry() {
 }
 
 #[test]
-fn every_lock_name_is_a_valid_sim_policy() {
-    // The simulator accepts every real lock name (aliasing families onto its
-    // nearest model), so experiment configs can drive both sides with one
-    // string.
+fn every_lock_name_is_a_valid_waiter_discipline() {
+    // Both simulators accept every real lock name (aliasing families onto
+    // the nearest waiter discipline), so experiment configs can drive all
+    // sides with one string.  The alias table lives in `lc_des::discipline`
+    // — the single source of truth both `lc-des` and `lc-sim` resolve
+    // through.
+    assert!(discipline::covers_lock_registry());
     for &name in ALL_LOCK_NAMES {
-        let policy = LockPolicy::from_name(name)
-            .unwrap_or_else(|| panic!("{name} in ALL_LOCK_NAMES but unknown to lc_sim"));
-        // The canonical model labels keep round-tripping exactly.
-        let canonical = policy.name();
+        let discipline = WaiterDiscipline::for_lock(name)
+            .unwrap_or_else(|| panic!("{name} in ALL_LOCK_NAMES but has no waiter discipline"));
+        // The canonical discipline labels keep round-tripping exactly.
+        let canonical = discipline.canonical_name();
         assert_eq!(
-            LockPolicy::from_name(canonical),
-            Some(policy),
-            "canonical sim label {canonical} does not round-trip"
+            WaiterDiscipline::for_lock(canonical),
+            Some(discipline),
+            "canonical discipline label {canonical} does not round-trip"
+        );
+        // And the legacy scheduler model agrees with the shared table.
+        assert_eq!(
+            LockPolicy::from(discipline).name(),
+            canonical,
+            "lc_sim model for {name} is mislabelled"
         );
     }
-    assert!(LockPolicy::from_name("no-such-policy").is_none());
+    assert!(WaiterDiscipline::for_lock("no-such-policy").is_none());
 }
 
 #[test]
 fn sim_canonical_labels_stay_known() {
-    // Every label the simulator itself produces is accepted back.
+    // Every label the legacy simulator itself produces is accepted back by
+    // the shared discipline table.
     for policy in [
         LockPolicy::spin_fifo(),
         LockPolicy::spin(),
@@ -68,7 +79,9 @@ fn sim_canonical_labels_stay_known() {
         LockPolicy::load_controlled(),
         LockPolicy::load_backoff(),
     ] {
-        assert_eq!(LockPolicy::from_name(policy.name()), Some(policy));
+        let discipline = WaiterDiscipline::for_lock(policy.name())
+            .unwrap_or_else(|| panic!("sim label {} unknown to lc_des", policy.name()));
+        assert_eq!(LockPolicy::from(discipline), policy);
     }
 }
 
@@ -241,6 +254,15 @@ fn deprecated_bare_name_shims_stay_in_lockstep() {
         assert!(policy::build_splitter(name).is_some(), "{name}");
     }
     assert!(policy::build_splitter("no-such-splitter").is_none());
+    // The deprecated lc_sim name resolver keeps matching the shared table.
+    for &name in ALL_LOCK_NAMES {
+        assert_eq!(
+            LockPolicy::from_name(name),
+            WaiterDiscipline::for_lock(name).map(LockPolicy::from),
+            "{name}"
+        );
+    }
+    assert!(LockPolicy::from_name("no-such-policy").is_none());
 }
 
 /// The showcase parameterized entry: `pid(kp=.., ki=..)` selected by spec
