@@ -9,8 +9,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lc_locks::{
-    AdaptiveLock, BlockingLock, McsLock, RawLock, RawRwLock, RawSemaphore, SpinThenYieldLock,
-    TasLock, TicketLock, TimePublishedLock, TtasLock, ALL_LOCK_NAMES,
+    AdaptiveLock, BlockingLock, CcSynchLock, FlatCombiningLock, McsLock, RawLock, RawRwLock,
+    RawSemaphore, SpinThenYieldLock, TasLock, TicketLock, TimePublishedLock, TtasLock,
+    ALL_LOCK_NAMES,
 };
 use lc_workloads::drivers::{run_microbench_named, MicrobenchConfig};
 use std::hint::black_box;
@@ -56,6 +57,8 @@ fn bench_uncontended(c: &mut Criterion) {
         ("semaphore", RawSemaphore),
         ("blocking", BlockingLock),
         ("adaptive", AdaptiveLock),
+        ("flat-combining", FlatCombiningLock),
+        ("ccsynch", CcSynchLock),
     );
 }
 

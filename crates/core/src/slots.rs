@@ -170,6 +170,83 @@ pub fn even_split(total: u64, shards: usize, shard_capacity: u64) -> Vec<u64> {
         .collect()
 }
 
+/// Maximum number of sleepers that can be wake-scan exempt at once.
+///
+/// Exemptions mark *active combiners* (delegation locks, see
+/// `lc_locks::delegation`): at most one combiner per delegation lock can be
+/// active at a time, so 16 concurrent exemptions is far above any realistic
+/// lock population per control instance.
+pub const MAX_EXEMPT: usize = 16;
+
+/// A small lock-free set of slot values (`SleeperId + 1`) the controller's
+/// wake scan must skip.
+///
+/// The wake scan clears occupied slots to wake sleepers; a slot owned by a
+/// thread that is currently *combining* (executing other threads' critical
+/// sections in a delegation lock) should not absorb one of those wakes — the
+/// combiner is running, so clearing its slot wastes the wake on a thread
+/// that cannot respond and leaves an actual sleeper parked.
+struct ExemptSet {
+    entries: [AtomicU64; MAX_EXEMPT],
+    skips: AtomicU64,
+}
+
+impl ExemptSet {
+    fn new() -> Self {
+        Self {
+            entries: std::array::from_fn(|_| AtomicU64::new(0)),
+            skips: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds `value`; `true` on success or if already present, `false` when
+    /// all entries are taken.
+    fn insert(&self, value: u64) -> bool {
+        if self.contains(value) {
+            return true;
+        }
+        for entry in &self.entries {
+            if entry
+                .compare_exchange(0, value, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn remove(&self, value: u64) {
+        for entry in &self.entries {
+            let _ = entry.compare_exchange(value, 0, Ordering::AcqRel, Ordering::Relaxed);
+        }
+    }
+
+    fn contains(&self, value: u64) -> bool {
+        value != 0
+            && self
+                .entries
+                .iter()
+                .any(|e| e.load(Ordering::Acquire) == value)
+    }
+
+    fn clear_all(&self) {
+        for entry in &self.entries {
+            entry.store(0, Ordering::Release);
+        }
+    }
+
+    fn ids(&self) -> Vec<u64> {
+        self.entries
+            .iter()
+            .filter_map(|e| {
+                let v = e.load(Ordering::Acquire);
+                (v != 0).then(|| v - 1)
+            })
+            .collect()
+    }
+}
+
 /// One shard: a private `S`/`W`/`T` triple plus its slice of the slot ring.
 struct Shard {
     /// `S_i`: number of threads that ever claimed a slot here; also the head.
@@ -244,8 +321,10 @@ impl Shard {
     }
 
     /// Clears up to `count` occupied slots in this shard and unparks their
-    /// owners from `table`.  Returns how many were actually woken.
-    fn wake(&self, count: usize, table: &[Arc<Parker>]) -> usize {
+    /// owners from `table`, skipping any slot whose owner is in `exempt`
+    /// (the active-combiner exemption).  Returns how many were actually
+    /// woken.
+    fn wake(&self, count: usize, table: &[Arc<Parker>], exempt: &ExemptSet) -> usize {
         if count == 0 {
             return 0;
         }
@@ -256,6 +335,10 @@ impl Shard {
             }
             let v = slot.load(Ordering::Acquire);
             if v == 0 {
+                continue;
+            }
+            if exempt.contains(v) {
+                exempt.skips.fetch_add(1, Ordering::Relaxed);
                 continue;
             }
             if slot
@@ -299,6 +382,9 @@ pub struct SleepSlotBuffer {
     publish: Mutex<()>,
     /// Registered sleepers' parkers, indexed by `SleeperId`.
     parkers: Mutex<Vec<Arc<Parker>>>,
+    /// Sleepers the wake scan must skip (active combiners; see
+    /// [`SleepSlotBuffer::set_exempt`]).
+    exempt: ExemptSet,
 }
 
 impl fmt::Debug for SleepSlotBuffer {
@@ -360,6 +446,7 @@ impl SleepSlotBuffer {
             total_target: CachePadded::new(AtomicU64::new(0)),
             publish: Mutex::new(()),
             parkers: Mutex::new(Vec::new()),
+            exempt: ExemptSet::new(),
         }
     }
 
@@ -617,7 +704,7 @@ impl SleepSlotBuffer {
             let sleepers = shard.sleepers();
             if sleepers > capped {
                 let table = table.get_or_insert_with(|| self.parkers.lock().unwrap());
-                woken += shard.wake((sleepers - capped) as usize, table.as_slice());
+                woken += shard.wake((sleepers - capped) as usize, table.as_slice(), &self.exempt);
             }
         }
         self.total_target.store(total, Ordering::Release);
@@ -636,12 +723,15 @@ impl SleepSlotBuffer {
             if woken >= count {
                 break;
             }
-            woken += shard.wake(count - woken, table.as_slice());
+            woken += shard.wake(count - woken, table.as_slice(), &self.exempt);
         }
         woken
     }
 
     /// Wakes every sleeper and resets all targets to zero (shutdown path).
+    ///
+    /// Exemptions are cleared first: shutdown must release *everyone*,
+    /// including a combiner whose slot the ordinary wake scan would skip.
     pub fn wake_all(&self) -> usize {
         {
             let _publish = self.publish.lock().unwrap();
@@ -650,7 +740,43 @@ impl SleepSlotBuffer {
             }
             self.total_target.store(0, Ordering::Release);
         }
+        self.exempt.clear_all();
         self.wake(self.capacity())
+    }
+
+    /// Marks `sleeper` exempt from the controller's wake scan — the
+    /// active-combiner exemption of the delegation lock plane: while a
+    /// thread executes other threads' critical sections, clearing its sleep
+    /// slot would waste a wake on a thread that is already running.
+    ///
+    /// Returns `false` when the exempt table is full ([`MAX_EXEMPT`]
+    /// concurrent exemptions) — the caller simply proceeds without the
+    /// exemption, which is safe (a skipped exemption only means the combiner
+    /// can absorb a wake it does not need).
+    pub fn set_exempt(&self, sleeper: SleeperId) -> bool {
+        self.exempt.insert(sleeper.slot_value())
+    }
+
+    /// Removes `sleeper`'s wake-scan exemption, if present.
+    pub fn clear_exempt(&self, sleeper: SleeperId) {
+        self.exempt.remove(sleeper.slot_value());
+    }
+
+    /// Whether `sleeper` is currently exempt from the wake scan.
+    pub fn is_exempt(&self, sleeper: SleeperId) -> bool {
+        self.exempt.contains(sleeper.slot_value())
+    }
+
+    /// Raw registration indices ([`SleeperId::index`]) of every currently
+    /// exempt sleeper, for introspection and tests.
+    pub fn exempt_ids(&self) -> Vec<u64> {
+        self.exempt.ids()
+    }
+
+    /// Number of wake-scan encounters with an exempt slot (each one skipped
+    /// and redirected to the next occupied slot).
+    pub fn exempt_skips(&self) -> u64 {
+        self.exempt.skips.load(Ordering::Relaxed)
     }
 
     /// Snapshot of the buffer's counters, aggregated over all shards.
@@ -1152,6 +1278,85 @@ mod tests {
         );
         buf.leave(idx, id);
         assert_eq!(buf.claim_races_per_shard(), vec![0, 0]);
+    }
+
+    #[test]
+    fn exempt_sleepers_survive_the_wake_scan() {
+        let buf = SleepSlotBuffer::new(8);
+        buf.set_target(2);
+        let parkers: Vec<Arc<Parker>> = (0..2).map(|_| Arc::new(Parker::new())).collect();
+        let ids: Vec<SleeperId> = parkers
+            .iter()
+            .map(|p| buf.register_sleeper(Arc::clone(p)))
+            .collect();
+        let claims: Vec<usize> = ids
+            .iter()
+            .map(|id| match buf.try_claim(*id) {
+                ClaimOutcome::Claimed(idx) => idx,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert!(buf.set_exempt(ids[0]));
+        assert!(buf.is_exempt(ids[0]));
+        assert!(!buf.is_exempt(ids[1]));
+        assert_eq!(buf.exempt_ids(), vec![ids[0].index()]);
+        // Shrink the target to zero: the scan wants both slots cleared but
+        // must skip the exempt one and wake only the other sleeper.
+        let woken = buf.set_target(0);
+        assert_eq!(woken, 1);
+        assert!(
+            buf.still_claimed(claims[0], ids[0]),
+            "exempt slot was cleared by the wake scan"
+        );
+        assert!(!buf.still_claimed(claims[1], ids[1]));
+        assert!(buf.exempt_skips() >= 1);
+        // Clearing the exemption lets the scan reach the slot again.
+        buf.clear_exempt(ids[0]);
+        assert!(!buf.is_exempt(ids[0]));
+        assert_eq!(buf.wake(1), 1);
+        for (idx, id) in claims.iter().zip(&ids) {
+            buf.leave(*idx, *id);
+        }
+        let stats = buf.stats();
+        assert_eq!(stats.ever_slept, stats.woken_and_left);
+    }
+
+    #[test]
+    fn wake_all_overrides_exemptions() {
+        let buf = SleepSlotBuffer::new(8);
+        buf.set_target(1);
+        let id = sleeper(&buf);
+        let ClaimOutcome::Claimed(idx) = buf.try_claim(id) else {
+            panic!("expected a claim");
+        };
+        assert!(buf.set_exempt(id));
+        // Shutdown must release everyone, exemptions included.
+        assert_eq!(buf.wake_all(), 1);
+        assert!(!buf.is_exempt(id));
+        assert!(!buf.still_claimed(idx, id));
+        buf.leave(idx, id);
+        let stats = buf.stats();
+        assert_eq!(stats.ever_slept, stats.woken_and_left);
+    }
+
+    #[test]
+    fn exempt_table_fills_gracefully_and_is_idempotent() {
+        let buf = SleepSlotBuffer::new(8);
+        let ids: Vec<_> = (0..=MAX_EXEMPT).map(|_| sleeper(&buf)).collect();
+        for id in &ids[..MAX_EXEMPT] {
+            assert!(buf.set_exempt(*id));
+            assert!(buf.set_exempt(*id), "re-exempting must be idempotent");
+        }
+        assert_eq!(buf.exempt_ids().len(), MAX_EXEMPT);
+        assert!(
+            !buf.set_exempt(ids[MAX_EXEMPT]),
+            "a full exempt table must refuse, not panic"
+        );
+        buf.clear_exempt(ids[0]);
+        assert!(
+            buf.set_exempt(ids[MAX_EXEMPT]),
+            "freed entry must be reusable"
+        );
     }
 
     #[test]

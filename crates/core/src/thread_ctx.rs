@@ -27,6 +27,7 @@ use crate::controller::LoadControl;
 use crate::slots::{ClaimOutcome, SleeperId};
 use crate::time::{SlotWait, WaitPoll};
 use lc_accounting::{ThreadHandle, ThreadState};
+use lc_locks::delegation::{self, CombinerObserver};
 use lc_locks::{Parker, SpinDecision, SpinPolicy};
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
@@ -45,6 +46,11 @@ pub(crate) struct ThreadCtx {
     /// refuse sleeping while holding a lock (the nested-critical-section
     /// hazard of paper §6.1.2).
     hold_count: Cell<u32>,
+    /// Number of unresolved sleep-slot claims this thread holds (0 or 1 in
+    /// practice — a gate resolves its claim before the next one).  The
+    /// load-aware combiner-election strategy consults this: a thread that
+    /// has committed to sleeping must not elect itself combiner.
+    slot_claims: Cell<u32>,
     /// Number of times this thread has been put to sleep by load control.
     sleeps: Cell<u64>,
 }
@@ -54,6 +60,7 @@ impl fmt::Debug for ThreadCtx {
         f.debug_struct("ThreadCtx")
             .field("sleeper", &self.sleeper)
             .field("hold_count", &self.hold_count.get())
+            .field("slot_claims", &self.slot_claims.get())
             .field("sleeps", &self.sleeps.get())
             .finish()
     }
@@ -70,6 +77,7 @@ impl ThreadCtx {
             sleeper,
             handle,
             hold_count: Cell::new(0),
+            slot_claims: Cell::new(0),
             sleeps: Cell::new(0),
         }
     }
@@ -86,6 +94,23 @@ impl ThreadCtx {
 
     fn holds_locks(&self) -> bool {
         self.hold_count.get() > 0
+    }
+
+    /// A sleep-slot claim was taken on behalf of this thread.
+    fn note_slot_claimed(&self) {
+        self.slot_claims.set(self.slot_claims.get() + 1);
+    }
+
+    /// A sleep-slot claim was resolved (parked, cancelled, or dropped).
+    fn note_slot_released(&self) {
+        let c = self.slot_claims.get();
+        debug_assert!(c > 0, "released a sleep-slot claim that was not held");
+        self.slot_claims.set(c.saturating_sub(1));
+    }
+
+    /// Whether this thread currently holds an unresolved sleep-slot claim.
+    fn holds_slot_claim(&self) -> bool {
+        self.slot_claims.get() > 0
     }
 
     /// Total times this thread slept at load control's request.
@@ -153,7 +178,42 @@ thread_local! {
     static CTXS: RefCell<HashMap<usize, Rc<ThreadCtx>>> = RefCell::new(HashMap::new());
 }
 
+/// The per-thread combiner hook wiring `lc_locks::delegation` to load
+/// control: election consults the sleep books, and combining toggles the
+/// wake-scan exemption for this thread's slot.
+struct CtxCombinerObserver {
+    ctx: Rc<ThreadCtx>,
+}
+
+impl CombinerObserver for CtxCombinerObserver {
+    fn combining_changed(&self, active: bool) {
+        let buffer = self.ctx.control.buffer();
+        if active {
+            // A full exempt table refuses the exemption; combining proceeds
+            // regardless (the combiner can then absorb a useless wake, which
+            // is wasteful but safe).
+            let _ = buffer.set_exempt(self.ctx.sleeper);
+        } else {
+            buffer.clear_exempt(self.ctx.sleeper);
+        }
+    }
+
+    fn may_self_elect(&self) -> bool {
+        // A thread that has committed to sleeping (holds an unresolved
+        // sleep-slot claim) must not become the combiner: it is exactly the
+        // thread the controller wants off the CPU.
+        !self.ctx.holds_slot_claim()
+    }
+}
+
 /// Returns (creating if necessary) the calling thread's context for `control`.
+///
+/// Context creation also installs the thread's [`CombinerObserver`], linking
+/// the delegation lock plane (`flat-combining` / `ccsynch` with
+/// `strategy=load-aware`) to this control instance's sleep books.  A thread
+/// using several [`LoadControl`] instances keeps the observer of the instance
+/// it touched most recently — per-thread delegation state is a single hook,
+/// matching the one-control-plane-per-process deployment of the paper.
 pub(crate) fn current_ctx(control: &Arc<LoadControl>) -> Rc<ThreadCtx> {
     let key = Arc::as_ptr(control) as usize;
     CTXS.with(|map| {
@@ -163,6 +223,9 @@ pub(crate) fn current_ctx(control: &Arc<LoadControl>) -> Rc<ThreadCtx> {
         }
         let ctx = Rc::new(ThreadCtx::new(Arc::clone(control)));
         map.insert(key, Rc::clone(&ctx));
+        delegation::install_combiner_observer(Box::new(CtxCombinerObserver {
+            ctx: Rc::clone(&ctx),
+        }));
         ctx
     })
 }
@@ -300,6 +363,13 @@ impl LoadGate {
         if self.ctx.holds_locks() {
             return false;
         }
+        // Nor while acting as a delegation-lock combiner: the combiner is
+        // executing *other* threads' critical sections, so parking it stalls
+        // every publisher at once — the delegation analogue of the same
+        // hazard.
+        if delegation::is_combining() {
+            return false;
+        }
         let buffer = self.ctx.control.buffer();
         // The cheap per-iteration check touches only the shards this thread's
         // claim could land on (its home shard and the overflow neighbour);
@@ -310,6 +380,7 @@ impl LoadGate {
         match buffer.try_claim(self.ctx.sleeper) {
             ClaimOutcome::Claimed(idx) => {
                 self.claimed = Some(idx);
+                self.ctx.note_slot_claimed();
                 true
             }
             ClaimOutcome::NoSpace | ClaimOutcome::Raced => false,
@@ -338,6 +409,11 @@ impl LoadGate {
     pub fn park_while(&mut self, keep_parked: impl Fn() -> bool) -> bool {
         match self.claimed.take() {
             Some(idx) => {
+                // The claim is resolved the moment we commit to sleeping:
+                // once parked this thread cannot be electing itself combiner
+                // anyway, and the counter must balance exactly once per
+                // claim.
+                self.ctx.note_slot_released();
                 self.sleeps += 1;
                 self.ctx
                     .sleep_in_slot_while(idx, &self.config, &keep_parked);
@@ -352,6 +428,7 @@ impl LoadGate {
     /// claim.
     pub fn cancel(&mut self) {
         if let Some(idx) = self.claimed.take() {
+            self.ctx.note_slot_released();
             self.ctx.control.buffer().leave(idx, self.ctx.sleeper);
         }
     }
@@ -648,6 +725,52 @@ mod tests {
         assert_eq!(lc.sleepers(), 0);
         let stats = buffer.stats();
         assert_eq!(stats.ever_slept, stats.woken_and_left);
+    }
+
+    #[test]
+    fn slot_claim_vetoes_combiner_election() {
+        let lc = test_control(1);
+        lc.set_sleep_target(1);
+        let mut gate = LoadGate::new(&lc);
+        assert!(delegation::thread_may_self_elect());
+        assert!(gate.try_claim());
+        assert!(
+            !delegation::thread_may_self_elect(),
+            "a thread holding a sleep-slot claim must refuse the combiner role"
+        );
+        gate.cancel();
+        assert!(delegation::thread_may_self_elect());
+        // Parking resolves the claim too (counter balances either way).
+        assert!(gate.try_claim());
+        assert!(!delegation::thread_may_self_elect());
+        lc.set_sleep_target(0);
+        assert!(gate.park());
+        assert!(delegation::thread_may_self_elect());
+    }
+
+    #[test]
+    fn combining_refuses_claims_and_exempts_the_sleeper() {
+        use lc_locks::{DelegationLock, FlatCombiningLock, RawLock};
+        let lc = test_control(1);
+        lc.set_sleep_target(1);
+        let sleeper = current_ctx(&lc).sleeper;
+        let lock = <FlatCombiningLock as RawLock>::new();
+        let lc2 = Arc::clone(&lc);
+        let mut observed = (false, false, true);
+        lock.run_locked(|| {
+            observed.0 = delegation::is_combining();
+            observed.1 = lc2.buffer().is_exempt(sleeper);
+            let mut gate = LoadGate::new(&lc2);
+            observed.2 = gate.try_claim();
+        });
+        assert!(observed.0, "direct run_locked must combine");
+        assert!(observed.1, "combiner was not exempt from the wake scan");
+        assert!(!observed.2, "combiner claimed a sleep slot");
+        assert!(
+            !lc.buffer().is_exempt(sleeper),
+            "exemption must be cleared when combining ends"
+        );
+        assert_eq!(lc.combiner_exempt_ids(), Vec::<u64>::new());
     }
 
     #[test]

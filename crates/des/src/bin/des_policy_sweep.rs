@@ -11,6 +11,7 @@
 //! the files to prove it.
 
 use lc_core::POLICY_SPECS;
+use lc_des::discipline::WaiterDiscipline;
 use lc_des::engine::{run, DesConfig};
 use lc_des::workload::WorkloadSpec;
 use std::time::{Duration, Instant};
@@ -98,10 +99,22 @@ fn main() {
         args.workers, args.capacity, args.shards, args.horizon, args.seed
     );
 
+    // One row per control policy with the native spin discipline, plus one
+    // delegation row: the paper's policy over flat-combining (publish-then-
+    // poll) waiters, so the sweep shows load control composing with a
+    // delegation lock plane.
+    let mut rows: Vec<(String, WaiterDiscipline)> = args
+        .policies
+        .iter()
+        .map(|p| (p.clone(), WaiterDiscipline::LoadControlledSpin))
+        .collect();
+    rows.push(("paper".to_string(), WaiterDiscipline::Combining));
+
     let mut bodies = Vec::new();
-    for policy in &args.policies {
+    for (policy, discipline) in &rows {
         let mut config = DesConfig::new(args.workers, args.capacity);
         config.policy = policy.clone();
+        config.discipline = *discipline;
         config.shards = args.shards;
         config.horizon = args.horizon;
         config.seed = args.seed;

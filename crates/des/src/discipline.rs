@@ -29,6 +29,11 @@ pub enum WaiterDiscipline {
     /// overloaded spinner sleeps for a random time and cannot be woken
     /// early.
     LoadBackoff,
+    /// Delegation (flat combining / CCSynch): waiters *publish* their
+    /// critical sections and poll for completion while one combiner executes
+    /// them; the handoff favours waiters that are on a CPU, and an
+    /// unexecuted request can be withdrawn (the abort path).
+    Combining,
 }
 
 impl WaiterDiscipline {
@@ -40,6 +45,7 @@ impl WaiterDiscipline {
         WaiterDiscipline::SpinThenBlock,
         WaiterDiscipline::LoadControlledSpin,
         WaiterDiscipline::LoadBackoff,
+        WaiterDiscipline::Combining,
     ];
 
     /// The discipline of the lock (or simulator policy) labelled `name`, or
@@ -56,7 +62,9 @@ impl WaiterDiscipline {
     ///   spinning (rwlock and semaphore through their exclusive/binary
     ///   modes);
     /// * `"spin-then-yield"` — spins and then involves the scheduler,
-    ///   treated as spin-then-block.
+    ///   treated as spin-then-block;
+    /// * `"flat-combining"`, `"ccsynch"` — delegation: both publish requests
+    ///   and poll, differing only in the publication structure.
     pub fn for_lock(name: &str) -> Option<Self> {
         Some(match name {
             "mcs" | "ticket" => WaiterDiscipline::FifoSpin,
@@ -67,6 +75,7 @@ impl WaiterDiscipline {
             "adaptive" | "spin-then-yield" => WaiterDiscipline::SpinThenBlock,
             "load-control" => WaiterDiscipline::LoadControlledSpin,
             "load-backoff" => WaiterDiscipline::LoadBackoff,
+            "flat-combining" | "ccsynch" => WaiterDiscipline::Combining,
             _ => return None,
         })
     }
@@ -81,6 +90,7 @@ impl WaiterDiscipline {
             WaiterDiscipline::SpinThenBlock => "adaptive",
             WaiterDiscipline::LoadControlledSpin => "load-control",
             WaiterDiscipline::LoadBackoff => "load-backoff",
+            WaiterDiscipline::Combining => "flat-combining",
         }
     }
 }

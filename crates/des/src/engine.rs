@@ -42,6 +42,7 @@
 //! matched in a deterministic batch after each cycle), which corresponds to
 //! a real spinner noticing the target within one spin-hook check period.
 
+use crate::discipline::WaiterDiscipline;
 use crate::metrics::{convergence_cycle, CycleRow, RunReport};
 use crate::workload::{Arrivals, Dist, WorkloadSpec};
 use lc_accounting::{LoadSample, LoadSampler, ThreadRegistry};
@@ -112,6 +113,19 @@ pub struct DesConfig {
     pub workload: WorkloadSpec,
     /// Optional randomized reordering / preemption injection.
     pub perturb: Option<Perturb>,
+    /// How contended waiters of the modelled lock behave.
+    ///
+    /// The engine's native model is load-controlled spinning
+    /// ([`WaiterDiscipline::LoadControlledSpin`], the default).
+    /// [`WaiterDiscipline::Combining`] switches the lock to a delegation
+    /// model: waiters *publish* their critical sections and poll, and on
+    /// each acquisition the combiner executes up to [`COMBINE_BATCH`]
+    /// published requests in one burst before releasing.  Publishers whose
+    /// requests are claimed by the combiner leave the withdrawable queue —
+    /// only still-queued publishers can be parked by load control, which is
+    /// exactly the real abort/withdraw boundary.  Any other discipline value
+    /// falls back to the native spin model.
+    pub discipline: WaiterDiscipline,
 }
 
 impl DesConfig {
@@ -131,9 +145,15 @@ impl DesConfig {
             seed: crate::DEFAULT_TEST_SEED,
             workload: WorkloadSpec::contended(),
             perturb: None,
+            discipline: WaiterDiscipline::LoadControlledSpin,
         }
     }
 }
+
+/// How many published requests (including the combiner's own) one combiner
+/// pass executes under [`WaiterDiscipline::Combining`]; mirrors the default
+/// combining caps of the real delegation backends in `lc_locks::delegation`.
+pub const COMBINE_BATCH: usize = 8;
 
 /// The load sampler of the simulated machine: reports the engine's runnable
 /// counter on the virtual clock's timebase.
@@ -244,6 +264,10 @@ pub struct Engine {
     workers: Vec<Worker>,
     lock_queue: VecDeque<u32>,
     holder: Option<u32>,
+    /// Publishers whose requests the current combiner has claimed (only
+    /// non-empty under [`WaiterDiscipline::Combining`]); they complete with
+    /// the combiner's release and cannot be parked meanwhile.
+    combined: Vec<u32>,
     heap: BinaryHeap<Reverse<Event>>,
     rng: StdRng,
     seq: u64,
@@ -320,6 +344,7 @@ impl Engine {
             workers,
             lock_queue: VecDeque::new(),
             holder: None,
+            combined: Vec::new(),
             heap: BinaryHeap::with_capacity(config.workers + 16),
             seq: 0,
             events: 0,
@@ -546,6 +571,18 @@ impl Engine {
     fn on_release(&mut self, id: u32) {
         debug_assert_eq!(self.holder, Some(id));
         self.holder = None;
+        // Under combining, every publisher whose request rode in the
+        // combiner's burst completes with this release.
+        let combined = std::mem::take(&mut self.combined);
+        for w in combined {
+            let worker = &mut self.workers[w as usize];
+            debug_assert_eq!(worker.state, WState::Spinning);
+            worker.completed += 1;
+            self.completed_total += 1;
+            worker.state = WState::Thinking;
+            let think = self.think.sample(&mut self.rng);
+            self.schedule(think, EventKind::StartWork(w));
+        }
         let worker = &mut self.workers[id as usize];
         worker.completed += 1;
         self.completed_total += 1;
@@ -556,6 +593,9 @@ impl Engine {
     }
 
     /// FIFO handoff: if the lock is free, the oldest spinner takes it.
+    /// Under [`WaiterDiscipline::Combining`] the taker is a *combiner*: it
+    /// also claims up to [`COMBINE_BATCH`]` - 1` further published requests
+    /// and executes them in one burst before releasing.
     fn try_grant(&mut self) {
         if self.holder.is_some() {
             return;
@@ -566,6 +606,19 @@ impl Engine {
         self.holder = Some(next);
         self.workers[next as usize].state = WState::Holding;
         let mut critical = self.critical.sample(&mut self.rng);
+        if self.config.discipline == WaiterDiscipline::Combining {
+            debug_assert!(self.combined.is_empty());
+            while self.combined.len() + 1 < COMBINE_BATCH {
+                let Some(w) = self.lock_queue.pop_front() else {
+                    break;
+                };
+                // The combiner takes this request: it can no longer be
+                // withdrawn (so load control cannot park its publisher),
+                // and its critical section joins the burst.
+                critical += self.critical.sample(&mut self.rng);
+                self.combined.push(w);
+            }
+        }
         if let Some(perturb) = self.config.perturb {
             if self.rng.random_range(0.0..1.0) < perturb.preempt_chance {
                 let max = ns(perturb.preempt_max);
@@ -622,8 +675,14 @@ impl Engine {
         let counts: Vec<u32> = self.workers.iter().map(|w| w.completed).collect();
         let horizon_ns = ns(self.config.horizon);
         let convergence = convergence_cycle(&self.trace, self.config.capacity as u64, 5);
+        let mut spec = self.control.spec().to_string();
+        if self.config.discipline != WaiterDiscipline::LoadControlledSpin {
+            // Keep non-default disciplines distinguishable in sweep output.
+            spec.push_str("; discipline=");
+            spec.push_str(self.config.discipline.canonical_name());
+        }
         RunReport {
-            spec: self.control.spec().to_string(),
+            spec,
             seed: self.config.seed,
             workers: self.config.workers as u64,
             capacity: self.config.capacity as u64,
@@ -708,6 +767,33 @@ mod tests {
         assert_eq!(a.to_json(usize::MAX), b.to_json(usize::MAX));
         let c = run(small("paper", 8)).expect("valid spec");
         assert_ne!(a.to_json(usize::MAX), c.to_json(usize::MAX));
+    }
+
+    #[test]
+    fn combining_discipline_batches_and_stays_deterministic() {
+        let combining = |seed| {
+            let mut config = small("paper", seed);
+            config.discipline = WaiterDiscipline::Combining;
+            run(config).expect("valid spec")
+        };
+        let report = combining(9);
+        assert!(
+            report.spec.contains("discipline=flat-combining"),
+            "combining runs must be labelled: {}",
+            report.spec
+        );
+        assert!(report.completed > 0, "no combined work completed");
+        // Load control still parks the excess publishers: only still-queued
+        // (withdrawable) requests are claimable, but with 400 workers on 4
+        // contexts the queue never runs dry.
+        assert!(
+            report.trace.iter().any(|row| row.sleepers > 0),
+            "no publisher was ever parked under combining"
+        );
+        assert_eq!(report, combining(9), "combining runs must be bit-identical");
+        // The default-discipline label is unchanged (no suffix).
+        let baseline = run(small("paper", 9)).expect("valid spec");
+        assert!(!baseline.spec.contains("discipline="));
     }
 
     #[test]

@@ -21,6 +21,11 @@
 //!   permit it doubles as a spin mutex).  These extend the abortable-waiting
 //!   contract beyond mutual exclusion so the whole sync surface can be
 //!   load-controlled.
+//! * **Delegation** — [`FlatCombiningLock`] and [`CcSynchLock`] invert
+//!   waiting entirely: waiters *publish* their critical sections and the
+//!   current combiner executes them (see the [`delegation`] module).  Abort =
+//!   withdrawing the unexecuted published request, so load control composes
+//!   with delegation exactly like with spinning.
 //! * **Blocking** — [`BlockingLock`] parks every waiter (the behaviour of a
 //!   classic heavyweight mutex), [`AdaptiveLock`] spins while the holder
 //!   appears to be running and blocks otherwise (a Solaris-adaptive-mutex /
@@ -82,6 +87,7 @@
 
 pub mod adaptive;
 pub mod blocking;
+pub mod delegation;
 pub mod mcs;
 pub mod mutex;
 pub mod parker;
@@ -99,6 +105,11 @@ pub mod ttas;
 
 pub use adaptive::{AdaptiveConfig, AdaptiveLock};
 pub use blocking::BlockingLock;
+pub use delegation::{
+    take_thread_combine_tally, thread_combine_tally, CcSynchLock, CombineTally, CombinerObserver,
+    CombinerStrategy, DelegationLock, DelegationMutex, DelegationStatsSnapshot, FlatCombiningLock,
+    COMBINER_SPECS,
+};
 pub use mcs::McsLock;
 pub use mutex::{aliases, Mutex, MutexGuard};
 pub use parker::{ParkResult, Parker};
@@ -111,7 +122,7 @@ pub use rwlock::RawRwLock;
 pub use semaphore::RawSemaphore;
 pub use spin_then_yield::SpinThenYieldLock;
 pub use spin_wait::{Backoff, SpinWait};
-pub use stats::{LockStats, LockStatsSnapshot};
+pub use stats::{jains_index, LockStats, LockStatsSnapshot, ThreadUsageRow, ThreadUsageTable};
 pub use tas::TasLock;
 pub use ticket::TicketLock;
 pub use time_published::{TimePublishedLock, TpConfig};
@@ -133,6 +144,8 @@ pub const ALL_LOCK_NAMES: &[&str] = &[
     "semaphore",
     "blocking",
     "adaptive",
+    "flat-combining",
+    "ccsynch",
 ];
 
 /// Names of the lock families that implement [`AbortableLock`] — the
@@ -149,6 +162,8 @@ pub const ABORTABLE_LOCK_NAMES: &[&str] = &[
     "spin-then-yield",
     "rw-lock",
     "semaphore",
+    "flat-combining",
+    "ccsynch",
 ];
 
 #[cfg(test)]
@@ -157,12 +172,12 @@ mod crate_tests {
 
     #[test]
     fn all_lock_names_is_consistent() {
-        assert_eq!(ALL_LOCK_NAMES.len(), 10);
+        assert_eq!(ALL_LOCK_NAMES.len(), 12);
         // No duplicates.
         let mut names: Vec<&str> = ALL_LOCK_NAMES.to_vec();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 10);
+        assert_eq!(names.len(), 12);
     }
 
     #[test]

@@ -138,6 +138,21 @@ pub trait SpinPolicy {
     }
 }
 
+impl<P: SpinPolicy + ?Sized> SpinPolicy for &mut P {
+    #[inline]
+    fn on_spin(&mut self, spins: u64) -> SpinDecision {
+        (**self).on_spin(spins)
+    }
+
+    fn on_aborted(&mut self) {
+        (**self).on_aborted();
+    }
+
+    fn on_acquired(&mut self, spins: u64) {
+        (**self).on_acquired(spins);
+    }
+}
+
 /// A [`SpinPolicy`] that never aborts: plain spinning.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct NeverAbort;

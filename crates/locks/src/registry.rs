@@ -329,6 +329,24 @@ pub static LOCK_SPECS: Registry<Box<dyn DynLock>> = Registry::new(
             summary: "spins while the holder runs, then parks",
             build: |_, spec| build_adaptive(spec),
         },
+        SpecEntry {
+            name: "flat-combining",
+            keys: &["scan_budget", "strategy", "window"],
+            summary: "flat-combining delegation lock (publication array, combiner scan)",
+            build: |_, spec| {
+                let (lock, canonical) = crate::delegation::flat_combining_from_spec(spec)?;
+                Ok(abortable(lock, canonical))
+            },
+        },
+        SpecEntry {
+            name: "ccsynch",
+            keys: &["max_combine", "strategy", "window"],
+            summary: "CCSynch delegation lock (FIFO request queue, capped combining)",
+            build: |_, spec| {
+                let (lock, canonical) = crate::delegation::ccsynch_from_spec(spec)?;
+                Ok(abortable(lock, canonical))
+            },
+        },
     ],
 );
 

@@ -11,10 +11,17 @@
 //!   through `on_acquired`;
 //! * `try_lock` never blocks, whether the lock is free, held, or churning
 //!   with aborting waiters.
+//!
+//! The critical-section step is pluggable ([`CsPath`]): classic
+//! `lock_with`/`unlock` pairs, or delegation-style `run_locked_with` where
+//! the body may execute on another thread's combiner pass and an abort
+//! withdraws the published request.  The delegation locks run under *both*
+//! paths.
 
 use lc_locks::{
-    AbortableLock, BoundedAbort, McsLock, RawRwLock, RawSemaphore, RawTryLock, SpinDecision,
-    SpinPolicy, SpinThenYieldLock, TasLock, TicketLock, TimePublishedLock, TtasLock,
+    AbortableLock, BoundedAbort, CcSynchLock, DelegationLock, FlatCombiningLock, McsLock,
+    RawRwLock, RawSemaphore, RawTryLock, SpinDecision, SpinPolicy, SpinThenYieldLock, TasLock,
+    TicketLock, TimePublishedLock, TtasLock,
 };
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
@@ -65,9 +72,36 @@ impl SpinPolicy for CountingPolicy {
     }
 }
 
+/// How the harness executes one policy-driven critical section on a lock.
+trait CsPath<L> {
+    fn with_cs(lock: &L, policy: &mut CountingPolicy, body: impl FnOnce() + Send);
+}
+
+/// The classic path: acquire ownership with the policy, run the body on this
+/// thread, release.
+struct LockUnlock;
+
+impl<L: AbortableLock> CsPath<L> for LockUnlock {
+    fn with_cs(lock: &L, policy: &mut CountingPolicy, body: impl FnOnce() + Send) {
+        lock.lock_with(policy);
+        body();
+        unsafe { lock.unlock() };
+    }
+}
+
+/// The delegation path: publish the body as a request; it runs either in
+/// place or on whichever thread is combining, and an abort withdraws it.
+struct Delegated;
+
+impl<L: DelegationLock> CsPath<L> for Delegated {
+    fn with_cs(lock: &L, policy: &mut CountingPolicy, body: impl FnOnce() + Send) {
+        lock.run_locked_with(policy, body);
+    }
+}
+
 /// Mutual exclusion under aggressive abort/retry churn: every acquisition
 /// increments a plain (non-atomic-style) counter; the total must be exact.
-fn exclusion_with_aborting_policies<R: AbortableLock + 'static>() {
+fn exclusion_with_aborting_policies<R: AbortableLock + 'static, C: CsPath<R>>() {
     let lock = Arc::new(R::new());
     let counter = Arc::new(AtomicU64::new(0));
     let threads = 6;
@@ -89,10 +123,10 @@ fn exclusion_with_aborting_policies<R: AbortableLock + 'static>() {
                 // Mix abort horizons so retries interleave at every depth,
                 // including limit 0 (abort on the very first poll).
                 let mut policy = CountingPolicy::new((worker as u64 + i) % 24);
-                lock.lock_with(&mut policy);
-                let v = counter.load(Ordering::Relaxed);
-                counter.store(v + 1, Ordering::Relaxed);
-                unsafe { lock.unlock() };
+                C::with_cs(&lock, &mut policy, || {
+                    let v = counter.load(Ordering::Relaxed);
+                    counter.store(v + 1, Ordering::Relaxed);
+                });
                 assert_eq!(policy.acquired, 1, "exactly one acquisition per call");
                 aborts += policy.inner.aborts;
             }
@@ -115,14 +149,13 @@ fn exclusion_with_aborting_policies<R: AbortableLock + 'static>() {
 
 /// An abort requested while the lock is held must be honored (the policy's
 /// `on_aborted` hook runs) and the waiter must still acquire eventually.
-fn abort_is_reported_and_retry_succeeds<R: AbortableLock + 'static>() {
+fn abort_is_reported_and_retry_succeeds<R: AbortableLock + 'static, C: CsPath<R>>() {
     let lock = Arc::new(R::new());
     lock.lock();
     let l2 = Arc::clone(&lock);
     let waiter = thread::spawn(move || {
         let mut policy = CountingPolicy::new(50);
-        l2.lock_with(&mut policy);
-        unsafe { l2.unlock() };
+        C::with_cs(&l2, &mut policy, || {});
         (policy.inner.aborts, policy.acquired)
     });
     thread::sleep(Duration::from_millis(30));
@@ -134,7 +167,7 @@ fn abort_is_reported_and_retry_succeeds<R: AbortableLock + 'static>() {
 }
 
 /// `try_lock` must return (not block) promptly in every lock state.
-fn try_lock_never_blocks<R: AbortableLock + RawTryLock + 'static>() {
+fn try_lock_never_blocks<R: AbortableLock + RawTryLock + 'static, C: CsPath<R>>() {
     let lock = Arc::new(R::new());
 
     // Free lock: must succeed immediately.
@@ -163,8 +196,7 @@ fn try_lock_never_blocks<R: AbortableLock + RawTryLock + 'static>() {
         handles.push(thread::spawn(move || {
             while !stop.load(Ordering::Relaxed) {
                 let mut policy = CountingPolicy::new(4);
-                lock.lock_with(&mut policy);
-                unsafe { lock.unlock() };
+                C::with_cs(&lock, &mut policy, || {});
             }
             0u64
         }));
@@ -197,37 +229,45 @@ fn try_lock_never_blocks<R: AbortableLock + RawTryLock + 'static>() {
 }
 
 macro_rules! abort_semantics_suite {
-    ($($module:ident => $lock:ty),+ $(,)?) => {$(
+    ($($module:ident => ($lock:ty, $path:ty)),+ $(,)?) => {$(
         mod $module {
             use super::*;
 
             #[test]
             fn exclusion_with_aborting_policies() {
-                super::exclusion_with_aborting_policies::<$lock>();
+                super::exclusion_with_aborting_policies::<$lock, $path>();
             }
 
             #[test]
             fn abort_is_reported_and_retry_succeeds() {
-                super::abort_is_reported_and_retry_succeeds::<$lock>();
+                super::abort_is_reported_and_retry_succeeds::<$lock, $path>();
             }
 
             #[test]
             fn try_lock_never_blocks() {
-                super::try_lock_never_blocks::<$lock>();
+                super::try_lock_never_blocks::<$lock, $path>();
             }
         }
     )+};
 }
 
 abort_semantics_suite! {
-    tas => TasLock,
-    ttas_backoff => TtasLock,
-    ticket => TicketLock,
-    mcs => McsLock,
-    tp_queue => TimePublishedLock,
-    spin_then_yield => SpinThenYieldLock,
+    tas => (TasLock, LockUnlock),
+    ttas_backoff => (TtasLock, LockUnlock),
+    ticket => (TicketLock, LockUnlock),
+    mcs => (McsLock, LockUnlock),
+    tp_queue => (TimePublishedLock, LockUnlock),
+    spin_then_yield => (SpinThenYieldLock, LockUnlock),
     // Exclusive mode of the rwlock and binary mode of the semaphore: the new
     // sync surface obeys the same abortable-waiting contract as the mutexes.
-    rw_lock => RawRwLock,
-    semaphore => RawSemaphore,
+    rw_lock => (RawRwLock, LockUnlock),
+    semaphore => (RawSemaphore, LockUnlock),
+    // The delegation locks obey the contract through both faces: the plain
+    // ownership face (grant requests withdraw on abort)...
+    flat_combining => (FlatCombiningLock, LockUnlock),
+    ccsynch => (CcSynchLock, LockUnlock),
+    // ...and the delegated face, where the critical section is a published
+    // request that may run on a combiner and aborting withdraws it.
+    flat_combining_delegated => (FlatCombiningLock, Delegated),
+    ccsynch_delegated => (CcSynchLock, Delegated),
 }

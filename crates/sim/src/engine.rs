@@ -51,6 +51,12 @@ pub enum LockPolicy {
         /// Mean of the exponential sleep distribution.
         mean_sleep: SimTime,
     },
+    /// Delegation (flat combining / CCSynch): waiters publish their critical
+    /// sections and poll for completion while one combiner executes them.
+    /// In the scheduler model this behaves like time-published spinning — the
+    /// handoff (of the combiner role) favours waiters on a CPU — but the
+    /// label keeps delegation runs distinguishable in reports.
+    Combining,
 }
 
 impl LockPolicy {
@@ -88,6 +94,11 @@ impl LockPolicy {
         }
     }
 
+    /// Delegation-style combining (flat combining / CCSynch waiters).
+    pub fn combining() -> Self {
+        LockPolicy::Combining
+    }
+
     /// The stable label of this policy, aligned with the lock-registry names
     /// in `lc-locks` where a real implementation exists.
     pub fn name(&self) -> &'static str {
@@ -98,6 +109,7 @@ impl LockPolicy {
             LockPolicy::Adaptive { .. } => "adaptive",
             LockPolicy::LoadControlled => "load-control",
             LockPolicy::LoadBackoff { .. } => "load-backoff",
+            LockPolicy::Combining => "flat-combining",
         }
     }
 
@@ -131,6 +143,7 @@ impl From<WaiterDiscipline> for LockPolicy {
             WaiterDiscipline::SpinThenBlock => LockPolicy::adaptive(),
             WaiterDiscipline::LoadControlledSpin => LockPolicy::load_controlled(),
             WaiterDiscipline::LoadBackoff => LockPolicy::load_backoff(),
+            WaiterDiscipline::Combining => LockPolicy::combining(),
         }
     }
 }
@@ -699,7 +712,7 @@ impl Simulation {
     fn enter_wait(&mut self, t: usize, lock: LockId, start: SimTime) {
         let policy = self.locks[lock.0].policy;
         match policy {
-            LockPolicy::SpinFifo | LockPolicy::SpinTimePublished => {
+            LockPolicy::SpinFifo | LockPolicy::SpinTimePublished | LockPolicy::Combining => {
                 self.start_spinning(t, lock, start);
             }
             LockPolicy::LoadControlled => {
@@ -844,7 +857,8 @@ impl Simulation {
             }
             LockPolicy::SpinTimePublished
             | LockPolicy::LoadControlled
-            | LockPolicy::LoadBackoff { .. } => {
+            | LockPolicy::LoadBackoff { .. }
+            | LockPolicy::Combining => {
                 // Skip waiters that are not on CPU.
                 let candidate = {
                     let l = &self.locks[lock.0];
@@ -1227,6 +1241,7 @@ mod tests {
             LockPolicy::adaptive(),
             LockPolicy::load_controlled(),
             LockPolicy::load_backoff(),
+            LockPolicy::combining(),
         ];
         for policy in policies {
             let rebuilt = LockPolicy::from_name(policy.name())

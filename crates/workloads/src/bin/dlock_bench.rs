@@ -1,0 +1,169 @@
+//! The dlock2-style real-structure benchmark: every structure in
+//! [`lc_workloads::ALL_STRUCTURE_NAMES`] crossed with delegation and spin
+//! lock backends, controller off and on, under oversubscription.
+//!
+//! ```text
+//! cargo run --release -p lc-workloads --bin dlock_bench -- \
+//!     --threads 8 --capacity 2 --combiner "combiner(strategy=load-aware)" \
+//!     --out BENCH_dlock_structures.json
+//! ```
+//!
+//! `--smoke` shrinks the measurement window so CI can prove the whole matrix
+//! runs (structure invariants are asserted inside the driver) without
+//! spending minutes on numbers nobody reads.
+
+use lc_workloads::structures::{run_structure_bench, StructureKind};
+use lc_workloads::{DlockBenchConfig, DlockRunResult, ALL_STRUCTURE_NAMES};
+use std::time::Duration;
+
+/// Lock backends every structure is benchmarked behind: the two delegation
+/// families against the paper's time-published baseline and plain MCS.
+const LOCKS: &[&str] = &["flat-combining", "ccsynch", "tp-queue", "mcs"];
+
+struct Args {
+    threads: usize,
+    capacity: usize,
+    duration: Duration,
+    combiner: String,
+    out: Option<String>,
+    smoke: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        threads: 8,
+        capacity: 2,
+        duration: Duration::from_millis(150),
+        combiner: "combiner(strategy=load-aware)".to_string(),
+        out: None,
+        smoke: false,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| iter.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--threads" => args.threads = num(&value("--threads")?)?,
+            "--capacity" => args.capacity = num(&value("--capacity")?)?,
+            "--duration-ms" => {
+                args.duration = Duration::from_millis(num(&value("--duration-ms")?)? as u64)
+            }
+            "--combiner" => args.combiner = value("--combiner")?,
+            "--out" => args.out = Some(value("--out")?),
+            "--smoke" => args.smoke = true,
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    if args.smoke {
+        args.duration = Duration::from_millis(25);
+    }
+    Ok(args)
+}
+
+fn num(raw: &str) -> Result<usize, String> {
+    raw.parse().map_err(|_| format!("not a number: {raw}"))
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("dlock_bench: {message}");
+            std::process::exit(2);
+        }
+    };
+    eprintln!(
+        "dlock_bench: threads={} capacity={} duration={:?} combiner={}",
+        args.threads, args.capacity, args.duration, args.combiner
+    );
+
+    let config = DlockBenchConfig {
+        threads: args.threads,
+        capacity: args.capacity,
+        duration: args.duration,
+        combiner_spec: args.combiner.clone(),
+    };
+
+    let mut bodies = Vec::new();
+    for &structure_name in ALL_STRUCTURE_NAMES {
+        let structure = StructureKind::from_name(structure_name).expect("known structure");
+        for &lock in LOCKS {
+            for controller in [false, true] {
+                let result = match run_structure_bench(structure, lock, controller, &config) {
+                    Ok(result) => result,
+                    Err(error) => {
+                        eprintln!("dlock_bench: {structure_name}/{lock} failed: {error}");
+                        std::process::exit(1);
+                    }
+                };
+                eprintln!(
+                    "  {:<8} {:<28} controller={:<5} ops={:>9} fairness={:.4} slept={}",
+                    result.structure,
+                    result.lock,
+                    result.controller,
+                    result.ops,
+                    result.fairness,
+                    result.ever_slept
+                );
+                bodies.push(run_json(&result));
+            }
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"dlock_structures\",\n");
+    out.push_str(&format!("  \"threads\": {},\n", args.threads));
+    out.push_str(&format!("  \"capacity\": {},\n", args.capacity));
+    out.push_str(&format!(
+        "  \"duration_ms\": {},\n",
+        args.duration.as_millis()
+    ));
+    out.push_str(&format!("  \"combiner\": {:?},\n", args.combiner));
+    out.push_str("  \"runs\": [\n");
+    for (i, body) in bodies.iter().enumerate() {
+        out.push_str(body);
+        out.push_str(if i + 1 == bodies.len() { "\n" } else { ",\n" });
+    }
+    out.push_str("  ]\n}\n");
+
+    match &args.out {
+        Some(path) => {
+            if let Err(error) = std::fs::write(path, &out) {
+                eprintln!("dlock_bench: cannot write {path}: {error}");
+                std::process::exit(1);
+            }
+            eprintln!("dlock_bench: wrote {path}");
+        }
+        None => print!("{out}"),
+    }
+}
+
+/// One run as a stable, hand-rolled JSON object (no serde in the tree).
+fn run_json(result: &DlockRunResult) -> String {
+    let mut body = String::new();
+    body.push_str("    {\n");
+    body.push_str(&format!("      \"structure\": {:?},\n", result.structure));
+    body.push_str(&format!("      \"lock\": {:?},\n", result.lock));
+    body.push_str(&format!("      \"controller\": {},\n", result.controller));
+    body.push_str(&format!("      \"ops\": {},\n", result.ops));
+    body.push_str(&format!(
+        "      \"throughput_per_sec\": {:.1},\n",
+        result.throughput()
+    ));
+    body.push_str(&format!("      \"fairness\": {:.4},\n", result.fairness));
+    body.push_str(&format!("      \"ever_slept\": {},\n", result.ever_slept));
+    body.push_str("      \"per_thread\": [\n");
+    let rows = result.per_thread.len();
+    for (thread, row) in result.per_thread.iter().enumerate() {
+        body.push_str(&format!(
+            "        {{\"thread\": {}, \"acquisitions\": {}, \"combines\": {}}}{}\n",
+            thread,
+            row.acquisitions,
+            row.combines,
+            if thread + 1 == rows { "" } else { "," }
+        ));
+    }
+    body.push_str("      ]\n");
+    body.push_str("    }");
+    body
+}

@@ -48,6 +48,7 @@
 pub mod drivers;
 pub mod executor;
 pub mod scenarios;
+pub mod structures;
 
 pub use drivers::{
     AsyncMicrobenchConfig, MicrobenchConfig, MicrobenchResult, RwMicrobenchConfig,
@@ -55,3 +56,7 @@ pub use drivers::{
 };
 pub use executor::{block_on, MiniPool, WorkerGuard};
 pub use scenarios::{AppScenario, ScenarioKind};
+pub use structures::{
+    BucketMap, DlockBenchConfig, DlockRunResult, FifoQueue, ProportionalCounter, StructureKind,
+    ALL_STRUCTURE_NAMES,
+};
