@@ -3,9 +3,9 @@
 //! machine (experiment E11 in DESIGN.md — a real-machine sanity check of the
 //! primitives the simulator models).
 //!
-//! Every lock family is constructed by name through
-//! [`lc_locks::registry::build`], so adding a lock to the registry adds it to
-//! these tables automatically.
+//! Every lock family is constructed by spec through
+//! [`lc_locks::registry::build_spec`], so adding a lock to the registry adds
+//! it to these tables automatically.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lc_locks::{

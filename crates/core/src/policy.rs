@@ -421,6 +421,14 @@ pub trait TargetSplitter: Send + fmt::Debug {
     /// `min(total, shards.len() * shard_capacity)`.
     fn split(&mut self, total: u64, shards: &[ShardSnapshot], shard_capacity: u64) -> Vec<u64>;
 
+    /// Observes which topology group (NUMA node) each active shard serves,
+    /// as reported by [`crate::topology::ShardMap::shard_groups`].  The
+    /// controller calls this before [`TargetSplitter::split`] whenever the
+    /// buffer's shard map exposes groups (`topology(mode=node)`); splitters
+    /// that partition group-locally ([`LoadWeightedSplitter`]) record the
+    /// grouping, the rest ignore it.
+    fn observe_shard_groups(&mut self, _groups: &[usize]) {}
+
     /// The canonical spec of this splitter's configuration (see
     /// [`ControlPolicy::spec`]); defaults to the bare name.
     fn spec(&self) -> ParsedSpec {
@@ -464,6 +472,10 @@ pub struct LoadWeightedSplitter {
     activity: Vec<f64>,
     /// Last observed `(ever_slept, claim_races)` per shard.
     last: Vec<(u64, u64)>,
+    /// Topology group of each shard when a node shard map is active (see
+    /// [`TargetSplitter::observe_shard_groups`]); splits become two-level —
+    /// across groups by node-local load, then within each group.
+    groups: Option<Vec<usize>>,
 }
 
 impl LoadWeightedSplitter {
@@ -486,8 +498,47 @@ impl LoadWeightedSplitter {
             alpha,
             activity: Vec::new(),
             last: Vec::new(),
+            groups: None,
         }
     }
+}
+
+/// Largest-remainder apportionment of `total` over weighted bins with
+/// per-bin capacities: floors first, then one unit at a time by largest
+/// remainder, then round-robin over bins with room (clamping can leave more
+/// spillover than one unit per bin).  The result sums to
+/// `min(total, sum(caps))`.
+fn apportion(total: u64, weights: &[f64], caps: &[u64]) -> Vec<u64> {
+    let n = weights.len();
+    let total = total.min(caps.iter().sum());
+    let weight_sum: f64 = weights.iter().sum();
+    let mut out = vec![0u64; n];
+    if n == 0 || weight_sum <= 0.0 {
+        return out;
+    }
+    let mut remainders: Vec<(usize, f64)> = Vec::with_capacity(n);
+    let mut assigned = 0u64;
+    for i in 0..n {
+        let ideal = total as f64 * weights[i] / weight_sum;
+        let floor = (ideal.floor() as u64).min(caps[i]);
+        out[i] = floor;
+        assigned += floor;
+        remainders.push((i, ideal - floor as f64));
+    }
+    remainders.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    let mut leftover = total - assigned;
+    let mut cursor = 0usize;
+    while leftover > 0 {
+        let i = remainders[cursor % n].0;
+        if out[i] < caps[i] {
+            out[i] += 1;
+            leftover -= 1;
+        } else if !out.iter().zip(caps).any(|(&t, &c)| t < c) {
+            break; // every bin full; total was clamped so unreachable
+        }
+        cursor += 1;
+    }
+    out
 }
 
 impl Default for LoadWeightedSplitter {
@@ -531,34 +582,37 @@ impl TargetSplitter for LoadWeightedSplitter {
         // One unit of baseline weight per shard: idle shards stay reachable
         // and zero traffic degenerates to the even split.
         let weights: Vec<f64> = self.activity.iter().map(|a| a + 1.0).collect();
-        let weight_sum: f64 = weights.iter().sum();
-        // Largest-remainder apportionment, clamped at the shard capacity.
-        let mut out = vec![0u64; n];
-        let mut remainders: Vec<(usize, f64)> = Vec::with_capacity(n);
-        let mut assigned = 0u64;
-        for i in 0..n {
-            let ideal = total as f64 * weights[i] / weight_sum;
-            let floor = (ideal.floor() as u64).min(shard_capacity);
-            out[i] = floor;
-            assigned += floor;
-            remainders.push((i, ideal - floor as f64));
-        }
-        remainders.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-        let mut leftover = total - assigned;
-        // First pass by largest remainder, then round-robin over shards with
-        // room (clamping can leave more spillover than one unit per shard).
-        let mut cursor = 0usize;
-        while leftover > 0 {
-            let i = remainders[cursor % n].0;
-            if out[i] < shard_capacity {
-                out[i] += 1;
-                leftover -= 1;
-            } else if !out.iter().any(|&t| t < shard_capacity) {
-                break; // every shard full; total was clamped so unreachable
+        match self.groups.as_ref().filter(|g| g.len() == n) {
+            // Node topology active: split across groups by node-local load
+            // first, then within each group — so one hot node's traffic
+            // draws sleep target to *its* shards without starving the
+            // other nodes' baselines.
+            Some(groups) => {
+                let ngroups = groups.iter().copied().max().unwrap_or(0) + 1;
+                let mut gweights = vec![0.0; ngroups];
+                let mut gcaps = vec![0u64; ngroups];
+                for (shard, &g) in groups.iter().enumerate() {
+                    gweights[g] += weights[shard];
+                    gcaps[g] += shard_capacity;
+                }
+                let gshares = apportion(total, &gweights, &gcaps);
+                let mut out = vec![0u64; n];
+                for (g, &gshare) in gshares.iter().enumerate() {
+                    let members: Vec<usize> = (0..n).filter(|&shard| groups[shard] == g).collect();
+                    let mweights: Vec<f64> = members.iter().map(|&s| weights[s]).collect();
+                    let mcaps = vec![shard_capacity; members.len()];
+                    for (k, share) in apportion(gshare, &mweights, &mcaps).into_iter().enumerate() {
+                        out[members[k]] = share;
+                    }
+                }
+                out
             }
-            cursor += 1;
+            None => apportion(total, &weights, &vec![shard_capacity; n]),
         }
-        out
+    }
+
+    fn observe_shard_groups(&mut self, groups: &[usize]) {
+        self.groups = Some(groups.to_vec());
     }
 
     fn spec(&self) -> ParsedSpec {
@@ -668,13 +722,6 @@ pub fn build_policy_spec(spec: &str) -> Result<Box<dyn ControlPolicy>, SpecError
     POLICY_SPECS.build(spec)
 }
 
-/// Constructs the policy registered under `name` with default parameters, or
-/// `None` for an unknown name.
-#[deprecated(note = "use build_policy_spec / POLICY_SPECS, which also accept parameterized specs")]
-pub fn build(name: &str) -> Option<Box<dyn ControlPolicy>> {
-    build_policy_spec(name).ok()
-}
-
 /// Names of every target splitter, in the stable order of [`SPLITTER_SPECS`]
 /// (a test asserts the two stay in sync).
 pub const ALL_SPLITTER_NAMES: &[&str] = &["even", "load-weighted"];
@@ -710,15 +757,6 @@ pub static SPLITTER_SPECS: Registry<Box<dyn TargetSplitter>> = Registry::new(
 /// and malformed values are explicit errors.
 pub fn build_splitter_spec(spec: &str) -> Result<Box<dyn TargetSplitter>, SpecError> {
     SPLITTER_SPECS.build(spec)
-}
-
-/// Constructs the splitter registered under `name` with default parameters,
-/// or `None` for an unknown name.
-#[deprecated(
-    note = "use build_splitter_spec / SPLITTER_SPECS, which also accept parameterized specs"
-)]
-pub fn build_splitter(name: &str) -> Option<Box<dyn TargetSplitter>> {
-    build_splitter_spec(name).ok()
 }
 
 #[cfg(test)]
@@ -846,19 +884,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_bare_name_shims_still_build() {
-        for &name in ALL_POLICY_NAMES {
-            assert!(build(name).is_some(), "{name}");
-        }
-        assert!(build("no-such-policy").is_none());
-        for &name in ALL_SPLITTER_NAMES {
-            assert!(build_splitter(name).is_some(), "{name}");
-        }
-        assert!(build_splitter("no-such-splitter").is_none());
-    }
-
-    #[test]
     fn parameterized_policy_specs_configure_policies() {
         let p = build_policy_spec("hysteresis(alpha=0.3, deadband=2)").unwrap();
         // down=2 is the default, so the canonical report elides it.
@@ -940,6 +965,28 @@ mod tests {
                 target: 0,
             })
             .collect()
+    }
+
+    #[test]
+    fn node_groups_make_the_load_weighted_split_two_level() {
+        let mut s = LoadWeightedSplitter::with_alpha(1.0);
+        // Shards 0–1 serve node 0, shards 2–3 node 1.
+        s.observe_shard_groups(&[0, 0, 1, 1]);
+        // Seeding cycle (even split while deltas don't exist yet).
+        s.split(8, &snapshots(&[(0, 0), (0, 0), (0, 0), (0, 0)]), 8);
+        // All traffic lands on node 0 (shards 0 and 1, equally).
+        let split = s.split(8, &snapshots(&[(30, 0), (30, 0), (0, 0), (0, 0)]), 8);
+        assert_eq!(split.iter().sum::<u64>(), 8);
+        let node0: u64 = split[..2].iter().sum();
+        let node1: u64 = split[2..].iter().sum();
+        assert!(node0 > node1, "hot node must draw the target: {split:?}");
+        assert_eq!(split[0], split[1], "within-group split follows weights");
+        // A stale grouping (shard count changed) is ignored, not misapplied.
+        let mut stale = LoadWeightedSplitter::new();
+        stale.observe_shard_groups(&[0, 1]);
+        let split = stale.split(4, &snapshots(&[(0, 0), (0, 0), (0, 0), (0, 0)]), 8);
+        assert_eq!(split.iter().sum::<u64>(), 4);
+        assert_eq!(split.len(), 4);
     }
 
     #[test]

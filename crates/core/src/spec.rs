@@ -13,7 +13,7 @@
 //! * a **config file** of `key = value` lines with `#` comments
 //!   ([`LoadControlSpec::from_config_file`]),
 //! * the **environment** (`LC_POLICY`, `LC_SPLITTER`, `LC_SHARDS`,
-//!   `LC_SAMPLER`; [`LoadControlSpec::from_env`]), or
+//!   `LC_SAMPLER`, `LC_TOPOLOGY`; [`LoadControlSpec::from_env`]), or
 //! * the builder, programmatically.
 //!
 //! Every source is validated against the registries at parse time: unknown
@@ -39,6 +39,7 @@
 pub use lc_spec::{ParsedSpec, Registry, SpecEntry, SpecError};
 
 use crate::policy::{POLICY_SPECS, SPLITTER_SPECS};
+use crate::topology::TOPOLOGY_SPECS;
 use lc_accounting::SAMPLER_SPECS;
 use std::fmt;
 use std::path::Path;
@@ -82,6 +83,9 @@ pub struct LoadControlSpec {
     pub shards: Option<usize>,
     /// The load sampler, or `None` for the default registry sampler.
     pub sampler: Option<ParsedSpec>,
+    /// The shard-topology mapping (`topology(mode=..)`), or `None` for
+    /// registration-order homing.
+    pub topology: Option<ParsedSpec>,
 }
 
 impl Default for LoadControlSpec {
@@ -91,6 +95,7 @@ impl Default for LoadControlSpec {
             splitter: ParsedSpec::bare("even"),
             shards: None,
             sampler: None,
+            topology: None,
         }
     }
 }
@@ -106,6 +111,9 @@ impl LoadControlSpec {
     pub const ENV_SHARDS: &'static str = crate::LoadControlConfig::SHARDS_ENV;
     /// Environment variable holding the load-sampler spec.
     pub const ENV_SAMPLER: &'static str = "LC_SAMPLER";
+    /// Environment variable holding the shard-topology spec (the same
+    /// constant as [`crate::topology::ENV_TOPOLOGY`]).
+    pub const ENV_TOPOLOGY: &'static str = crate::topology::ENV_TOPOLOGY;
 
     /// The default spec: `paper` policy, `even` splitter, one shard, registry
     /// sampler.
@@ -140,6 +148,17 @@ impl LoadControlSpec {
         Ok(self)
     }
 
+    /// Returns `self` with the topology mapping set from `spec`, validated
+    /// against [`TOPOLOGY_SPECS`].  Validation goes through the registry's
+    /// builder so a bad `mode=` *value* (not just an unknown key) is an
+    /// explicit error at parse time.
+    pub fn with_topology(mut self, spec: &str) -> Result<Self, SpecError> {
+        let parsed = ParsedSpec::parse(spec)?;
+        TOPOLOGY_SPECS.build_spec(&parsed)?;
+        self.topology = Some(parsed);
+        Ok(self)
+    }
+
     /// Returns `self` with `shards` slot-buffer shards (must be ≥ 1).
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = Some(shards.max(1));
@@ -152,13 +171,15 @@ impl LoadControlSpec {
             "policy" => staged.with_policy(value)?,
             "splitter" => staged.with_splitter(value)?,
             "sampler" => staged.with_sampler(value)?,
+            "topology" => staged.with_topology(value)?,
             "shards" => staged.with_shards(parse_shards_value(source, value)?),
             _ => {
                 *self = staged;
                 return Err(SpecError::Config {
                     source: source.to_string(),
                     reason: format!(
-                        "unknown key {key:?}; accepted keys: policy, splitter, shards, sampler"
+                        "unknown key {key:?}; accepted keys: policy, splitter, shards, \
+                         sampler, topology"
                     ),
                 });
             }
@@ -168,8 +189,8 @@ impl LoadControlSpec {
 
     /// Parses a spec from its string form: `key=value` entries separated by
     /// `;` or newlines, with `#` starting a comment.  Accepted keys are
-    /// `policy`, `splitter`, `shards` and `sampler`; every value is validated
-    /// against its registry.  Unset keys keep their defaults.
+    /// `policy`, `splitter`, `shards`, `sampler` and `topology`; every value
+    /// is validated against its registry.  Unset keys keep their defaults.
     pub fn parse(input: &str) -> Result<Self, SpecError> {
         Self::parse_from(input, "spec")
     }
@@ -216,9 +237,10 @@ impl LoadControlSpec {
         Self::parse_from(&contents, &path.display().to_string())
     }
 
-    /// The default spec with the `LC_POLICY`, `LC_SPLITTER`, `LC_SHARDS` and
-    /// `LC_SAMPLER` environment variables applied.  A malformed variable is
-    /// an explicit error, never a silent fall-back to the default.
+    /// The default spec with the `LC_POLICY`, `LC_SPLITTER`, `LC_SHARDS`,
+    /// `LC_SAMPLER` and `LC_TOPOLOGY` environment variables applied.  A
+    /// malformed variable is an explicit error, never a silent fall-back to
+    /// the default.
     pub fn from_env() -> Result<Self, SpecError> {
         Self::default().apply_env()
     }
@@ -232,6 +254,7 @@ impl LoadControlSpec {
             (Self::ENV_SPLITTER, "splitter"),
             (Self::ENV_SHARDS, "shards"),
             (Self::ENV_SAMPLER, "sampler"),
+            (Self::ENV_TOPOLOGY, "topology"),
         ] {
             if let Ok(value) = std::env::var(var) {
                 if !value.trim().is_empty() {
@@ -251,6 +274,9 @@ impl fmt::Display for LoadControlSpec {
         }
         if let Some(sampler) = &self.sampler {
             write!(f, "; sampler={sampler}")?;
+        }
+        if let Some(topology) = &self.topology {
+            write!(f, "; topology={topology}")?;
         }
         Ok(())
     }
@@ -281,6 +307,7 @@ mod tests {
         assert_eq!(spec.splitter, ParsedSpec::bare("even"));
         assert_eq!(spec.shards, None, "shards must default to unspecified");
         assert_eq!(spec.sampler, None);
+        assert_eq!(spec.topology, None);
         assert_eq!(spec.to_string(), "policy=paper; splitter=even");
     }
 
@@ -291,6 +318,8 @@ mod tests {
             "policy=paper; splitter=even; shards=1",
             "policy=pid(kp=0.5, ki=0.1); splitter=load-weighted(ewma=0.25); shards=4",
             "policy=hysteresis(alpha=0.3, deadband=2); splitter=even; shards=2; sampler=fixed(runnable=9)",
+            "policy=paper; splitter=even; topology=topology(mode=cpu)",
+            "policy=paper; splitter=load-weighted; shards=4; topology=topology(mode=node, revalidate=16)",
         ] {
             let spec = LoadControlSpec::parse(input).unwrap();
             let rendered = spec.to_string();
@@ -340,6 +369,14 @@ mod tests {
             Err(SpecError::Config { .. })
         ));
         assert!(matches!(
+            LoadControlSpec::parse("topology=mesh"),
+            Err(SpecError::UnknownName { .. })
+        ));
+        assert!(matches!(
+            LoadControlSpec::parse("topology=topology(mode=hyperspace)"),
+            Err(SpecError::InvalidValue { .. })
+        ));
+        assert!(matches!(
             LoadControlSpec::parse("policy"),
             Err(SpecError::Config { .. })
         ));
@@ -354,6 +391,7 @@ mod tests {
             LoadControlSpec::ENV_SPLITTER,
             LoadControlSpec::ENV_SHARDS,
             LoadControlSpec::ENV_SAMPLER,
+            LoadControlSpec::ENV_TOPOLOGY,
         ]
         .into_iter()
         .map(|k| (k, std::env::var(k).ok()))
@@ -361,12 +399,18 @@ mod tests {
 
         std::env::set_var(LoadControlSpec::ENV_POLICY, "pid(kp=0.8, ki=0.2)");
         std::env::set_var(LoadControlSpec::ENV_SHARDS, "4");
+        std::env::set_var(LoadControlSpec::ENV_TOPOLOGY, "topology(mode=cpu)");
         std::env::remove_var(LoadControlSpec::ENV_SPLITTER);
         std::env::remove_var(LoadControlSpec::ENV_SAMPLER);
         let spec = LoadControlSpec::from_env().unwrap();
         assert_eq!(spec.policy.to_string(), "pid(kp=0.8, ki=0.2)");
         assert_eq!(spec.shards, Some(4));
         assert_eq!(spec.splitter, ParsedSpec::bare("even"));
+        assert_eq!(
+            spec.topology.as_ref().map(ToString::to_string).as_deref(),
+            Some("topology(mode=cpu)")
+        );
+        std::env::remove_var(LoadControlSpec::ENV_TOPOLOGY);
 
         // Malformed values surface the variable name, not a silent default.
         std::env::set_var(LoadControlSpec::ENV_SHARDS, "not-a-number");

@@ -1,0 +1,597 @@
+//! Topology-aware home-shard mapping for the sleep-slot buffer.
+//!
+//! PR 3 sharded the slot buffer but kept home shards assigned by
+//! *registration order* (`id & mask`), so two threads sharing a core can land
+//! on different shards while cross-socket threads hammer the same head-`S`
+//! cache line.  This module decouples "which shard is home" from "which
+//! sleeper is asking" behind the [`ShardMap`] trait, with three mappings:
+//!
+//! * `registration` — today's behavior and the default: home is
+//!   `id & (shards - 1)`.  Deterministic, portable, oblivious to placement.
+//! * `cpu` — home is derived from the CPU the calling thread is running on
+//!   (the `getcpu` syscall), cached per-thread and revalidated every
+//!   `revalidate` claims so migration is noticed without paying a syscall
+//!   per claim.  Falls back to `registration` on non-Linux targets or when
+//!   the syscall fails.
+//! * `node` — CPUs are grouped by NUMA node (parsed from
+//!   `/sys/devices/system/node`, hardened like the procfs sampler: any read
+//!   or parse error degrades to the registration mapping) and each node owns
+//!   a contiguous range of shards, so slot traffic stays node-local.
+//!
+//! Maps are selected by the `topology(mode=..)` spec in [`TOPOLOGY_SPECS`],
+//! wired through `LoadControlConfig` / `LoadControlSpec` / `LC_TOPOLOGY`
+//! exactly like the policy, splitter, sampler and lock planes.
+
+use crate::slots::SleeperId;
+use lc_spec::{ParsedSpec, Registry, SpecEntry, SpecError};
+use std::cell::Cell;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Environment variable consulted by `LoadControlSpec::from_env` for the
+/// topology spec (e.g. `LC_TOPOLOGY='topology(mode=cpu)'`).
+pub const ENV_TOPOLOGY: &str = "LC_TOPOLOGY";
+
+/// Default number of claims a cached CPU value is trusted before the probe
+/// runs again (the `revalidate` spec key).
+pub const DEFAULT_REVALIDATE: u32 = 64;
+
+/// Maps a sleeper to its home shard.
+///
+/// `shards` is always a power of two ≥ 1 (the buffer normalizes it);
+/// implementations must return a value `< shards`.  The mapping is consulted
+/// on the claim fast path, so implementations must be wait-free and cheap —
+/// anything expensive (syscalls, file parsing) is done at construction or
+/// amortized behind a per-thread cache.
+pub trait ShardMap: fmt::Debug + Send + Sync {
+    /// Stable mode name: `"registration"`, `"cpu"` or `"node"`.
+    fn mode(&self) -> &'static str;
+
+    /// The home shard for `sleeper` among `shards` (power of two ≥ 1).
+    fn home_shard(&self, sleeper: SleeperId, shards: usize) -> usize;
+
+    /// The canonical `topology(..)` spec that reconstructs this map.
+    fn spec(&self) -> ParsedSpec;
+
+    /// `shard → group` table when the mapping partitions shards into
+    /// topology groups (NUMA nodes); `None` when shards are ungrouped.
+    /// The load-weighted splitter uses this to split by node-local load.
+    fn shard_groups(&self, shards: usize) -> Option<Vec<usize>> {
+        let _ = shards;
+        None
+    }
+}
+
+/// The default mapping: home shard is `id & (shards - 1)`, i.e. sleepers are
+/// spread by registration order, oblivious to where their threads run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RegistrationShardMap;
+
+impl ShardMap for RegistrationShardMap {
+    fn mode(&self) -> &'static str {
+        "registration"
+    }
+
+    fn home_shard(&self, sleeper: SleeperId, shards: usize) -> usize {
+        (sleeper.index() as usize) & (shards - 1)
+    }
+
+    fn spec(&self) -> ParsedSpec {
+        ParsedSpec::bare("topology")
+    }
+}
+
+/// How the current CPU is discovered: the real `getcpu` syscall, or an
+/// injected function (tests and the deterministic fast-path bench).
+#[derive(Clone)]
+enum CpuProbe {
+    Syscall,
+    Injected(Arc<dyn Fn() -> Option<usize> + Send + Sync>),
+}
+
+impl fmt::Debug for CpuProbe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CpuProbe::Syscall => f.write_str("Syscall"),
+            CpuProbe::Injected(_) => f.write_str("Injected(..)"),
+        }
+    }
+}
+
+/// `getcpu(2)` via a raw syscall: returns `(cpu, node)` or `None` on failure.
+/// No libc dependency — the syscall numbers are stable ABI on Linux.
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+fn getcpu_raw() -> Option<(usize, usize)> {
+    let mut cpu: u32 = 0;
+    let mut node: u32 = 0;
+    let ret: i64;
+    // SAFETY: getcpu only writes through the two provided pointers; the
+    // third argument (tcache) has been ignored by the kernel since 2.6.24.
+    unsafe {
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") 309i64 => ret, // __NR_getcpu
+            in("rdi") &mut cpu,
+            in("rsi") &mut node,
+            in("rdx") 0usize,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+    }
+    (ret == 0).then_some((cpu as usize, node as usize))
+}
+
+#[cfg(all(target_os = "linux", target_arch = "aarch64"))]
+fn getcpu_raw() -> Option<(usize, usize)> {
+    let mut cpu: u32 = 0;
+    let mut node: u32 = 0;
+    let ret: i64;
+    // SAFETY: as above; aarch64 passes the syscall number in x8.
+    unsafe {
+        core::arch::asm!(
+            "svc 0",
+            in("x8") 168i64, // __NR_getcpu
+            inlateout("x0") (&mut cpu as *mut u32) => ret,
+            in("x1") &mut node,
+            in("x2") 0usize,
+            options(nostack),
+        );
+    }
+    (ret == 0).then_some((cpu as usize, node as usize))
+}
+
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+fn getcpu_raw() -> Option<(usize, usize)> {
+    None
+}
+
+/// Monotonic id source so per-thread CPU caches never serve a value probed
+/// for a different map instance (tests build many maps on one thread).
+static NEXT_MAP_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// `(map id, cached cpu, uses left before revalidation)`.
+    static CPU_CACHE: Cell<(u64, usize, u32)> = const { Cell::new((0, 0, 0)) };
+}
+
+/// Shared probe-with-cache used by the `cpu` and `node` maps.
+#[derive(Debug, Clone)]
+struct CachedCpu {
+    id: u64,
+    revalidate: u32,
+    probe: CpuProbe,
+}
+
+impl CachedCpu {
+    fn new(probe: CpuProbe, revalidate: u32) -> Self {
+        Self {
+            id: NEXT_MAP_ID.fetch_add(1, Ordering::Relaxed),
+            revalidate: revalidate.max(1),
+            probe,
+        }
+    }
+
+    /// The CPU the calling thread is (probably) on, or `None` when the probe
+    /// fails.  Failures are not cached: a map whose probe never succeeds
+    /// degrades to the registration mapping on every call.
+    fn current_cpu(&self) -> Option<usize> {
+        CPU_CACHE.with(|cache| {
+            let (id, cpu, left) = cache.get();
+            if id == self.id && left > 0 {
+                cache.set((id, cpu, left - 1));
+                return Some(cpu);
+            }
+            let fresh = match &self.probe {
+                CpuProbe::Syscall => getcpu_raw().map(|(cpu, _node)| cpu),
+                CpuProbe::Injected(f) => f(),
+            }?;
+            cache.set((self.id, fresh, self.revalidate - 1));
+            Some(fresh)
+        })
+    }
+}
+
+/// Home shard from the CPU the calling thread runs on: `cpu & (shards - 1)`,
+/// so threads sharing a core share a shard and its head-`S` cache line stays
+/// core-local.  The probed CPU is cached per-thread and revalidated every
+/// `revalidate` claims; probe failure falls back to [`RegistrationShardMap`].
+#[derive(Debug, Clone)]
+pub struct CpuShardMap {
+    cpu: CachedCpu,
+}
+
+impl CpuShardMap {
+    /// A map backed by the real `getcpu` syscall.
+    pub fn new(revalidate: u32) -> Self {
+        Self {
+            cpu: CachedCpu::new(CpuProbe::Syscall, revalidate),
+        }
+    }
+
+    /// A map backed by `probe` instead of the syscall — the injection seam
+    /// for the topology-fallback tests and the deterministic fast-path
+    /// bench, which simulates thread placement single-threadedly.
+    pub fn with_probe(
+        probe: Arc<dyn Fn() -> Option<usize> + Send + Sync>,
+        revalidate: u32,
+    ) -> Self {
+        Self {
+            cpu: CachedCpu::new(CpuProbe::Injected(probe), revalidate),
+        }
+    }
+}
+
+impl ShardMap for CpuShardMap {
+    fn mode(&self) -> &'static str {
+        "cpu"
+    }
+
+    fn home_shard(&self, sleeper: SleeperId, shards: usize) -> usize {
+        match self.cpu.current_cpu() {
+            Some(cpu) => cpu & (shards - 1),
+            None => RegistrationShardMap.home_shard(sleeper, shards),
+        }
+    }
+
+    fn spec(&self) -> ParsedSpec {
+        let spec = ParsedSpec::bare("topology").with_param("mode", "cpu");
+        if self.cpu.revalidate != DEFAULT_REVALIDATE {
+            spec.with_param("revalidate", self.cpu.revalidate)
+        } else {
+            spec
+        }
+    }
+}
+
+/// Home shard from the NUMA node of the calling thread's CPU: each node owns
+/// a contiguous span of shards and sleepers spread within their node's span
+/// by registration order, so claim traffic stays node-local.
+///
+/// The `cpu → node` table is parsed once from `/sys/devices/system/node` at
+/// construction.  Hardening mirrors the procfs sampler: any IO or parse
+/// error yields an empty table and the map degrades to the registration
+/// mapping at runtime (the spec still reports `mode=node`, so configuration
+/// round-trips).
+#[derive(Debug, Clone)]
+pub struct NodeShardMap {
+    cpu: CachedCpu,
+    /// `cpu index → node index`; empty when sysfs was unreadable.
+    cpu_node: Arc<[usize]>,
+    /// Number of distinct nodes (0 when the table is empty).
+    nodes: usize,
+}
+
+impl NodeShardMap {
+    /// A map parsed from `/sys/devices/system/node`, degrading to the
+    /// registration mapping when the hierarchy is missing or malformed.
+    pub fn new(revalidate: u32) -> Self {
+        let table = read_sysfs_cpu_nodes("/sys/devices/system/node").unwrap_or_default();
+        Self::from_table(table, CpuProbe::Syscall, revalidate)
+    }
+
+    /// A map with an explicit `cpu → node` table and injected CPU probe —
+    /// the seam for tests and the deterministic fast-path bench.
+    pub fn with_table(
+        cpu_node: Vec<usize>,
+        probe: Arc<dyn Fn() -> Option<usize> + Send + Sync>,
+        revalidate: u32,
+    ) -> Self {
+        Self::from_table(cpu_node, CpuProbe::Injected(probe), revalidate)
+    }
+
+    fn from_table(cpu_node: Vec<usize>, probe: CpuProbe, revalidate: u32) -> Self {
+        let nodes = cpu_node.iter().map(|&n| n + 1).max().unwrap_or(0);
+        Self {
+            cpu: CachedCpu::new(probe, revalidate),
+            cpu_node: cpu_node.into(),
+            nodes,
+        }
+    }
+
+    /// How many NUMA nodes the table distinguishes (0 = table unavailable).
+    pub fn node_count(&self) -> usize {
+        self.nodes
+    }
+
+    /// Shards owned per node: `max(shards / nodes, 1)`.  With more nodes
+    /// than shards, nodes wrap; with a non-dividing ratio the highest
+    /// shards are homed by no node (the neighbour probe and wide scan still
+    /// reach them).
+    fn span(&self, shards: usize) -> usize {
+        (shards / self.nodes.max(1)).max(1)
+    }
+
+    fn node_of_current_cpu(&self) -> Option<usize> {
+        let cpu = self.cpu.current_cpu()?;
+        self.cpu_node.get(cpu).copied()
+    }
+}
+
+impl ShardMap for NodeShardMap {
+    fn mode(&self) -> &'static str {
+        "node"
+    }
+
+    fn home_shard(&self, sleeper: SleeperId, shards: usize) -> usize {
+        match (self.nodes, self.node_of_current_cpu()) {
+            (n, Some(node)) if n > 0 => {
+                let span = self.span(shards);
+                let base = (node * span) % shards;
+                base + (sleeper.index() as usize) % span
+            }
+            _ => RegistrationShardMap.home_shard(sleeper, shards),
+        }
+    }
+
+    fn spec(&self) -> ParsedSpec {
+        let spec = ParsedSpec::bare("topology").with_param("mode", "node");
+        if self.cpu.revalidate != DEFAULT_REVALIDATE {
+            spec.with_param("revalidate", self.cpu.revalidate)
+        } else {
+            spec
+        }
+    }
+
+    fn shard_groups(&self, shards: usize) -> Option<Vec<usize>> {
+        if self.nodes < 2 {
+            return None;
+        }
+        let span = self.span(shards);
+        Some((0..shards).map(|s| (s / span) % self.nodes).collect())
+    }
+}
+
+/// Parses `/sys/devices/system/node/node<k>/cpulist` files into a
+/// `cpu → node` table.  Returns `None` on any IO or format surprise.
+fn read_sysfs_cpu_nodes(root: &str) -> Option<Vec<usize>> {
+    let mut table: Vec<usize> = Vec::new();
+    let mut nodes_seen = 0usize;
+    for entry in std::fs::read_dir(root).ok()? {
+        let entry = entry.ok()?;
+        let name = entry.file_name();
+        let name = name.to_str()?;
+        let Some(node) = name
+            .strip_prefix("node")
+            .and_then(|n| n.parse::<usize>().ok())
+        else {
+            continue;
+        };
+        let cpulist = std::fs::read_to_string(entry.path().join("cpulist")).ok()?;
+        for cpu in parse_cpulist(&cpulist)? {
+            if cpu >= table.len() {
+                table.resize(cpu + 1, 0);
+            }
+            table[cpu] = node;
+        }
+        nodes_seen += 1;
+    }
+    (nodes_seen > 0 && !table.is_empty()).then_some(table)
+}
+
+/// Parses the kernel's cpulist format (`"0-3,8,10-11"`) into CPU indices.
+/// Returns `None` on malformed input or implausibly huge CPU numbers.
+fn parse_cpulist(list: &str) -> Option<Vec<usize>> {
+    const MAX_CPU: usize = 1 << 14;
+    let mut cpus = Vec::new();
+    let trimmed = list.trim();
+    if trimmed.is_empty() {
+        return Some(cpus);
+    }
+    for part in trimmed.split(',') {
+        let part = part.trim();
+        let (lo, hi) = match part.split_once('-') {
+            Some((lo, hi)) => (lo.parse::<usize>().ok()?, hi.parse::<usize>().ok()?),
+            None => {
+                let cpu = part.parse::<usize>().ok()?;
+                (cpu, cpu)
+            }
+        };
+        if lo > hi || hi >= MAX_CPU {
+            return None;
+        }
+        cpus.extend(lo..=hi);
+    }
+    Some(cpus)
+}
+
+/// Builds a map from a validated `topology(..)` spec (shared by the registry
+/// entry and tests).
+fn build_topology(spec: &ParsedSpec) -> Result<Arc<dyn ShardMap>, SpecError> {
+    let revalidate: u32 = spec.param_or("revalidate", DEFAULT_REVALIDATE)?;
+    if revalidate == 0 {
+        return Err(spec.invalid_value("revalidate", "must be at least 1"));
+    }
+    match spec.get("mode").unwrap_or("registration") {
+        "registration" => Ok(Arc::new(RegistrationShardMap)),
+        "cpu" => Ok(Arc::new(CpuShardMap::new(revalidate))),
+        "node" => Ok(Arc::new(NodeShardMap::new(revalidate))),
+        _ => Err(spec.invalid_value("mode", "expected registration, cpu or node")),
+    }
+}
+
+/// The topology registry: one entry, `topology`, parameterized by `mode`
+/// (`registration` | `cpu` | `node`, default `registration`) and
+/// `revalidate` (claims between CPU re-probes, `cpu`/`node` modes only).
+///
+/// `topology` and `topology(mode=registration)` are the paper's behavior;
+/// `topology(mode=cpu)` and `topology(mode=node)` turn on placement-aware
+/// homing with graceful degradation back to registration order.
+pub static TOPOLOGY_SPECS: Registry<Arc<dyn ShardMap>> = Registry::new(
+    "topology",
+    &[SpecEntry {
+        name: "topology",
+        keys: &["mode", "revalidate"],
+        summary: "home-shard mapping: mode=registration|cpu|node, \
+                  revalidate=claims between CPU re-probes",
+        build: |_, spec| build_topology(spec),
+    }],
+);
+
+/// Builds a shard map from a `topology(..)` spec string.
+pub fn build_topology_spec(spec: &ParsedSpec) -> Result<Arc<dyn ShardMap>, SpecError> {
+    TOPOLOGY_SPECS.build_spec(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn id(n: u64) -> SleeperId {
+        SleeperId::from_index(n)
+    }
+
+    #[test]
+    fn registration_map_is_the_masked_id() {
+        let map = RegistrationShardMap;
+        for shards in [1usize, 2, 4, 8] {
+            for n in 0..32u64 {
+                assert_eq!(map.home_shard(id(n), shards), (n as usize) & (shards - 1));
+            }
+        }
+        assert_eq!(map.spec().to_string(), "topology");
+    }
+
+    #[test]
+    fn cpu_map_with_live_probe_stays_in_range() {
+        let map = CpuShardMap::new(DEFAULT_REVALIDATE);
+        for shards in [1usize, 2, 8] {
+            let home = map.home_shard(id(5), shards);
+            assert!(
+                home < shards,
+                "home {home} out of range for {shards} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn cpu_map_falls_back_to_registration_on_probe_failure() {
+        // Forced probe failure: the mapping must be *exactly* the
+        // registration mapping, and the spec must still round-trip.
+        let map = CpuShardMap::with_probe(Arc::new(|| None), DEFAULT_REVALIDATE);
+        for shards in [1usize, 4, 8] {
+            for n in 0..16u64 {
+                assert_eq!(
+                    map.home_shard(id(n), shards),
+                    RegistrationShardMap.home_shard(id(n), shards)
+                );
+            }
+        }
+        let spec = map.spec();
+        assert_eq!(spec.to_string(), "topology(mode=cpu)");
+        let reparsed: ParsedSpec = spec.to_string().parse().unwrap();
+        let rebuilt = build_topology_spec(&reparsed).unwrap();
+        assert_eq!(rebuilt.spec(), spec);
+    }
+
+    #[test]
+    fn cpu_cache_revalidates_after_the_configured_number_of_claims() {
+        let probes = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&probes);
+        let map = CpuShardMap::with_probe(
+            Arc::new(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+                Some(3)
+            }),
+            4,
+        );
+        for _ in 0..8 {
+            assert_eq!(map.home_shard(id(0), 8), 3);
+        }
+        // 8 claims at revalidate=4 → exactly 2 probes.
+        assert_eq!(probes.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn node_map_homes_into_the_nodes_shard_span() {
+        // 2 nodes, cpus 0-1 on node 0, cpus 2-3 on node 1; current cpu 2.
+        let map = NodeShardMap::with_table(vec![0, 0, 1, 1], Arc::new(|| Some(2)), 1);
+        assert_eq!(map.node_count(), 2);
+        // 8 shards → span 4; node 1 owns shards 4..8.
+        for n in 0..16u64 {
+            let home = map.home_shard(id(n), 8);
+            assert!((4..8).contains(&home), "id {n} homed to {home}");
+        }
+        assert_eq!(
+            map.shard_groups(8),
+            Some(vec![0, 0, 0, 0, 1, 1, 1, 1]),
+            "groups must mirror the homing spans"
+        );
+        // More nodes than shards: nodes wrap instead of overflowing.
+        let wrap = NodeShardMap::with_table(vec![0, 1, 2], Arc::new(|| Some(2)), 1);
+        assert!(wrap.home_shard(id(0), 2) < 2);
+    }
+
+    #[test]
+    fn node_map_without_table_or_probe_is_registration() {
+        let no_table = NodeShardMap::with_table(Vec::new(), Arc::new(|| Some(0)), 1);
+        let no_probe = NodeShardMap::with_table(vec![0, 1], Arc::new(|| None), 1);
+        for map in [&no_table, &no_probe] {
+            for n in 0..16u64 {
+                assert_eq!(
+                    map.home_shard(id(n), 4),
+                    RegistrationShardMap.home_shard(id(n), 4)
+                );
+            }
+            assert!(map.shard_groups(4).is_none() || map.node_count() >= 2);
+        }
+        assert_eq!(
+            no_table.spec().to_string(),
+            "topology(mode=node, revalidate=1)"
+        );
+    }
+
+    #[test]
+    fn cpulist_parsing_accepts_kernel_shapes_and_rejects_junk() {
+        assert_eq!(parse_cpulist("0-3").unwrap(), vec![0, 1, 2, 3]);
+        assert_eq!(parse_cpulist("0,2,4").unwrap(), vec![0, 2, 4]);
+        assert_eq!(parse_cpulist(" 0-1,8-9 \n").unwrap(), vec![0, 1, 8, 9]);
+        assert_eq!(parse_cpulist("").unwrap(), Vec::<usize>::new());
+        for junk in ["x", "3-1", "0-99999999", "1,,2", "-", "0-"] {
+            assert!(parse_cpulist(junk).is_none(), "{junk:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn sysfs_parse_survives_a_missing_hierarchy() {
+        assert!(read_sysfs_cpu_nodes("/definitely/not/a/real/sysfs").is_none());
+    }
+
+    #[test]
+    fn registry_builds_every_mode_and_rejects_junk() {
+        for (input, mode) in [
+            ("topology", "registration"),
+            ("topology(mode=registration)", "registration"),
+            ("topology(mode=cpu)", "cpu"),
+            ("topology(mode=cpu, revalidate=8)", "cpu"),
+            ("topology(mode=node)", "node"),
+        ] {
+            let map = TOPOLOGY_SPECS.build(input).unwrap();
+            assert_eq!(map.mode(), mode, "{input}");
+            // Reported spec reconstructs an equivalent map.
+            let rebuilt = TOPOLOGY_SPECS.build(&map.spec().to_string()).unwrap();
+            assert_eq!(rebuilt.spec(), map.spec(), "{input}");
+        }
+        assert!(matches!(
+            TOPOLOGY_SPECS.build("topology(mode=hyperspace)"),
+            Err(SpecError::InvalidValue { .. })
+        ));
+        assert!(matches!(
+            TOPOLOGY_SPECS.build("topology(revalidate=0)"),
+            Err(SpecError::InvalidValue { .. })
+        ));
+        assert!(matches!(
+            TOPOLOGY_SPECS.build("topology(bogus=1)"),
+            Err(SpecError::UnknownKey { .. })
+        ));
+        assert!(matches!(
+            TOPOLOGY_SPECS.build("mesh"),
+            Err(SpecError::UnknownName { .. })
+        ));
+    }
+}

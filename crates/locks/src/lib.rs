@@ -131,8 +131,9 @@ pub use ttas::TtasLock;
 /// Names of every lock implementation in this crate, in a stable order.
 ///
 /// Benchmarks iterate over this list so that adding a lock automatically adds
-/// it to comparison tables; [`registry::build`] constructs any entry from its
-/// name (a test asserts the two stay in sync).
+/// it to comparison tables; [`registry::build_spec`] constructs any entry
+/// from its name or parameterized spec (a test asserts the two stay in
+/// sync).
 pub const ALL_LOCK_NAMES: &[&str] = &[
     "tas",
     "ttas-backoff",

@@ -176,10 +176,6 @@ where
     Box::new(NonAbortable { raw, spec })
 }
 
-/// A factory that constructs one lock family with default configuration.
-#[deprecated(note = "construct through LOCK_SPECS / build_spec instead")]
-pub type LockFactory = fn() -> Box<dyn DynLock>;
-
 fn build_ttas(spec: &ParsedSpec) -> Result<Box<dyn DynLock>, SpecError> {
     // `max_spins` is the longest backoff pause, in spin-loop hints; the lock
     // tunes in powers of two, so the value is rounded up to the next one.
@@ -358,13 +354,6 @@ pub fn build_spec(spec: &str) -> Result<Box<dyn DynLock>, SpecError> {
     LOCK_SPECS.build(spec)
 }
 
-/// Constructs the lock registered under `name`, or `None` for an unknown
-/// name.
-#[deprecated(note = "use build_spec / LOCK_SPECS, which also accept parameterized specs")]
-pub fn build(name: &str) -> Option<Box<dyn DynLock>> {
-    build_spec(name).ok()
-}
-
 /// A value protected by a lock chosen at runtime from the registry.
 ///
 /// The dynamic counterpart of [`crate::Mutex`]: benchmarks and drivers that
@@ -539,15 +528,9 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
     fn build_rejects_unknown_names() {
-        assert!(build("no-such-lock").is_none());
         assert!(build_spec("no-such-lock").is_err());
         assert!(DynMutex::build("no-such-lock", 0u8).is_none());
-        // The deprecated bare-name shim still covers the full name list.
-        for &name in ALL_LOCK_NAMES {
-            assert!(build(name).is_some(), "{name}");
-        }
     }
 
     #[test]

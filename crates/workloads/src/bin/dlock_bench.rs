@@ -152,6 +152,15 @@ fn run_json(result: &DlockRunResult) -> String {
     ));
     body.push_str(&format!("      \"fairness\": {:.4},\n", result.fairness));
     body.push_str(&format!("      \"ever_slept\": {},\n", result.ever_slept));
+    let races: Vec<String> = result
+        .claim_races_per_shard
+        .iter()
+        .map(u64::to_string)
+        .collect();
+    body.push_str(&format!(
+        "      \"claim_races_per_shard\": [{}],\n",
+        races.join(", ")
+    ));
     body.push_str("      \"per_thread\": [\n");
     let rows = result.per_thread.len();
     for (thread, row) in result.per_thread.iter().enumerate() {

@@ -1,0 +1,457 @@
+//! Deterministic slot fast-path benchmark: shards × topology ×
+//! contention-management matrix over the *real* claim protocol.
+//!
+//! ```text
+//! cargo run --release -p lc-workloads --bin slot_fastpath -- \
+//!     --out BENCH_slot_fastpath.json
+//! ```
+//!
+//! Every cell drives `K` logical claimers through the production claim
+//! protocol exposed as two halves — [`SleepSlotBuffer::begin_claim_at`]
+//! (admission check + head load) and [`SleepSlotBuffer::commit_claim_at`]
+//! (the head CAS + slot write) — in a seeded interleaving, so the head CASes
+//! that race are the *actual* CASes of the fast path, counted by the actual
+//! `claim_races` counter.  No wall clock anywhere: "throughput" is the count
+//! of successful claims over a fixed round budget, so the JSON is
+//! byte-identical across runs with the same seed (CI runs it twice and
+//! `cmp`s).
+//!
+//! The topology dimension uses the injection seams — [`CpuShardMap::with_probe`]
+//! and [`NodeShardMap::with_table`] — with a harness-controlled "current CPU"
+//! cell, simulating thread placement single-threadedly (claimers are pinned
+//! in groups of four to a CPU, so the `cpu`/`node` maps cluster co-located
+//! claimers onto shared shards — the locality the real maps buy, at the cost
+//! of shard-local contention the managed claim path then absorbs).
+//!
+//! Contention management is modelled at the interleaving level, because a
+//! single-threaded harness cannot *time* a spin backoff: with management
+//! off, every contender on a shard CASes against the same stale head (the
+//! worst-case overlap — one winner, the rest race); with management on, the
+//! losers of the overlap draw bounded randomized backoff windows and retry
+//! load-then-CAS — a fresh [`SleepSlotBuffer::begin_claim_at`] before the
+//! commit — exactly as `ClaimBackoff` does on the production path, so only
+//! contenders whose windows collide still race.  The per-window collision
+//! model is the deterministic shadow of the randomized spin windows.
+//!
+//! `--smoke` shrinks the round budget so CI can prove the matrix runs and
+//! the invariants hold (the bin asserts that management reduces races in
+//! every contended cell and that the 1-shard registration baseline loses no
+//! throughput) without spending minutes on numbers nobody reads.
+
+use lc_core::{
+    ClaimBackoff, ClaimOutcome, CpuShardMap, NodeShardMap, RegistrationShardMap, ShardMap,
+    SleepSlotBuffer, SleeperId,
+};
+use lc_locks::Parker;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Logical claimers driven through each cell.
+const CLAIMERS: usize = 32;
+/// Simulated CPUs; claimers are pinned in groups of four.
+const NUM_CPUS: usize = 8;
+/// `cpu → NUMA node` table for the node topology: two nodes of four CPUs.
+const CPU_NODE_TABLE: [usize; NUM_CPUS] = [0, 0, 0, 0, 1, 1, 1, 1];
+/// Slot capacity of every cell's buffer.
+const CAPACITY: usize = 64;
+/// Global sleep target (oscillates to half of this to exercise wake scans).
+const TARGET: u64 = 16;
+/// Backoff window range for the managed-claim collision model (mirrors the
+/// initial window of `claim_backoff_spin`).
+const WINDOW: u64 = 8;
+
+struct Args {
+    rounds: usize,
+    seed: u64,
+    out: Option<String>,
+    smoke: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        rounds: 4096,
+        seed: 0x5EED_BA5E,
+        out: None,
+        smoke: false,
+    };
+    let mut explicit_rounds = false;
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| iter.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--rounds" => {
+                args.rounds = num(&value("--rounds")?)?;
+                explicit_rounds = true;
+            }
+            "--seed" => args.seed = num(&value("--seed")?)? as u64,
+            "--out" => args.out = Some(value("--out")?),
+            "--smoke" => args.smoke = true,
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    if args.smoke && !explicit_rounds {
+        args.rounds = 256;
+    }
+    Ok(args)
+}
+
+fn num(raw: &str) -> Result<usize, String> {
+    raw.parse().map_err(|_| format!("not a number: {raw}"))
+}
+
+/// xorshift64* — the suite's stock deterministic generator.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound.max(1)
+    }
+
+    fn coin(&mut self) -> bool {
+        self.next() & 1 == 0
+    }
+}
+
+/// One matrix cell's configuration.
+struct Cell {
+    shards: usize,
+    topology: &'static str,
+    managed: bool,
+}
+
+/// One matrix cell's measurements.
+struct CellResult {
+    shards: usize,
+    topology: &'static str,
+    topology_spec: String,
+    managed: bool,
+    claims: u64,
+    claim_races: u64,
+    wake_churn: u64,
+    claim_races_per_shard: Vec<u64>,
+}
+
+fn shard_map(topology: &str, cpu_cell: &Arc<AtomicUsize>) -> Arc<dyn ShardMap> {
+    // `revalidate=1` forces a probe on every claim: the harness multiplexes
+    // all logical claimers onto one OS thread, so the per-thread CPU cache
+    // must never carry a previous claimer's placement.
+    let cell = Arc::clone(cpu_cell);
+    let probe: Arc<dyn Fn() -> Option<usize> + Send + Sync> =
+        Arc::new(move || Some(cell.load(Ordering::Relaxed)));
+    match topology {
+        "registration" => Arc::new(RegistrationShardMap),
+        "cpu" => Arc::new(CpuShardMap::with_probe(probe, 1)),
+        "node" => Arc::new(NodeShardMap::with_table(CPU_NODE_TABLE.to_vec(), probe, 1)),
+        other => unreachable!("unknown topology {other}"),
+    }
+}
+
+fn run_cell(cell: &Cell, rounds: usize, seed: u64) -> CellResult {
+    let cpu_cell = Arc::new(AtomicUsize::new(0));
+    let map = shard_map(cell.topology, &cpu_cell);
+    let topology_spec = map.spec().to_string();
+    let backoff = if cell.managed {
+        ClaimBackoff::DEFAULT_MANAGED
+    } else {
+        ClaimBackoff::DISABLED
+    };
+    let buffer = SleepSlotBuffer::with_layout(CAPACITY, cell.shards, cell.shards, map, backoff);
+    buffer.set_target(TARGET);
+
+    let mut rng = Rng(seed | 1);
+    let sleepers: Vec<SleeperId> = (0..CLAIMERS)
+        .map(|_| buffer.register_sleeper(Arc::new(Parker::new())))
+        .collect();
+    // Pin claimers in groups of four so the cpu/node maps see clustering.
+    let cpu_of: Vec<usize> = (0..CLAIMERS).map(|i| (i / 4) % NUM_CPUS).collect();
+
+    // `None` = polling; `Some((slot, dwell))` = holding a claim for `dwell`
+    // more rounds.
+    let mut held: Vec<Option<(usize, u64)>> = vec![None; CLAIMERS];
+    let mut claims = 0u64;
+    let mut wake_churn = 0u64;
+
+    for round in 0..rounds {
+        // 1. This round's contenders, grouped by home shard.  The grouping
+        //    walks claimers in index order and shard buckets in shard order,
+        //    so the interleaving is a pure function of the seed.
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); buffer.shard_count()];
+        for claimer in 0..CLAIMERS {
+            if held[claimer].is_some() || !rng.coin() {
+                continue;
+            }
+            cpu_cell.store(cpu_of[claimer], Ordering::Relaxed);
+            if !buffer.has_space_for(sleepers[claimer]) {
+                continue;
+            }
+            let home = buffer.home_shard(sleepers[claimer]);
+            by_shard[home].push(claimer);
+        }
+
+        // 2. Per shard: all contenders overlap their admission loads (every
+        //    one observes the same head), then commit.
+        for (shard, group) in by_shard.iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let Some(observed) = buffer.begin_claim_at(shard) else {
+                continue;
+            };
+            let mut order = group.clone();
+            shuffle(&mut order, &mut rng);
+
+            let mut pending: Vec<usize> = Vec::new();
+            for (rank, &claimer) in order.iter().enumerate() {
+                cpu_cell.store(cpu_of[claimer], Ordering::Relaxed);
+                if rank == 0 {
+                    // The overlap's winner: first CAS against the shared view.
+                    if let ClaimOutcome::Claimed(slot) =
+                        buffer.commit_claim_at(shard, sleepers[claimer], observed)
+                    {
+                        held[claimer] = Some((slot, 1 + rng.below(8)));
+                        claims += 1;
+                    }
+                } else if !cell.managed {
+                    // Unmanaged: everyone else CASes the same stale view and
+                    // loses — the thundering-herd worst case.
+                    let lost = buffer.commit_claim_at(shard, sleepers[claimer], observed);
+                    debug_assert!(matches!(lost, ClaimOutcome::Raced));
+                } else {
+                    pending.push(claimer);
+                }
+            }
+
+            // Managed losers: bounded randomized backoff, then load-then-CAS.
+            // Contenders whose windows collide re-CAS against the same view
+            // and race; distinct windows re-load a fresh head and succeed.
+            let mut attempt = 0u32;
+            while !pending.is_empty() && attempt <= ClaimBackoff::DEFAULT_MANAGED.retries {
+                let mut drawn: Vec<(u64, usize)> = pending
+                    .iter()
+                    .map(|&claimer| (rng.below(WINDOW), claimer))
+                    .collect();
+                drawn.sort_unstable();
+                pending.clear();
+                let mut view: Option<(u64, u64)> = None; // (window, observed)
+                for (window, claimer) in drawn {
+                    cpu_cell.store(cpu_of[claimer], Ordering::Relaxed);
+                    let observed = match view {
+                        Some((w, observed)) if w == window => observed,
+                        _ => match buffer.begin_claim_at(shard) {
+                            Some(fresh) => fresh,
+                            None => continue, // shard filled: back to polling
+                        },
+                    };
+                    view = Some((window, observed));
+                    match buffer.commit_claim_at(shard, sleepers[claimer], observed) {
+                        ClaimOutcome::Claimed(slot) => {
+                            held[claimer] = Some((slot, 1 + rng.below(8)));
+                            claims += 1;
+                        }
+                        ClaimOutcome::Raced => pending.push(claimer),
+                        ClaimOutcome::NoSpace => {}
+                    }
+                }
+                attempt += 1;
+            }
+        }
+
+        // 3. Holders dwell and leave; the book (`S − W`) must balance.
+        for claimer in 0..CLAIMERS {
+            if let Some((slot, dwell)) = held[claimer] {
+                if dwell <= 1 {
+                    buffer.leave(slot, sleepers[claimer]);
+                    held[claimer] = None;
+                } else {
+                    held[claimer] = Some((slot, dwell - 1));
+                }
+            }
+        }
+
+        // 4. Controller tick every 64 rounds: oscillate the target to drive
+        //    the batched wake scan (shrink wakes excess sleepers in one
+        //    unpark pass) and count the churn.
+        if round % 64 == 63 {
+            let next = if (round / 64) % 2 == 0 {
+                TARGET / 2
+            } else {
+                TARGET
+            };
+            wake_churn += buffer.set_target(next) as u64;
+        }
+    }
+
+    for claimer in 0..CLAIMERS {
+        if let Some((slot, _)) = held[claimer].take() {
+            buffer.leave(slot, sleepers[claimer]);
+        }
+    }
+    assert_eq!(buffer.sleepers(), 0, "claim book must balance after drain");
+
+    CellResult {
+        shards: cell.shards,
+        topology: cell.topology,
+        topology_spec,
+        managed: cell.managed,
+        claims,
+        claim_races: buffer.stats().claim_races,
+        wake_churn,
+        claim_races_per_shard: buffer.claim_races_per_shard(),
+    }
+}
+
+fn shuffle(items: &mut [usize], rng: &mut Rng) {
+    for i in (1..items.len()).rev() {
+        let j = rng.below(i as u64 + 1) as usize;
+        items.swap(i, j);
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("slot_fastpath: {message}");
+            std::process::exit(2);
+        }
+    };
+    eprintln!(
+        "slot_fastpath: rounds={} seed={:#x} claimers={CLAIMERS} capacity={CAPACITY}",
+        args.rounds, args.seed
+    );
+
+    let cells = [
+        Cell {
+            shards: 1,
+            topology: "registration",
+            managed: false,
+        },
+        Cell {
+            shards: 1,
+            topology: "registration",
+            managed: true,
+        },
+        Cell {
+            shards: 4,
+            topology: "registration",
+            managed: false,
+        },
+        Cell {
+            shards: 4,
+            topology: "registration",
+            managed: true,
+        },
+        Cell {
+            shards: 4,
+            topology: "cpu",
+            managed: false,
+        },
+        Cell {
+            shards: 4,
+            topology: "cpu",
+            managed: true,
+        },
+        Cell {
+            shards: 4,
+            topology: "node",
+            managed: false,
+        },
+        Cell {
+            shards: 4,
+            topology: "node",
+            managed: true,
+        },
+    ];
+
+    let results: Vec<CellResult> = cells
+        .iter()
+        .map(|cell| {
+            let result = run_cell(cell, args.rounds, args.seed);
+            eprintln!(
+                "  shards={} topology={:<12} managed={:<5} claims={:>6} races={:>6} churn={:>4}",
+                result.shards,
+                result.topology,
+                result.managed,
+                result.claims,
+                result.claim_races,
+                result.wake_churn
+            );
+            result
+        })
+        .collect();
+
+    // The matrix's two load-bearing claims, asserted so the CI smoke run is
+    // a real check and not just a crash test.
+    for pair in results.chunks(2) {
+        let (off, on) = (&pair[0], &pair[1]);
+        assert!(
+            off.claim_races == 0 || on.claim_races < off.claim_races,
+            "managed claims must reduce races: shards={} topology={} {} !< {}",
+            off.shards,
+            off.topology,
+            on.claim_races,
+            off.claim_races
+        );
+        assert!(
+            on.claims >= off.claims,
+            "managed claims must not lose throughput: shards={} topology={} {} < {}",
+            off.shards,
+            off.topology,
+            on.claims,
+            off.claims
+        );
+    }
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"slot_fastpath\",\n");
+    out.push_str(&format!("  \"seed\": {},\n", args.seed));
+    out.push_str(&format!("  \"rounds\": {},\n", args.rounds));
+    out.push_str(&format!("  \"claimers\": {CLAIMERS},\n"));
+    out.push_str(&format!("  \"capacity\": {CAPACITY},\n"));
+    out.push_str(&format!("  \"target\": {TARGET},\n"));
+    out.push_str("  \"cells\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let races: Vec<String> = r.claim_races_per_shard.iter().map(u64::to_string).collect();
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"shards\": {},\n", r.shards));
+        out.push_str(&format!("      \"topology\": {:?},\n", r.topology_spec));
+        out.push_str(&format!(
+            "      \"contention_management\": {},\n",
+            r.managed
+        ));
+        out.push_str(&format!("      \"claims\": {},\n", r.claims));
+        out.push_str(&format!("      \"claim_races\": {},\n", r.claim_races));
+        out.push_str(&format!("      \"wake_churn\": {},\n", r.wake_churn));
+        out.push_str(&format!(
+            "      \"claim_races_per_shard\": [{}]\n",
+            races.join(", ")
+        ));
+        out.push_str(if i + 1 == results.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+
+    match &args.out {
+        Some(path) => {
+            if let Err(error) = std::fs::write(path, &out) {
+                eprintln!("slot_fastpath: cannot write {path}: {error}");
+                std::process::exit(1);
+            }
+            eprintln!("slot_fastpath: wrote {path}");
+        }
+        None => print!("{out}"),
+    }
+}

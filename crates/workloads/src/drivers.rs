@@ -195,17 +195,6 @@ pub fn run_microbench_lc_spec(
     }))
 }
 
-/// Runs the load-controlled microbenchmark over the abortable backend named
-/// `name`, or `None` for a name that is unknown or not abortable.
-#[deprecated(note = "use run_microbench_lc_spec, which also accepts parameterized specs")]
-pub fn run_microbench_lc_named(
-    name: &str,
-    config: MicrobenchConfig,
-    control: &Arc<LoadControl>,
-) -> Option<MicrobenchResult> {
-    run_microbench_lc_spec(name, config, control).ok()
-}
-
 /// Configuration of the reader-writer oversubscription scenarios: `threads`
 /// workers each loop over one [`LcRwLock`]-protected table, taking the write
 /// lock on `write_percent` % of iterations and the read lock otherwise.
@@ -561,11 +550,6 @@ mod tests {
         }
         assert!(run_microbench_lc_spec("blocking", tiny, &control).is_err());
         assert!(run_microbench_lc_spec("bogus", tiny, &control).is_err());
-        #[allow(deprecated)]
-        {
-            assert!(run_microbench_lc_named("blocking", tiny, &control).is_none());
-            assert!(run_microbench_lc_named("tp-queue", tiny, &control).is_some());
-        }
     }
 
     #[test]

@@ -279,6 +279,9 @@ pub struct DlockRunResult {
     /// Sleep-slot claims that actually slept during the run (0 without a
     /// controller).
     pub ever_slept: u64,
+    /// Lost claim CASes per slot-buffer shard over the run (empty without a
+    /// controller) — the contention signal the fast-path work optimizes.
+    pub claim_races_per_shard: Vec<u64>,
 }
 
 impl DlockRunResult {
@@ -520,14 +523,15 @@ fn drive<S: Send + 'static>(
     }
     let elapsed = start.elapsed();
 
-    let ever_slept = control
+    let (ever_slept, claim_races_per_shard) = control
         .as_ref()
         .map(|lc| {
             let stats = lc.buffer().stats();
+            let races = lc.buffer().claim_races_per_shard();
             lc.stop_controller();
-            stats.ever_slept
+            (stats.ever_slept, races)
         })
-        .unwrap_or(0);
+        .unwrap_or((0, Vec::new()));
 
     let per_thread = usage.snapshot();
     let counts: Vec<u64> = per_thread.iter().map(|row| row.acquisitions).collect();
@@ -543,6 +547,7 @@ fn drive<S: Send + 'static>(
         per_thread: per_thread.clone(),
         fairness: jains_index(&counts),
         ever_slept,
+        claim_races_per_shard,
     })
 }
 

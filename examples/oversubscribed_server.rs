@@ -24,8 +24,9 @@
 //! where `<policy-spec>` is a bare policy name (`paper`, `hysteresis`,
 //! `fixed`, `pid`) or a parameterized spec such as `"pid(kp=0.5, ki=0.1)"`
 //! or `"hysteresis(alpha=0.3, deadband=2)"`.  A `--spec-file` supplies the
-//! full control plane (policy, splitter, shards, sampler) as `key = value`
-//! lines; the `LC_POLICY` / `LC_SPLITTER` / `LC_SHARDS` / `LC_SAMPLER`
+//! full control plane (policy, splitter, shards, sampler, topology) as
+//! `key = value` lines; the `LC_POLICY` / `LC_SPLITTER` / `LC_SHARDS` /
+//! `LC_SAMPLER` / `LC_TOPOLOGY`
 //! environment variables layer on top of either source, and a malformed
 //! spec anywhere fails loudly before the measurement sweep.
 
