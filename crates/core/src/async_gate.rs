@@ -146,6 +146,10 @@ impl AsyncPlane {
 
 /// A deadline enrolled in the controller's timeout sweep.
 struct ParkEpisode {
+    /// When the park began (the control instance's time source's timebase);
+    /// the episode's duration is recorded into the buffer's wait histogram
+    /// when the episode ends.
+    started: Duration,
     /// Absolute deadline in the control instance's time source's timebase.
     deadline: Duration,
     token: u64,
@@ -303,12 +307,17 @@ impl AsyncLoadGate {
             // controller's timeout sweep (tasks cannot `park_timeout`).
             self.sleeps += 1;
             parker.try_consume_permit();
-            let deadline = self.control.time().now() + self.config.sleep_timeout;
+            let started = self.control.time().now();
+            let deadline = started + self.config.sleep_timeout;
             let token = self
                 .control
                 .async_plane()
                 .register_deadline(deadline, &parker);
-            self.park = Some(ParkEpisode { deadline, token });
+            self.park = Some(ParkEpisode {
+                started,
+                deadline,
+                token,
+            });
         }
         let deadline = self.park.as_ref().map(|p| p.deadline).unwrap();
         if !buffer.still_claimed(idx, sleeper) || self.control.time().now() >= deadline {
@@ -355,6 +364,10 @@ impl AsyncLoadGate {
         }
         if let Some(episode) = self.park.take() {
             self.control.async_plane().unregister(episode.token);
+            // Parked episodes record their duration on the control plane's
+            // clock — the same histogram the sync plane's `SlotWait` feeds.
+            let elapsed = self.control.time().now().saturating_sub(episode.started);
+            self.control.buffer().record_wait(elapsed);
         }
         if had_claim {
             if let Some((_, parker)) = self.lease.as_ref() {
@@ -783,6 +796,25 @@ mod tests {
         gate.cancel();
         let stats = lc.buffer().stats();
         assert_eq!(stats.ever_slept, stats.woken_and_left);
+    }
+
+    #[test]
+    fn park_episodes_feed_the_wait_histogram() {
+        let lc = manual_control(1);
+        lc.set_sleep_target(1);
+        let mut gate = AsyncLoadGate::new(&lc);
+        assert!(gate.try_claim());
+        let wakes = Arc::new(AtomicU64::new(0));
+        let waker = test_waker(wakes);
+        let mut cx = Context::from_waker(&waker);
+        assert_eq!(gate.poll_park(&mut cx), Poll::Pending);
+        lc.set_sleep_target(0);
+        assert_eq!(gate.poll_park(&mut cx), Poll::Ready(true));
+        // The parked episode's duration was recorded (a cancelled claim that
+        // never parked records nothing — see `cancel_releases_without_parking`,
+        // whose gate leaves `wait.count` at zero).
+        let stats = lc.buffer().stats();
+        assert_eq!(stats.wait.count, 1);
     }
 
     #[test]

@@ -42,6 +42,52 @@ impl Default for ClaimBackoff {
     }
 }
 
+/// Order in which the controller's batched wake scan clears excess slots
+/// within a shard.
+///
+/// The paper's scan ([`WakeOrder::Fifo`]) walks the slot array from index 0,
+/// which under partial wakes favors low ring indices: an old sleeper parked
+/// at a high index can survive scan after scan and only leave at its sleep
+/// timeout, so the wait-time p99 degenerates to the timeout under sustained
+/// overload.  [`WakeOrder::Window`] wakes the *oldest claims first* (by each
+/// slot's claim stamp — the head-`S` value its claim committed at), bounding
+/// any sleeper's age at the cost of a per-scan sort of the occupied slots.
+/// A latency-targeting policy ([`crate::policy::LatencyPolicy`]) needs
+/// window order to actually move the tail.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum WakeOrder {
+    /// Slot-array order (index 0 upward): the paper's scan, the default.
+    #[default]
+    Fifo,
+    /// Oldest claim first, by per-slot claim stamp.
+    Window,
+}
+
+impl WakeOrder {
+    /// The stable spec-string name of this order (`fifo` / `window`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            WakeOrder::Fifo => "fifo",
+            WakeOrder::Window => "window",
+        }
+    }
+
+    /// Parses a spec-string name; `None` for anything but `fifo` / `window`.
+    pub fn parse(value: &str) -> Option<Self> {
+        match value {
+            "fifo" => Some(WakeOrder::Fifo),
+            "window" => Some(WakeOrder::Window),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for WakeOrder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Live-reshard policy: the controller grows the active shard count on
 /// sustained per-shard claim races and shrinks it when the claim path goes
 /// quiet, between `min_shards` and `max_shards` (both normalized to powers
@@ -125,6 +171,9 @@ pub struct LoadControlConfig {
     /// Live-reshard policy; `None` (the default) pins the shard count at
     /// `shards` for the lifetime of the buffer.
     pub reshard: Option<ReshardPolicy>,
+    /// Order of the controller's batched wake scan within a shard
+    /// ([`WakeOrder::Fifo`], the paper's array-order scan, by default).
+    pub wake_order: WakeOrder,
 }
 
 impl LoadControlConfig {
@@ -155,6 +204,7 @@ impl LoadControlConfig {
             shards: Self::DEFAULT_SHARDS,
             claim_backoff: ClaimBackoff::DISABLED,
             reshard: None,
+            wake_order: WakeOrder::Fifo,
         }
     }
 
@@ -201,6 +251,13 @@ impl LoadControlConfig {
     /// `backoff` ([`ClaimBackoff::DISABLED`] restores the paper's behavior).
     pub fn with_claim_backoff(mut self, backoff: ClaimBackoff) -> Self {
         self.claim_backoff = backoff;
+        self
+    }
+
+    /// Returns `self` with the controller's wake scan running in `order`
+    /// ([`WakeOrder::Fifo`] restores the paper's array-order scan).
+    pub fn with_wake_order(mut self, order: WakeOrder) -> Self {
+        self.wake_order = order;
         self
     }
 
@@ -266,6 +323,8 @@ impl LoadControlConfig {
             headroom: self.overload_headroom,
             current_target: 0,
             stats: crate::controller::ControllerStats::default(),
+            wait: lc_locks::stats::WaitObservation::default(),
+            interval: self.update_interval,
         });
         (target as usize).min(self.max_sleepers)
     }
@@ -353,6 +412,21 @@ mod tests {
         assert_eq!(ClaimBackoff::default(), ClaimBackoff::DISABLED);
         let managed = c.with_claim_backoff(ClaimBackoff::DEFAULT_MANAGED);
         assert_eq!(managed.claim_backoff.retries, 3);
+    }
+
+    #[test]
+    fn wake_order_defaults_to_fifo_and_round_trips_names() {
+        let c = LoadControlConfig::for_capacity(8);
+        assert_eq!(c.wake_order, WakeOrder::Fifo);
+        assert_eq!(
+            c.with_wake_order(WakeOrder::Window).wake_order,
+            WakeOrder::Window
+        );
+        for order in [WakeOrder::Fifo, WakeOrder::Window] {
+            assert_eq!(WakeOrder::parse(order.as_str()), Some(order));
+            assert_eq!(order.to_string(), order.as_str());
+        }
+        assert_eq!(WakeOrder::parse("lifo"), None);
     }
 
     #[test]

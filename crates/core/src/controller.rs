@@ -9,7 +9,7 @@
 //! default.
 
 use crate::async_gate::AsyncPlane;
-use crate::config::{LoadControlConfig, ReshardPolicy};
+use crate::config::{LoadControlConfig, ReshardPolicy, WakeOrder};
 use crate::policy::{
     ControlPolicy, EvenSplitter, PaperPolicy, PolicyInputs, TargetSplitter, POLICY_SPECS,
     SPLITTER_SPECS,
@@ -20,6 +20,7 @@ use crate::thread_ctx::{current_ctx, WorkerRegistration};
 use crate::time::{ParkOps, RealClock, ThreadPark, TimeSource};
 use crate::topology::{RegistrationShardMap, ShardMap, TOPOLOGY_SPECS};
 use lc_accounting::{LoadSampler, RegistryLoadSampler, ThreadRegistry, SAMPLER_SPECS};
+use lc_locks::stats::WaitSnapshot;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -37,6 +38,9 @@ pub struct ControllerStats {
     pub last_target: u64,
     /// Total threads woken early by the controller.
     pub controller_wakes: u64,
+    /// Total sleepers that have completed a sleep episode (the buffer's `W`
+    /// book): the wake-churn signal meta-policies optimize against.
+    pub woken_and_left: u64,
 }
 
 /// The controller's live-reshard bookkeeping: per-shard claim-race counters
@@ -57,6 +61,11 @@ struct Shared {
     policy: Mutex<Box<dyn ControlPolicy>>,
     splitter: Mutex<Box<dyn TargetSplitter>>,
     reshard: Mutex<ReshardState>,
+    /// Wait-histogram snapshot as of the previous cycle: each cycle hands the
+    /// policy the *delta* window (waits recorded since the last decision), so
+    /// latency-aware policies react to current conditions rather than the
+    /// run's whole history.
+    last_wait: Mutex<WaitSnapshot>,
     /// The async waiting plane: pooled task sleeper leases plus the parked
     /// tasks' timeout sweep (see [`crate::async_gate`]).
     async_plane: AsyncPlane,
@@ -227,6 +236,9 @@ impl LoadControlBuilder {
         if let Some(shards) = spec.shards {
             self.config = self.config.with_shards(shards);
         }
+        if let Some(order) = spec.wake_order {
+            self.config = self.config.with_wake_order(order);
+        }
         self = self.policy_spec(&spec.policy.to_string())?;
         self = self.splitter_spec(&spec.splitter.to_string())?;
         if let Some(sampler) = &spec.sampler {
@@ -303,13 +315,15 @@ impl LoadControlBuilder {
                 physical,
                 shard_map,
                 self.config.claim_backoff,
-            ),
+            )
+            .with_wake_order(self.config.wake_order),
             config: self.config,
             registry,
             sampler,
             policy: Mutex::new(self.policy),
             splitter: Mutex::new(self.splitter),
             reshard: Mutex::new(ReshardState::default()),
+            last_wait: Mutex::new(WaitSnapshot::default()),
             async_plane: AsyncPlane::new(),
             time: self
                 .time
@@ -496,6 +510,10 @@ impl LoadControl {
             shards: Some(self.shared.buffer.shard_count()),
             sampler: Some(self.shared.sampler.spec()),
             topology: Some(self.shared.buffer.shard_map().spec()),
+            // Elide the default so existing spec strings (and artifacts that
+            // embed them) are byte-stable.
+            wake_order: (self.shared.buffer.wake_order() != WakeOrder::Fifo)
+                .then(|| self.shared.buffer.wake_order()),
         }
     }
 
@@ -552,12 +570,23 @@ impl LoadControl {
         // slot buffer; using total demand keeps the target stable instead
         // of mass-waking sleepers whenever runnable load dips briefly.
         let load = sample.runnable + self.shared.buffer.sleepers() as usize;
+        // The wait observation handed to the policy is this cycle's *delta*
+        // window: episodes recorded since the previous decision.
+        let wait = {
+            let snapshot = self.shared.buffer.wait_snapshot();
+            let mut last = self.shared.last_wait.lock().unwrap();
+            let delta = snapshot.since(&last);
+            *last = snapshot;
+            delta.observation()
+        };
         let inputs = PolicyInputs {
             load,
             capacity: self.shared.config.capacity,
             headroom: self.shared.config.overload_headroom,
             current_target: self.shared.buffer.target(),
             stats: self.stats(),
+            wait,
+            interval: self.shared.config.update_interval,
         };
         let target = self.shared.policy.lock().unwrap().target(&inputs);
         let target = target.min(self.shared.config.max_sleepers as u64);
@@ -711,11 +740,13 @@ impl LoadControl {
 
     /// Controller activity counters.
     pub fn stats(&self) -> ControllerStats {
+        let buffer = self.shared.buffer.stats();
         ControllerStats {
             cycles: self.shared.cycles.load(Ordering::Relaxed),
             last_runnable: self.shared.last_runnable.load(Ordering::Relaxed),
             last_target: self.shared.buffer.target(),
-            controller_wakes: self.shared.buffer.stats().controller_wakes,
+            controller_wakes: buffer.controller_wakes,
+            woken_and_left: buffer.woken_and_left,
         }
     }
 

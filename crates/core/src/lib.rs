@@ -113,7 +113,7 @@ pub mod time;
 pub mod topology;
 
 pub use async_gate::{AsyncLoadGate, AsyncSpinHook};
-pub use config::{ClaimBackoff, LoadControlConfig, ReshardPolicy};
+pub use config::{ClaimBackoff, LoadControlConfig, ReshardPolicy, WakeOrder};
 pub use controller::{ControllerStats, LoadControl, LoadControlBuilder};
 pub use lc_condvar::LcCondvar;
 pub use lc_lock::{LcLock, LcMutex, LcMutexAsyncGuard, LcMutexGuard, TpLcLock};
@@ -121,8 +121,9 @@ pub use lc_rwlock::{LcRwLock, LcRwLockReadGuard, LcRwLockWriteGuard};
 pub use lc_semaphore::{AcquireAsync, LcSemaphore, LcSemaphoreAsyncPermit, LcSemaphorePermit};
 pub use load_backoff::LoadTriggeredBackoffPolicy;
 pub use policy::{
-    ControlPolicy, EvenSplitter, FixedPolicy, HysteresisPolicy, LoadWeightedSplitter, PaperPolicy,
-    PidPolicy, PolicyInputs, TargetSplitter, POLICY_SPECS, SPLITTER_SPECS,
+    AutotuneInner, AutotuneObjective, AutotunePolicy, ControlPolicy, EvenSplitter, FixedPolicy,
+    HysteresisPolicy, LatencyPolicy, LoadWeightedSplitter, PaperPolicy, PidPolicy, PolicyInputs,
+    TargetSplitter, POLICY_SPECS, SPLITTER_SPECS,
 };
 pub use slots::{ClaimOutcome, ShardSnapshot, SleepSlotBuffer, SleeperId, SlotBufferStats};
 pub use spec::{LoadControlSpec, ParsedSpec, SpecError};

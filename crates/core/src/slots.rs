@@ -49,14 +49,16 @@
 //! exactly one [`SleepSlotBuffer::leave`], and with `N = 1` (the default) the
 //! buffer is behaviourally identical to the unsharded original.
 
-use crate::config::ClaimBackoff;
+use crate::config::{ClaimBackoff, WakeOrder};
 use crate::topology::{RegistrationShardMap, ShardMap};
 use crossbeam_utils::CachePadded;
+use lc_locks::stats::{WaitHistogram, WaitObservation, WaitSnapshot};
 use lc_locks::Parker;
 use std::cell::Cell;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 /// Identity of a thread registered as a potential sleeper.
 ///
@@ -140,6 +142,11 @@ pub struct SlotBufferStats {
     /// ([`SleepSlotBuffer::shard_stats`]) report it as 0 so summing shard
     /// stats never double-counts it.
     pub exempt: u64,
+    /// Wait-time summary of every completed sleep episode (count, p50/p99
+    /// bucket upper bounds and max, in nanoseconds) from the buffer's
+    /// [`lc_locks::stats::WaitHistogram`].  Buffer-global like `exempt`:
+    /// per-shard snapshots report the default (all-zero) observation.
+    pub wait: WaitObservation,
 }
 
 impl fmt::Display for SlotBufferStats {
@@ -149,7 +156,8 @@ impl fmt::Display for SlotBufferStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "S={} W={} T={} sleeping={} controller_wakes={} claim_races={} exempt={}",
+            "S={} W={} T={} sleeping={} controller_wakes={} claim_races={} exempt={} \
+             wait_count={} wait_p50_ns={} wait_p99_ns={} wait_max_ns={}",
             self.ever_slept,
             self.woken_and_left,
             self.target,
@@ -157,6 +165,10 @@ impl fmt::Display for SlotBufferStats {
             self.controller_wakes,
             self.claim_races,
             self.exempt,
+            self.wait.count,
+            self.wait.p50_ns,
+            self.wait.p99_ns,
+            self.wait.max_ns,
         )
     }
 }
@@ -276,6 +288,13 @@ struct Shard {
     target: CachePadded<AtomicU64>,
     /// Ring of slots; `0` = empty, otherwise `SleeperId + 1`.
     slots: Box<[AtomicU64]>,
+    /// Claim stamp of each slot: the head-`S` value the claim committed at,
+    /// plus one (so 0 = never claimed).  Monotonic per shard, which gives
+    /// the window wake order its oldest-claim-first key.  A stamp is stored
+    /// *before* its slot value, so an occupied slot always has a current
+    /// stamp; a stale stamp under an empty slot is harmless (occupancy is
+    /// checked first).
+    stamps: Box<[AtomicU64]>,
     controller_wakes: AtomicU64,
     claim_races: AtomicU64,
 }
@@ -286,11 +305,16 @@ impl Shard {
             .map(|_| AtomicU64::new(0))
             .collect::<Vec<_>>()
             .into_boxed_slice();
+        let stamps = (0..capacity)
+            .map(|_| AtomicU64::new(0))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
         Self {
             ever_slept: CachePadded::new(AtomicU64::new(0)),
             woken: CachePadded::new(AtomicU64::new(0)),
             target: CachePadded::new(AtomicU64::new(0)),
             slots,
+            stamps,
             controller_wakes: AtomicU64::new(0),
             claim_races: AtomicU64::new(0),
         }
@@ -339,6 +363,10 @@ impl Shard {
         ) {
             Ok(_) => {
                 let idx = (observed as usize) % self.slots.len();
+                // Stamp before the slot write: once the slot reads occupied,
+                // its claim-order key is already in place for the window
+                // wake scan.
+                self.stamps[idx].store(observed + 1, Ordering::Release);
                 self.slots[idx].store(sleeper.slot_value(), Ordering::Release);
                 ClaimOutcome::Claimed(idx)
             }
@@ -389,33 +417,81 @@ impl Shard {
     /// appends the owners' parker indices to `wakes` — the caller unparks
     /// the whole batch once, instead of a per-slot round trip through the
     /// parker table.  Returns how many slots were cleared.
-    fn collect_wakes(&self, count: usize, exempt: &ExemptSet, wakes: &mut Vec<u64>) -> usize {
+    ///
+    /// `order` picks which occupants a *partial* wake reaches:
+    /// [`WakeOrder::Fifo`] walks the ring in array order (the paper's scan),
+    /// [`WakeOrder::Window`] visits occupied slots oldest claim first (by
+    /// claim stamp), so no sleeper's age can grow unboundedly across
+    /// repeated partial scans.
+    fn collect_wakes(
+        &self,
+        count: usize,
+        order: WakeOrder,
+        exempt: &ExemptSet,
+        wakes: &mut Vec<u64>,
+    ) -> usize {
         if count == 0 {
             return 0;
         }
-        let mut cleared = 0;
-        for slot in self.slots.iter() {
-            if cleared >= count {
-                break;
+        match order {
+            WakeOrder::Fifo => {
+                let mut cleared = 0;
+                for slot in self.slots.iter() {
+                    if cleared >= count {
+                        break;
+                    }
+                    cleared += self.try_clear(slot, exempt, wakes);
+                }
+                cleared
             }
-            let v = slot.load(Ordering::Acquire);
-            if v == 0 {
-                continue;
-            }
-            if exempt.contains(v) {
-                exempt.skips.fetch_add(1, Ordering::Relaxed);
-                continue;
-            }
-            if slot
-                .compare_exchange(v, 0, Ordering::AcqRel, Ordering::Relaxed)
-                .is_ok()
-            {
-                wakes.push(v - 1);
-                self.controller_wakes.fetch_add(1, Ordering::Relaxed);
-                cleared += 1;
+            WakeOrder::Window => {
+                // Gather the occupied slots' (stamp, index) pairs, then
+                // clear in stamp order.  The claim stamp is stored before
+                // the slot value, so every slot observed occupied here has
+                // a current stamp; a slot that empties (or is re-claimed)
+                // between the gather and the clear just loses its CAS — the
+                // scan stays lock-free and never wakes anyone twice.
+                let mut occupied: Vec<(u64, usize)> = Vec::with_capacity(self.slots.len());
+                for (idx, slot) in self.slots.iter().enumerate() {
+                    if slot.load(Ordering::Acquire) != 0 {
+                        occupied.push((self.stamps[idx].load(Ordering::Acquire), idx));
+                    }
+                }
+                occupied.sort_unstable();
+                let mut cleared = 0;
+                for (_, idx) in occupied {
+                    if cleared >= count {
+                        break;
+                    }
+                    cleared += self.try_clear(&self.slots[idx], exempt, wakes);
+                }
+                cleared
             }
         }
-        cleared
+    }
+
+    /// One wake-scan visit of `slot`: skip if empty or exempt, else CAS it
+    /// clear and record the owner.  Returns 1 if the slot was cleared.
+    #[inline]
+    fn try_clear(&self, slot: &AtomicU64, exempt: &ExemptSet, wakes: &mut Vec<u64>) -> usize {
+        let v = slot.load(Ordering::Acquire);
+        if v == 0 {
+            return 0;
+        }
+        if exempt.contains(v) {
+            exempt.skips.fetch_add(1, Ordering::Relaxed);
+            return 0;
+        }
+        if slot
+            .compare_exchange(v, 0, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok()
+        {
+            wakes.push(v - 1);
+            self.controller_wakes.fetch_add(1, Ordering::Relaxed);
+            1
+        } else {
+            0
+        }
     }
 }
 
@@ -483,6 +559,15 @@ pub struct SleepSlotBuffer {
     /// Sleepers the wake scan must skip (active combiners; see
     /// [`SleepSlotBuffer::set_exempt`]).
     exempt: ExemptSet,
+    /// Order of the controller's batched wake scan within each shard
+    /// (see [`WakeOrder`]; set at construction via
+    /// [`SleepSlotBuffer::with_wake_order`]).
+    wake_order: WakeOrder,
+    /// Wait-time histogram of completed sleep episodes, fed by
+    /// [`SleepSlotBuffer::record_wait`] from both waiter kinds (thread and
+    /// async) through the [`crate::time::TimeSource`] seam — so it works on
+    /// real and virtual time alike.
+    wait: WaitHistogram,
 }
 
 impl fmt::Debug for SleepSlotBuffer {
@@ -584,7 +669,37 @@ impl SleepSlotBuffer {
             publish: Mutex::new(()),
             parkers: Mutex::new(Vec::new()),
             exempt: ExemptSet::new(),
+            wake_order: WakeOrder::Fifo,
+            wait: WaitHistogram::new(),
         }
+    }
+
+    /// Returns `self` with the wake scan running in `order` (construction
+    /// knob; [`WakeOrder::Fifo`] is the default and the paper's behavior).
+    pub fn with_wake_order(mut self, order: WakeOrder) -> Self {
+        self.wake_order = order;
+        self
+    }
+
+    /// The wake-scan order this buffer was built with.
+    pub fn wake_order(&self) -> WakeOrder {
+        self.wake_order
+    }
+
+    /// Records one completed sleep episode of `elapsed` into the buffer's
+    /// wait-time histogram.  Called by [`crate::time::SlotWait::finish`] (the
+    /// shared sync/DES wait machine) and by the async plane's episode
+    /// teardown, with durations measured on this instance's
+    /// [`crate::time::TimeSource`].
+    #[inline]
+    pub fn record_wait(&self, elapsed: Duration) {
+        self.wait.record(elapsed);
+    }
+
+    /// A snapshot of the wait-time histogram (all completed episodes since
+    /// construction; windows via [`WaitSnapshot::since`]).
+    pub fn wait_snapshot(&self) -> WaitSnapshot {
+        self.wait.snapshot()
     }
 
     /// Total number of slots across all *physical* shards.
@@ -903,7 +1018,12 @@ impl SleepSlotBuffer {
             shard.target.store(capped, Ordering::Release);
             let sleepers = shard.sleepers();
             if sleepers > capped {
-                shard.collect_wakes((sleepers - capped) as usize, &self.exempt, &mut wakes);
+                shard.collect_wakes(
+                    (sleepers - capped) as usize,
+                    self.wake_order,
+                    &self.exempt,
+                    &mut wakes,
+                );
             }
         }
         self.total_target.store(total, Ordering::Release);
@@ -939,7 +1059,7 @@ impl SleepSlotBuffer {
             if remaining == 0 {
                 break;
             }
-            remaining -= shard.collect_wakes(remaining, &self.exempt, &mut wakes);
+            remaining -= shard.collect_wakes(remaining, self.wake_order, &self.exempt, &mut wakes);
         }
         self.unpark_batch(&wakes);
         wakes.len()
@@ -1006,7 +1126,7 @@ impl SleepSlotBuffer {
         }
         let mut wakes = Vec::new();
         for shard in self.shards.iter().skip(active) {
-            shard.collect_wakes(usize::MAX, &self.exempt, &mut wakes);
+            shard.collect_wakes(usize::MAX, self.wake_order, &self.exempt, &mut wakes);
         }
         self.unpark_batch(&wakes);
         wakes.len()
@@ -1081,6 +1201,7 @@ impl SleepSlotBuffer {
         let mut stats = SlotBufferStats {
             target: self.target(),
             exempt: self.exempt.ids().len() as u64,
+            wait: self.wait.snapshot().observation(),
             ..SlotBufferStats::default()
         };
         for shard in self.shards.iter() {
@@ -1109,8 +1230,10 @@ impl SleepSlotBuffer {
             target: shard.target.load(Ordering::Relaxed),
             controller_wakes: shard.controller_wakes.load(Ordering::Relaxed),
             claim_races: shard.claim_races.load(Ordering::Relaxed),
-            // Exemption is buffer-global; 0 here keeps shard sums honest.
+            // Exemption and wait stats are buffer-global; defaults here keep
+            // shard sums honest.
             exempt: 0,
+            wait: WaitObservation::default(),
         }
     }
 
@@ -1234,6 +1357,73 @@ mod tests {
             buf.leave(*idx, *id);
         }
         assert_eq!(buf.sleepers(), 0);
+    }
+
+    /// Builds the slot layout where fifo and window wake order disagree:
+    /// a ring of 4 where the oldest claim sits at slot 1 and the *newest*
+    /// wrapped around into slot 0.  Returns `(buffer, ids, claims)` with
+    /// ids[0] already departed.
+    fn wrapped_ring(order: WakeOrder) -> (SleepSlotBuffer, Vec<SleeperId>, Vec<usize>) {
+        let buf = SleepSlotBuffer::new(4).with_wake_order(order);
+        buf.set_target(4);
+        let ids: Vec<_> = (0..5).map(|_| sleeper(&buf)).collect();
+        let mut claims: Vec<usize> = ids[..4]
+            .iter()
+            .map(|id| match buf.try_claim(*id) {
+                ClaimOutcome::Claimed(idx) => idx,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(claims, vec![0, 1, 2, 3]);
+        // The first claimant leaves; the next claim wraps into its slot.
+        buf.leave(claims[0], ids[0]);
+        let ClaimOutcome::Claimed(idx) = buf.try_claim(ids[4]) else {
+            panic!("wrap-around claim failed");
+        };
+        assert_eq!(idx, 0, "head must wrap into the vacated slot");
+        claims.push(idx);
+        (buf, ids, claims)
+    }
+
+    #[test]
+    fn fifo_wake_order_favors_low_slot_indices() {
+        let (buf, ids, claims) = wrapped_ring(WakeOrder::Fifo);
+        assert_eq!(buf.wake_order(), WakeOrder::Fifo);
+        assert_eq!(buf.wake(1), 1);
+        // Array order visits slot 0 first — the *newest* claim (ids[4]).
+        assert!(!buf.still_claimed(claims[4], ids[4]));
+        assert!(buf.still_claimed(claims[1], ids[1]), "oldest left parked");
+    }
+
+    #[test]
+    fn window_wake_order_clears_the_oldest_claim_first() {
+        let (buf, ids, claims) = wrapped_ring(WakeOrder::Window);
+        assert_eq!(buf.wake_order(), WakeOrder::Window);
+        assert_eq!(buf.wake(1), 1);
+        // Stamp order finds the oldest outstanding claim (ids[1], slot 1)
+        // even though a newer claim occupies a lower array index.
+        assert!(!buf.still_claimed(claims[1], ids[1]));
+        assert!(buf.still_claimed(claims[4], ids[4]), "newest left parked");
+        // Waking the rest drains oldest-first with no double wakes.
+        assert_eq!(buf.wake(8), 3);
+        assert_eq!(buf.stats().controller_wakes, 4);
+    }
+
+    #[test]
+    fn record_wait_feeds_the_buffer_histogram() {
+        let buf = SleepSlotBuffer::new(4);
+        assert_eq!(
+            buf.stats().wait,
+            lc_locks::stats::WaitObservation::default()
+        );
+        buf.record_wait(Duration::from_micros(10));
+        buf.record_wait(Duration::from_micros(10));
+        let wait = buf.stats().wait;
+        assert_eq!(wait.count, 2);
+        assert!(wait.p99_ns >= 10_000, "p99 below a recorded value");
+        assert!(wait.p99_ns <= 12_500, "p99 outside the 25% error bound");
+        let snap = buf.wait_snapshot();
+        assert_eq!(snap.count(), 2);
     }
 
     #[test]

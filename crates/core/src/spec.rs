@@ -13,7 +13,8 @@
 //! * a **config file** of `key = value` lines with `#` comments
 //!   ([`LoadControlSpec::from_config_file`]),
 //! * the **environment** (`LC_POLICY`, `LC_SPLITTER`, `LC_SHARDS`,
-//!   `LC_SAMPLER`, `LC_TOPOLOGY`; [`LoadControlSpec::from_env`]), or
+//!   `LC_SAMPLER`, `LC_TOPOLOGY`, `LC_WAKE_ORDER`;
+//!   [`LoadControlSpec::from_env`]), or
 //! * the builder, programmatically.
 //!
 //! Every source is validated against the registries at parse time: unknown
@@ -38,6 +39,7 @@
 
 pub use lc_spec::{ParsedSpec, Registry, SpecEntry, SpecError};
 
+use crate::config::WakeOrder;
 use crate::policy::{POLICY_SPECS, SPLITTER_SPECS};
 use crate::topology::TOPOLOGY_SPECS;
 use lc_accounting::SAMPLER_SPECS;
@@ -86,6 +88,9 @@ pub struct LoadControlSpec {
     /// The shard-topology mapping (`topology(mode=..)`), or `None` for
     /// registration-order homing.
     pub topology: Option<ParsedSpec>,
+    /// The controller wake order (`fifo` or `window`), or `None` to keep the
+    /// configuration's (array-order `fifo`).
+    pub wake_order: Option<WakeOrder>,
 }
 
 impl Default for LoadControlSpec {
@@ -96,6 +101,7 @@ impl Default for LoadControlSpec {
             shards: None,
             sampler: None,
             topology: None,
+            wake_order: None,
         }
     }
 }
@@ -114,6 +120,9 @@ impl LoadControlSpec {
     /// Environment variable holding the shard-topology spec (the same
     /// constant as [`crate::topology::ENV_TOPOLOGY`]).
     pub const ENV_TOPOLOGY: &'static str = crate::topology::ENV_TOPOLOGY;
+    /// Environment variable holding the controller wake order (`fifo` or
+    /// `window`).
+    pub const ENV_WAKE_ORDER: &'static str = "LC_WAKE_ORDER";
 
     /// The default spec: `paper` policy, `even` splitter, one shard, registry
     /// sampler.
@@ -165,6 +174,19 @@ impl LoadControlSpec {
         self
     }
 
+    /// Returns `self` with the controller wake order set.
+    pub fn with_wake_order(mut self, order: WakeOrder) -> Self {
+        self.wake_order = Some(order);
+        self
+    }
+
+    fn parse_wake_order(source: &str, value: &str) -> Result<WakeOrder, SpecError> {
+        WakeOrder::parse(value.trim()).ok_or_else(|| SpecError::Config {
+            source: source.to_string(),
+            reason: format!("invalid wake order {value:?}: expected fifo or window"),
+        })
+    }
+
     fn set(&mut self, source: &str, key: &str, value: &str) -> Result<(), SpecError> {
         let staged = std::mem::take(self);
         *self = match key {
@@ -173,13 +195,14 @@ impl LoadControlSpec {
             "sampler" => staged.with_sampler(value)?,
             "topology" => staged.with_topology(value)?,
             "shards" => staged.with_shards(parse_shards_value(source, value)?),
+            "wake_order" => staged.with_wake_order(Self::parse_wake_order(source, value)?),
             _ => {
                 *self = staged;
                 return Err(SpecError::Config {
                     source: source.to_string(),
                     reason: format!(
                         "unknown key {key:?}; accepted keys: policy, splitter, shards, \
-                         sampler, topology"
+                         sampler, topology, wake_order"
                     ),
                 });
             }
@@ -189,8 +212,9 @@ impl LoadControlSpec {
 
     /// Parses a spec from its string form: `key=value` entries separated by
     /// `;` or newlines, with `#` starting a comment.  Accepted keys are
-    /// `policy`, `splitter`, `shards`, `sampler` and `topology`; every value
-    /// is validated against its registry.  Unset keys keep their defaults.
+    /// `policy`, `splitter`, `shards`, `sampler`, `topology` and
+    /// `wake_order`; every value is validated against its registry.  Unset
+    /// keys keep their defaults.
     pub fn parse(input: &str) -> Result<Self, SpecError> {
         Self::parse_from(input, "spec")
     }
@@ -238,9 +262,9 @@ impl LoadControlSpec {
     }
 
     /// The default spec with the `LC_POLICY`, `LC_SPLITTER`, `LC_SHARDS`,
-    /// `LC_SAMPLER` and `LC_TOPOLOGY` environment variables applied.  A
-    /// malformed variable is an explicit error, never a silent fall-back to
-    /// the default.
+    /// `LC_SAMPLER`, `LC_TOPOLOGY` and `LC_WAKE_ORDER` environment variables
+    /// applied.  A malformed variable is an explicit error, never a silent
+    /// fall-back to the default.
     pub fn from_env() -> Result<Self, SpecError> {
         Self::default().apply_env()
     }
@@ -255,6 +279,7 @@ impl LoadControlSpec {
             (Self::ENV_SHARDS, "shards"),
             (Self::ENV_SAMPLER, "sampler"),
             (Self::ENV_TOPOLOGY, "topology"),
+            (Self::ENV_WAKE_ORDER, "wake_order"),
         ] {
             if let Ok(value) = std::env::var(var) {
                 if !value.trim().is_empty() {
@@ -277,6 +302,9 @@ impl fmt::Display for LoadControlSpec {
         }
         if let Some(topology) = &self.topology {
             write!(f, "; topology={topology}")?;
+        }
+        if let Some(order) = self.wake_order {
+            write!(f, "; wake_order={order}")?;
         }
         Ok(())
     }
@@ -308,6 +336,7 @@ mod tests {
         assert_eq!(spec.shards, None, "shards must default to unspecified");
         assert_eq!(spec.sampler, None);
         assert_eq!(spec.topology, None);
+        assert_eq!(spec.wake_order, None);
         assert_eq!(spec.to_string(), "policy=paper; splitter=even");
     }
 
@@ -320,6 +349,8 @@ mod tests {
             "policy=hysteresis(alpha=0.3, deadband=2); splitter=even; shards=2; sampler=fixed(runnable=9)",
             "policy=paper; splitter=even; topology=topology(mode=cpu)",
             "policy=paper; splitter=load-weighted; shards=4; topology=topology(mode=node, revalidate=16)",
+            "policy=latency(target_p99=20); splitter=even; wake_order=window",
+            "policy=autotune(inner=pid, objective=p99); splitter=even; shards=2; wake_order=fifo",
         ] {
             let spec = LoadControlSpec::parse(input).unwrap();
             let rendered = spec.to_string();
@@ -380,6 +411,22 @@ mod tests {
             LoadControlSpec::parse("policy"),
             Err(SpecError::Config { .. })
         ));
+        assert!(matches!(
+            LoadControlSpec::parse("wake_order=lifo"),
+            Err(SpecError::Config { .. })
+        ));
+    }
+
+    #[test]
+    fn wake_order_parses_and_round_trips() {
+        let spec = LoadControlSpec::parse("wake_order=window").unwrap();
+        assert_eq!(spec.wake_order, Some(WakeOrder::Window));
+        assert_eq!(
+            spec.to_string(),
+            "policy=paper; splitter=even; wake_order=window"
+        );
+        let spec = LoadControlSpec::parse("wake_order=fifo").unwrap();
+        assert_eq!(spec.wake_order, Some(WakeOrder::Fifo));
     }
 
     #[test]
@@ -392,6 +439,7 @@ mod tests {
             LoadControlSpec::ENV_SHARDS,
             LoadControlSpec::ENV_SAMPLER,
             LoadControlSpec::ENV_TOPOLOGY,
+            LoadControlSpec::ENV_WAKE_ORDER,
         ]
         .into_iter()
         .map(|k| (k, std::env::var(k).ok()))
@@ -400,6 +448,7 @@ mod tests {
         std::env::set_var(LoadControlSpec::ENV_POLICY, "pid(kp=0.8, ki=0.2)");
         std::env::set_var(LoadControlSpec::ENV_SHARDS, "4");
         std::env::set_var(LoadControlSpec::ENV_TOPOLOGY, "topology(mode=cpu)");
+        std::env::set_var(LoadControlSpec::ENV_WAKE_ORDER, "window");
         std::env::remove_var(LoadControlSpec::ENV_SPLITTER);
         std::env::remove_var(LoadControlSpec::ENV_SAMPLER);
         let spec = LoadControlSpec::from_env().unwrap();
@@ -410,7 +459,16 @@ mod tests {
             spec.topology.as_ref().map(ToString::to_string).as_deref(),
             Some("topology(mode=cpu)")
         );
+        assert_eq!(spec.wake_order, Some(WakeOrder::Window));
         std::env::remove_var(LoadControlSpec::ENV_TOPOLOGY);
+
+        // Malformed wake order names the variable.
+        std::env::set_var(LoadControlSpec::ENV_WAKE_ORDER, "lifo");
+        match LoadControlSpec::from_env() {
+            Err(SpecError::Config { source, .. }) => assert_eq!(source, "LC_WAKE_ORDER"),
+            other => panic!("malformed LC_WAKE_ORDER must error, got {other:?}"),
+        }
+        std::env::remove_var(LoadControlSpec::ENV_WAKE_ORDER);
 
         // Malformed values surface the variable name, not a silent default.
         std::env::set_var(LoadControlSpec::ENV_SHARDS, "not-a-number");

@@ -157,7 +157,7 @@ impl ThreadCtx {
                 }
             }
         }
-        wait.finish(buffer);
+        wait.finish(buffer, time.now());
         // Go back to spinning (or whatever we were doing before).
         self.handle
             .set_state(if previous == ThreadState::ParkedByLoadControl {

@@ -152,17 +152,19 @@ pub enum WaitOutcome {
 ///         WaitPoll::Keep(remaining) => { park_ops.park(&parker, remaining); }
 ///     }
 /// }
-/// wait.finish(buffer);
+/// wait.finish(buffer, time.now());
 /// ```
 ///
 /// while the `lc-des` simulator polls the same machine at event times.  In
 /// both worlds the wait ends through [`SlotWait::finish`], which releases the
 /// claim exactly once — the `S − W` balance cannot be corrupted by a waiter
-/// that mixes the two styles.
+/// that mixes the two styles — and records the episode's duration into the
+/// buffer's wait-time histogram, on whatever clock drives the episode.
 #[derive(Debug)]
 pub struct SlotWait {
     idx: usize,
     sleeper: SleeperId,
+    started: Duration,
     deadline: Duration,
 }
 
@@ -173,6 +175,7 @@ impl SlotWait {
         Self {
             idx,
             sleeper,
+            started: now,
             deadline: now.saturating_add(timeout),
         }
     }
@@ -198,9 +201,16 @@ impl SlotWait {
         WaitPoll::Keep(self.deadline - now)
     }
 
-    /// Ends the episode: releases the slot claim (exactly once — `finish`
-    /// consumes the wait).
-    pub fn finish(self, buffer: &SleepSlotBuffer) {
+    /// The time ([`TimeSource`] timebase) this episode began.
+    pub fn started(&self) -> Duration {
+        self.started
+    }
+
+    /// Ends the episode at time `now`: records the episode's wait time into
+    /// the buffer's histogram, then releases the slot claim (exactly once —
+    /// `finish` consumes the wait).
+    pub fn finish(self, buffer: &SleepSlotBuffer, now: Duration) {
+        buffer.record_wait(now.saturating_sub(self.started));
         buffer.leave(self.idx, self.sleeper);
     }
 }
@@ -252,10 +262,16 @@ mod tests {
             wait.poll(&buf, t0 + Duration::from_millis(100)),
             WaitPoll::Done(WaitOutcome::TimedOut)
         );
-        wait.finish(&buf);
+        assert_eq!(wait.started(), t0);
+        wait.finish(&buf, t0 + Duration::from_millis(100));
         assert_eq!(buf.sleepers(), 0);
         let stats = buf.stats();
         assert_eq!(stats.ever_slept, stats.woken_and_left);
+        // The episode's duration (100 ms on the virtual timebase) landed in
+        // the buffer's wait histogram.
+        assert_eq!(stats.wait.count, 1);
+        assert!(stats.wait.p99_ns >= 100_000_000);
+        assert!(stats.wait.p99_ns as f64 <= 100_000_000.0 * 1.25);
     }
 
     #[test]
@@ -272,7 +288,7 @@ mod tests {
             wait.poll(&buf, Duration::from_millis(1)),
             WaitPoll::Done(WaitOutcome::Cleared)
         );
-        wait.finish(&buf);
+        wait.finish(&buf, Duration::from_millis(1));
         let stats = buf.stats();
         assert_eq!(stats.ever_slept, stats.woken_and_left);
     }

@@ -6,19 +6,66 @@
 //!
 //! # randomized budget (echoes the seed; export LC_TEST_SEED to reproduce):
 //! cargo run --release -p lc-des --bin des_fuzz -- --seed $RANDOM_SEED --cases 200
+//!
+//! # pin a regression: write a replayable trace into the fixture suite
+//! cargo run --release -p lc-des --bin des_fuzz -- --cases 50 \
+//!     --emit-fixture tests/fixtures/des
 //! ```
 //!
 //! Exit status 0 means every case held the invariants; 1 means a violation
 //! was found (the shrunk, replayable trace is printed — check it in under
 //! `tests/fixtures/des/` to pin the regression), 2 means bad usage.
+//!
+//! With `--emit-fixture DIR`, the trace is also written into `DIR` under a
+//! stable content-hash filename (`fz_<16 hex>.trace`, FNV-1a of the trace
+//! bytes): on a violation the shrunk failing schedule, on a clean run the
+//! regenerated first case of the budget — a known-green schedule the replay
+//! suite will pin forever.  Re-emitting identical content reuses the same
+//! filename, so fixture emission is idempotent.
 
-use lc_des::fuzz::{run_fuzz, FuzzConfig};
+use lc_des::fuzz::{generate, run_fuzz, write_trace, FuzzConfig};
+
+/// FNV-1a 64-bit over the trace bytes: a stable, dependency-free content
+/// hash for fixture filenames.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn emit_fixture(dir: &str, trace: &str) {
+    let name = format!("fz_{:016x}.trace", fnv1a(trace.as_bytes()));
+    let path = std::path::Path::new(dir).join(name);
+    if let Err(error) = std::fs::create_dir_all(dir) {
+        eprintln!("des_fuzz: cannot create {dir}: {error}");
+        std::process::exit(2);
+    }
+    if let Err(error) = std::fs::write(&path, trace) {
+        eprintln!("des_fuzz: cannot write {}: {error}", path.display());
+        std::process::exit(2);
+    }
+    println!("des_fuzz: fixture written to {}", path.display());
+}
 
 fn main() {
     let mut seed = lc_des::test_seed();
     let mut config = FuzzConfig::default();
+    let mut fixture_dir: Option<String> = None;
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
+        if flag == "--emit-fixture" {
+            match iter.next() {
+                Some(dir) => fixture_dir = Some(dir),
+                None => {
+                    eprintln!("des_fuzz: --emit-fixture needs a directory");
+                    std::process::exit(2);
+                }
+            }
+            continue;
+        }
         let mut value = |name: &str| {
             iter.next()
                 .and_then(|v| lc_des::parse_seed(&v))
@@ -49,9 +96,19 @@ fn main() {
                 "des_fuzz: OK — {} cases, {} actions, all invariants held",
                 summary.cases, summary.actions
             );
+            if let Some(dir) = fixture_dir {
+                // A clean run pins its first case: a known-green schedule
+                // from this exact seed and configuration.
+                let case = generate(seed, 0, &config);
+                emit_fixture(&dir, &write_trace(&case, seed, 0));
+            }
         }
         Err(failure) => {
             println!("{failure}");
+            if let Some(dir) = fixture_dir {
+                let trace = write_trace(&failure.case, failure.seed, failure.case_index);
+                emit_fixture(&dir, &trace);
+            }
             std::process::exit(1);
         }
     }

@@ -48,7 +48,7 @@ use crate::workload::{Arrivals, Dist, WorkloadSpec};
 use lc_accounting::{LoadSample, LoadSampler, ThreadRegistry};
 use lc_core::{
     ClaimOutcome, LoadControl, LoadControlConfig, SleeperId, SlotWait, SpecError, TimeSource,
-    VirtualClock, WaitOutcome, WaitPoll,
+    VirtualClock, WaitOutcome, WaitPoll, WakeOrder,
 };
 use lc_locks::Parker;
 use rand::{rngs::StdRng, Rng, SeedableRng};
@@ -106,6 +106,9 @@ pub struct DesConfig {
     pub policy: String,
     /// Target-splitter spec string (e.g. `"even"`).
     pub splitter: String,
+    /// Controller wake order within a shard: array-order `fifo` (default)
+    /// or oldest-claim-first `window`.
+    pub wake_order: WakeOrder,
     /// Controller cycle period (virtual).
     pub tick: Duration,
     /// Sleep timeout for parked workers (virtual).
@@ -145,6 +148,7 @@ impl DesConfig {
             topology: "topology".to_string(),
             policy: "paper".to_string(),
             splitter: "even".to_string(),
+            wake_order: WakeOrder::Fifo,
             tick: Duration::from_millis(1),
             sleep_timeout: Duration::from_millis(250),
             horizon: Duration::from_millis(500),
@@ -305,7 +309,8 @@ impl Engine {
         let mut lc_config = LoadControlConfig::for_capacity(config.capacity)
             .with_shards(config.shards)
             .with_update_interval(config.tick)
-            .with_sleep_timeout(config.sleep_timeout);
+            .with_sleep_timeout(config.sleep_timeout)
+            .with_wake_order(config.wake_order);
         lc_config.max_sleepers = config.workers;
         let registry = Arc::new(ThreadRegistry::new());
         let sampler = Box::new(DesSampler {
@@ -514,7 +519,7 @@ impl Engine {
                     .expect("parked worker without wait");
                 match wait.poll(self.control.buffer(), self.clock.now()) {
                     WaitPoll::Done(_) => {
-                        wait.finish(self.control.buffer());
+                        wait.finish(self.control.buffer(), self.clock.now());
                         self.workers[id as usize].parker.try_consume_permit();
                         self.resume_spinning(id);
                     }
@@ -544,7 +549,7 @@ impl Engine {
             .expect("parked worker without wait");
         match wait.poll(self.control.buffer(), self.clock.now()) {
             WaitPoll::Done(outcome) => {
-                wait.finish(self.control.buffer());
+                wait.finish(self.control.buffer(), self.clock.now());
                 self.workers[id as usize].parker.try_consume_permit();
                 debug_assert!(matches!(
                     outcome,
@@ -673,10 +678,25 @@ impl Engine {
             woken_and_left: stats.woken_and_left,
             controller_wakes: stats.controller_wakes,
             completed,
+            wait_p50_ns: stats.wait.p50_ns,
+            wait_p99_ns: stats.wait.p99_ns,
+            wait_max_ns: stats.wait.max_ns,
         });
     }
 
     fn report(self) -> RunReport {
+        // Censored episodes: a worker still parked at the horizon has waited
+        // at least its current age.  Recording that age keeps the final wait
+        // quantiles honest — a policy that parks sleepers forever must not
+        // report a spotless p99 just because no episode ever *finished*.
+        let now = self.clock.now();
+        for worker in &self.workers {
+            if let Some(wait) = &worker.wait {
+                self.control
+                    .buffer()
+                    .record_wait(now.saturating_sub(wait.started()));
+            }
+        }
         let stats = self.control.buffer().stats();
         let completed = self.completed_total;
         let counts: Vec<u32> = self.workers.iter().map(|w| w.completed).collect();
@@ -699,6 +719,10 @@ impl Engine {
             throughput_per_vsec: completed as f64 / (horizon_ns as f64 / 1e9),
             timeout_wakes: stats.woken_and_left.saturating_sub(stats.controller_wakes),
             controller_wakes: stats.controller_wakes,
+            wait_count: stats.wait.count,
+            wait_p50_ns: stats.wait.p50_ns,
+            wait_p99_ns: stats.wait.p99_ns,
+            wait_max_ns: stats.wait.max_ns,
             convergence_cycle: convergence,
             fairness: crate::metrics::jains_index(&counts),
             trace: self.trace,
@@ -832,6 +856,40 @@ mod tests {
         let a = run(config.clone()).expect("valid spec");
         let b = run(config).expect("valid spec");
         assert_eq!(a.to_json(usize::MAX), b.to_json(usize::MAX));
+    }
+
+    #[test]
+    fn park_waits_feed_the_histogram_columns() {
+        let report = run(small("paper", 1)).expect("valid spec");
+        assert!(report.wait_count > 0, "no park episode was recorded");
+        assert!(report.wait_p50_ns <= report.wait_p99_ns);
+        assert!(report.wait_p99_ns <= report.wait_max_ns.saturating_mul(2));
+        let last = report.trace.last().expect("trace recorded");
+        assert!(last.wait_max_ns > 0, "cumulative row columns never filled");
+        // Rows are cumulative: quantiles never shrink along the trace.
+        for pair in report.trace.windows(2) {
+            assert!(pair[0].wait_max_ns <= pair[1].wait_max_ns);
+        }
+    }
+
+    #[test]
+    fn window_wake_order_runs_and_is_deterministic() {
+        let windowed = |seed| {
+            let mut config = small("paper", seed);
+            config.wake_order = WakeOrder::Window;
+            run(config).expect("valid spec")
+        };
+        let report = windowed(11);
+        assert!(
+            report.spec.contains("wake_order=window"),
+            "window runs must be labelled: {}",
+            report.spec
+        );
+        assert!(report.completed > 0);
+        assert_eq!(report, windowed(11), "window runs must be bit-identical");
+        // The default order keeps the spec string unchanged.
+        let baseline = run(small("paper", 11)).expect("valid spec");
+        assert!(!baseline.spec.contains("wake_order="));
     }
 
     #[test]

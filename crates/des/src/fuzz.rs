@@ -280,7 +280,7 @@ impl Harness {
                 let index = w as usize % self.workers.len();
                 let worker = &mut self.workers[index];
                 if let Some(wait) = worker.wait.take() {
-                    wait.finish(self.control.buffer());
+                    wait.finish(self.control.buffer(), self.clock.now());
                 }
             }
             Action::Wake(n) => {
@@ -304,7 +304,7 @@ impl Harness {
         for worker in &mut self.workers {
             if let Some(wait) = worker.wait.take() {
                 match wait.poll(self.control.buffer(), now) {
-                    WaitPoll::Done(_) => wait.finish(self.control.buffer()),
+                    WaitPoll::Done(_) => wait.finish(self.control.buffer(), now),
                     WaitPoll::Keep(_) => worker.wait = Some(wait),
                 }
             }
@@ -403,6 +403,16 @@ fn generate_case(rng: &mut StdRng, config: &FuzzConfig) -> FuzzCase {
     }
 }
 
+/// Regenerates the `case_index`-th schedule of a run — the exact case
+/// [`run_fuzz`] executes for that index, so tooling (fixture emission,
+/// external replays) can reproduce any case without re-running the whole
+/// budget.
+pub fn generate(seed: u64, case_index: u64, config: &FuzzConfig) -> FuzzCase {
+    let case_seed = seed.wrapping_add(case_index.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let mut rng = StdRng::seed_from_u64(case_seed);
+    generate_case(&mut rng, config)
+}
+
 /// ddmin-style shrink: repeatedly drop chunks (halving granularity down to
 /// single actions) while the case still fails.
 pub fn shrink(case: &FuzzCase) -> FuzzCase {
@@ -438,9 +448,7 @@ pub fn shrink(case: &FuzzCase) -> FuzzCase {
 pub fn run_fuzz(seed: u64, config: &FuzzConfig) -> Result<FuzzSummary, Box<FuzzFailure>> {
     let mut actions_total = 0u64;
     for case_index in 0..config.cases {
-        let case_seed = seed.wrapping_add(case_index.wrapping_mul(0x9e37_79b9_7f4a_7c15));
-        let mut rng = StdRng::seed_from_u64(case_seed);
-        let case = generate_case(&mut rng, config);
+        let case = generate(seed, case_index, config);
         actions_total += case.actions.len() as u64;
         if let Err(first_message) = replay(&case) {
             let shrunk = shrink(&case);
@@ -549,6 +557,16 @@ mod tests {
         .unwrap_or_else(|failure| panic!("{failure}"));
         assert_eq!(summary.cases, 24);
         assert!(summary.actions > 0);
+    }
+
+    #[test]
+    fn generate_is_deterministic_and_replayable() {
+        let config = FuzzConfig::default();
+        let a = generate(crate::DEFAULT_TEST_SEED, 3, &config);
+        let b = generate(crate::DEFAULT_TEST_SEED, 3, &config);
+        assert_eq!(a, b, "same seed and index must regenerate the same case");
+        assert_eq!(a.actions.len(), config.actions_per_case);
+        replay(&a).expect("default-seed cases hold the invariants");
     }
 
     #[test]

@@ -26,6 +26,13 @@ pub struct CycleRow {
     pub controller_wakes: u64,
     /// Cumulative completed critical sections across all workers.
     pub completed: u64,
+    /// Median park wait so far (slot-buffer histogram, cumulative at row
+    /// time), in nanoseconds; 0 before the first recorded wait.
+    pub wait_p50_ns: u64,
+    /// 99th-percentile park wait so far, in nanoseconds.
+    pub wait_p99_ns: u64,
+    /// Longest park wait so far, in nanoseconds.
+    pub wait_max_ns: u64,
 }
 
 /// Summary of one simulation run, plus its full cycle trace.
@@ -54,6 +61,19 @@ pub struct RunReport {
     pub timeout_wakes: u64,
     /// Claims cleared by the controller.
     pub controller_wakes: u64,
+    /// Park episodes recorded in the slot-buffer wait histogram: every
+    /// completed episode, plus one *censored* observation per worker still
+    /// parked at the horizon (recorded at its current age, so a policy that
+    /// parks sleepers forever cannot report a spotless p99).
+    pub wait_count: u64,
+    /// Median park wait over the whole run, in nanoseconds.
+    pub wait_p50_ns: u64,
+    /// 99th-percentile park wait over the whole run, in nanoseconds (bucket
+    /// upper bound: never underestimates, at most 25 % above the true
+    /// value).
+    pub wait_p99_ns: u64,
+    /// Longest park wait over the whole run, in nanoseconds.
+    pub wait_max_ns: u64,
     /// First cycle index after which runnable load stayed within the
     /// convergence band around capacity (see [`convergence_cycle`]);
     /// `None` if the run never settled.
@@ -141,6 +161,10 @@ impl RunReport {
             self.controller_wakes
         ));
         out.push_str(&format!("  \"timeout_wakes\": {},\n", self.timeout_wakes));
+        out.push_str(&format!("  \"wait_count\": {},\n", self.wait_count));
+        out.push_str(&format!("  \"wait_p50_ns\": {},\n", self.wait_p50_ns));
+        out.push_str(&format!("  \"wait_p99_ns\": {},\n", self.wait_p99_ns));
+        out.push_str(&format!("  \"wait_max_ns\": {},\n", self.wait_max_ns));
         match self.convergence_cycle {
             Some(c) => out.push_str(&format!("  \"convergence_cycle\": {c},\n")),
             None => out.push_str("  \"convergence_cycle\": null,\n"),
@@ -156,7 +180,8 @@ impl RunReport {
         for (i, row) in keep.iter().enumerate() {
             out.push_str(&format!(
                 "    {{\"at_ns\": {}, \"runnable\": {}, \"sleepers\": {}, \"target\": {}, \
-                 \"S\": {}, \"W\": {}, \"controller_wakes\": {}, \"completed\": {}}}{}\n",
+                 \"S\": {}, \"W\": {}, \"controller_wakes\": {}, \"completed\": {}, \
+                 \"wait_p50_ns\": {}, \"wait_p99_ns\": {}, \"wait_max_ns\": {}}}{}\n",
                 row.at_ns,
                 row.runnable,
                 row.sleepers,
@@ -165,6 +190,9 @@ impl RunReport {
                 row.woken_and_left,
                 row.controller_wakes,
                 row.completed,
+                row.wait_p50_ns,
+                row.wait_p99_ns,
+                row.wait_max_ns,
                 if i + 1 == keep.len() { "" } else { "," }
             ));
         }
@@ -204,6 +232,9 @@ mod tests {
             woken_and_left: 0,
             controller_wakes: 0,
             completed: 0,
+            wait_p50_ns: 0,
+            wait_p99_ns: 0,
+            wait_max_ns: 0,
         }
     }
 
@@ -241,6 +272,10 @@ mod tests {
             throughput_per_vsec: 10_000_000.0,
             timeout_wakes: 1,
             controller_wakes: 2,
+            wait_count: 3,
+            wait_p50_ns: 100,
+            wait_p99_ns: 200,
+            wait_max_ns: 300,
             convergence_cycle: None,
             fairness: 0.5,
             trace: (0..100).map(row).collect(),
@@ -252,6 +287,9 @@ mod tests {
             a.contains("\"trace_rows_dropped\": 91") || a.contains("\"trace_rows_dropped\": 90")
         );
         assert!(a.contains("\"convergence_cycle\": null"));
+        // Wait columns render in stable key order, report and rows alike.
+        assert!(a.contains("\"wait_count\": 3,\n  \"wait_p50_ns\": 100"));
+        assert!(a.contains("\"completed\": 0, \"wait_p50_ns\": 0"));
         // The final row always survives subsampling.
         assert!(a.contains("\"runnable\": 99"));
     }

@@ -122,7 +122,10 @@ pub use rwlock::RawRwLock;
 pub use semaphore::RawSemaphore;
 pub use spin_then_yield::SpinThenYieldLock;
 pub use spin_wait::{Backoff, SpinWait};
-pub use stats::{jains_index, LockStats, LockStatsSnapshot, ThreadUsageRow, ThreadUsageTable};
+pub use stats::{
+    jains_index, LockStats, LockStatsSnapshot, ThreadUsageRow, ThreadUsageTable, WaitHistogram,
+    WaitObservation, WaitSnapshot,
+};
 pub use tas::TasLock;
 pub use ticket::TicketLock;
 pub use time_published::{TimePublishedLock, TpConfig};

@@ -78,6 +78,15 @@ pub fn oversubscribed_control(capacity: usize, shards: usize) -> Arc<LoadControl
     )
 }
 
+/// Condensed wait-time evidence from `control`'s slot buffer: how long the
+/// drivers' real threads actually slept (count, p50/p99 bucket upper bounds
+/// and max, in nanoseconds).  This is the same histogram the
+/// `latency(target_p99=..)` policy steers by, so a driver can print one line
+/// of SLO evidence next to its throughput number.
+pub fn slot_wait_summary(control: &LoadControl) -> lc_locks::stats::WaitObservation {
+    control.buffer().stats().wait
+}
+
 /// Runs the microbenchmark over any [`RawLock`]-backed mutex.
 pub fn run_microbench<R>(config: MicrobenchConfig) -> MicrobenchResult
 where
@@ -656,6 +665,31 @@ mod tests {
         let r = run_async_semaphore_microbench(cfg, &control);
         assert!(r.acquisitions > 10, "only {} acquisitions", r.acquisitions);
         assert_eq!(control.buffer().stats().ever_slept, 0);
+    }
+
+    #[test]
+    fn real_threads_feed_the_wait_histogram() {
+        // Forced oversubscription on a tiny capacity: workers must actually
+        // park, and every completed sleep must land in the slot buffer's
+        // wait histogram — the evidence stream the latency policy runs on.
+        let control = oversubscribed_control(2, 1);
+        let cfg = MicrobenchConfig {
+            threads: 8,
+            ..quick()
+        };
+        let r = run_microbench_lc(cfg, &control);
+        control.stop_controller();
+        assert!(r.acquisitions > 100, "only {} acquisitions", r.acquisitions);
+        let stats = control.buffer().stats();
+        let wait = slot_wait_summary(&control);
+        assert_eq!(
+            wait.count, stats.ever_slept,
+            "sleep episodes missing from the wait histogram"
+        );
+        if wait.count > 0 {
+            assert!(wait.p50_ns <= wait.p99_ns && wait.p99_ns <= wait.max_ns);
+            assert!(wait.max_ns > 0, "parked threads recorded zero-length waits");
+        }
     }
 
     #[test]

@@ -26,7 +26,7 @@
 //! or `"hysteresis(alpha=0.3, deadband=2)"`.  A `--spec-file` supplies the
 //! full control plane (policy, splitter, shards, sampler, topology) as
 //! `key = value` lines; the `LC_POLICY` / `LC_SPLITTER` / `LC_SHARDS` /
-//! `LC_SAMPLER` / `LC_TOPOLOGY`
+//! `LC_SAMPLER` / `LC_TOPOLOGY` / `LC_WAKE_ORDER`
 //! environment variables layer on top of either source, and a malformed
 //! spec anywhere fails loudly before the measurement sweep.
 

@@ -875,3 +875,173 @@ mod spec_round_trip {
         });
     }
 }
+
+// ---------------------------------------------------------------------------
+// Wait-time histogram: the latency plane's evidence must be trustworthy.
+// ---------------------------------------------------------------------------
+
+mod wait_histogram {
+    use super::{for_each_seed, StdRng};
+    use lc_locks::stats::{WaitHistogram, WaitSnapshot};
+    use rand::Rng;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    /// A histogram snapshot of `n` waits drawn from a wide log-uniform-ish
+    /// range (sub-nanosecond spins through multi-second parks).
+    fn random_snapshot(rng: &mut StdRng, n: usize) -> WaitSnapshot {
+        let hist = WaitHistogram::new();
+        for _ in 0..n {
+            hist.record(Duration::from_nanos(random_wait(rng)));
+        }
+        hist.snapshot()
+    }
+
+    fn random_wait(rng: &mut StdRng) -> u64 {
+        // Random magnitude first, then a value within it, so every octave of
+        // the log-bucketed grid gets exercised — a plain uniform draw would
+        // almost never land below a millisecond.
+        let bits = rng.random_range(0u32..40);
+        rng.random_range(0u64..=(1u64 << bits))
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        for_each_seed(64, |seed, rng| {
+            let (na, nb, nc) = (
+                rng.random_range(0usize..64),
+                rng.random_range(0usize..64),
+                rng.random_range(0usize..64),
+            );
+            let a = random_snapshot(rng, na);
+            let b = random_snapshot(rng, nb);
+            let c = random_snapshot(rng, nc);
+
+            // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)
+            let mut left = a.clone();
+            left.merge(&b);
+            left.merge(&c);
+            let mut bc = b.clone();
+            bc.merge(&c);
+            let mut right = a.clone();
+            right.merge(&bc);
+            assert_eq!(left, right, "seed {seed}: merge not associative");
+
+            // a ⊕ b == b ⊕ a, and counts add up.
+            let mut ab = a.clone();
+            ab.merge(&b);
+            let mut ba = b.clone();
+            ba.merge(&a);
+            assert_eq!(ab, ba, "seed {seed}: merge not commutative");
+            assert_eq!(ab.count(), a.count() + b.count(), "seed {seed}");
+        });
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q_and_bounded_by_max() {
+        for_each_seed(64, |seed, rng| {
+            let n = rng.random_range(1usize..128);
+            let snap = random_snapshot(rng, n);
+            let mut prev = 0u64;
+            for step in 0..=20 {
+                let q = step as f64 / 20.0;
+                let v = snap.quantile_ns(q);
+                assert!(
+                    v >= prev,
+                    "seed {seed}: quantile not monotone at q={q}: {v} < {prev}"
+                );
+                prev = v;
+            }
+            assert_eq!(snap.quantile_ns(1.0), snap.max_ns(), "seed {seed}");
+        });
+    }
+
+    #[test]
+    fn every_recorded_value_lands_within_its_buckets_bounds() {
+        for_each_seed(128, |seed, rng| {
+            // One value at a time: the p100 (== the only bucket's upper
+            // bound) must bracket the true value one-sidedly — never below
+            // it, at most 25 % above (plus one for integer rounding of the
+            // quarter-octave step).
+            let value = random_wait(rng);
+            let hist = WaitHistogram::new();
+            hist.record(Duration::from_nanos(value));
+            let snap = hist.snapshot();
+            let reported = snap.quantile_ns(1.0);
+            assert!(
+                reported >= value,
+                "seed {seed}: reported {reported} underestimates {value}"
+            );
+            assert!(
+                reported <= value + value / 4 + 1,
+                "seed {seed}: reported {reported} is more than 25% above {value}"
+            );
+        });
+    }
+
+    #[test]
+    fn concurrent_records_are_never_lost_and_snapshots_never_undercount() {
+        for_each_seed(8, |seed, rng| {
+            let hist = Arc::new(WaitHistogram::new());
+            let done = Arc::new(AtomicBool::new(false));
+            let per_thread = rng.random_range(100u64..2000);
+            let threads = 3usize;
+            let workers: Vec<_> = (0..threads)
+                .map(|t| {
+                    let hist = Arc::clone(&hist);
+                    std::thread::spawn(move || {
+                        for i in 0..per_thread {
+                            hist.record(Duration::from_nanos(t as u64 * 1_000 + i));
+                        }
+                    })
+                })
+                .collect();
+            // Snapshot concurrently with the recorders: counts must be
+            // monotone non-decreasing and never exceed the true total.
+            let total = per_thread * threads as u64;
+            let mut last = 0u64;
+            while !done.load(Ordering::Relaxed) {
+                let count = hist.snapshot().count();
+                assert!(count >= last, "seed {seed}: snapshot count regressed");
+                assert!(count <= total, "seed {seed}: snapshot overcounted");
+                last = count;
+                if workers.iter().all(|w| w.is_finished()) {
+                    done.store(true, Ordering::Relaxed);
+                }
+            }
+            for w in workers {
+                w.join().unwrap();
+            }
+            assert_eq!(hist.snapshot().count(), total, "seed {seed}: records lost");
+        });
+    }
+
+    #[test]
+    fn since_recovers_exactly_the_window_recorded_in_between() {
+        for_each_seed(64, |seed, rng| {
+            let hist = WaitHistogram::new();
+            let before_waits: Vec<u64> = (0..rng.random_range(0usize..32))
+                .map(|_| random_wait(rng))
+                .collect();
+            for &w in &before_waits {
+                hist.record(Duration::from_nanos(w));
+            }
+            let before = hist.snapshot();
+            let window_waits: Vec<u64> = (0..rng.random_range(0usize..32))
+                .map(|_| random_wait(rng))
+                .collect();
+            for &w in &window_waits {
+                hist.record(Duration::from_nanos(w));
+            }
+            let after = hist.snapshot();
+            let window = after.since(&before);
+            // The delta is exactly the histogram of the in-between waits.
+            let expect = WaitHistogram::new();
+            for &w in &window_waits {
+                expect.record(Duration::from_nanos(w));
+            }
+            assert_eq!(window, expect.snapshot(), "seed {seed}");
+        });
+    }
+}

@@ -265,6 +265,8 @@ fn parameterized_specs_round_trip_across_registries() {
         "hysteresis(alpha=0.3, up=2, down=3)",
         "fixed(target=8)",
         "pid(kp=0.8, ki=0.2)",
+        "latency(target_p99=75, floor=4)",
+        "autotune(inner=hysteresis, objective=wake_churn, window=12)",
     ] {
         let built = build_policy_spec(spec).unwrap();
         assert_eq!(built.spec().to_string(), spec, "policy spelling drifted");
@@ -348,6 +350,42 @@ fn pid_policy_is_selectable_by_spec_string_end_to_end() {
         target = control.run_cycle().last_target;
     }
     assert_eq!(target, 4, "pid policy did not converge to the excess");
+}
+
+/// The latency-SLO policy plane is selectable end to end by spec string —
+/// and rejects malformed parameters with grammar-level errors, so a typo'd
+/// `LC_POLICY` fails loudly instead of silently running the default.
+#[test]
+fn latency_and_autotune_specs_build_and_reject_malformed_params() {
+    let control = LoadControl::builder(LoadControlConfig::for_capacity(2))
+        .policy_spec("latency(target_p99=20, floor=1)")
+        .expect("latency spec")
+        .build();
+    assert_eq!(control.policy_name(), "latency");
+    assert_eq!(
+        control.spec().policy.to_string(),
+        "latency(target_p99=20, floor=1)"
+    );
+    let control = LoadControl::builder(LoadControlConfig::for_capacity(2))
+        .policy_spec("autotune(inner=pid, objective=p99)")
+        .expect("autotune spec")
+        .build();
+    assert_eq!(control.policy_name(), "autotune");
+    assert_eq!(control.spec().policy.to_string(), "autotune(objective=p99)");
+    for bad in [
+        "latency(target_p99=0)",
+        "latency(target_p99=-5)",
+        "latency(target_p99=nan)",
+        "autotune(inner=lstm)",
+        "autotune(objective=vibes)",
+        "autotune(window=0)",
+        "latency(floor=1.5)",
+    ] {
+        assert!(
+            build_policy_spec(bad).is_err(),
+            "malformed spec accepted: {bad}"
+        );
+    }
 }
 
 /// A whole declarative `LoadControlSpec` round-trips: parse → build →
