@@ -130,7 +130,8 @@ pub use spec::{LoadControlSpec, ParsedSpec, SpecError};
 pub use spin_hook::SpinHook;
 pub use thread_ctx::{LoadControlPolicy, LoadGate, WorkerRegistration};
 pub use time::{
-    ParkOps, RealClock, SlotWait, ThreadPark, TimeSource, VirtualClock, WaitOutcome, WaitPoll,
+    ParkOps, RealClock, SlotHost, SlotWait, ThreadPark, TimeSource, VirtualClock, WaitOutcome,
+    WaitPoll,
 };
 pub use topology::{
     build_topology_spec, CpuShardMap, NodeShardMap, RegistrationShardMap, ShardMap,

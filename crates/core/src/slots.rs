@@ -82,6 +82,12 @@ impl SleeperId {
         Self(index)
     }
 
+    /// Reconstructs an id from its raw index — in-crate plumbing for the
+    /// [`crate::time::SlotHost`] impl, which keys episodes by the raw index.
+    pub(crate) fn from_raw(index: u64) -> Self {
+        Self(index)
+    }
+
     fn slot_value(self) -> u64 {
         self.0 + 1
     }

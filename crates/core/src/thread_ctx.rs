@@ -377,6 +377,16 @@ impl LoadGate {
         if !buffer.has_space_for(self.ctx.sleeper) {
             return false;
         }
+        // Drain a stale permit before publishing the new claim.  A controller
+        // unpark that raced our previous `leave()` — the wake scan cleared the
+        // old slot, we left on our own, and the batched unpark landed after —
+        // deposits a permit aimed at the *previous* episode.  Any permit
+        // present now predates the claim below (our slot is not yet visible
+        // to the wake scan), so consuming it can never lose a wake meant for
+        // this episode; left in place it would bounce the next park straight
+        // back to the poll loop, a wasted wake/sleep round trip per stale
+        // permit.
+        self.ctx.parker.try_consume_permit();
         match buffer.try_claim(self.ctx.sleeper) {
             ClaimOutcome::Claimed(idx) => {
                 self.claimed = Some(idx);
@@ -725,6 +735,80 @@ mod tests {
         assert_eq!(lc.sleepers(), 0);
         let stats = buffer.stats();
         assert_eq!(stats.ever_slept, stats.woken_and_left);
+    }
+
+    #[test]
+    fn late_unpark_after_leave_does_not_carry_into_the_next_episode() {
+        // A controller wake that races a departing sleeper — the wake scan
+        // cleared the old slot, the thread left on its own, and the batched
+        // unpark landed after `leave()` — deposits a permit aimed at the
+        // *previous* episode.  The next claim must drain it: the following
+        // park then runs its full course in a single `park_timeout` call
+        // instead of bouncing straight through on the stale permit.
+        let lc = LoadControl::with_policy(
+            LoadControlConfig::for_capacity(1).with_sleep_timeout(Duration::from_millis(60)),
+            Box::new(FixedPolicy::manual()),
+        );
+        lc.set_sleep_target(1);
+        let mut gate = LoadGate::new(&lc);
+        assert!(gate.try_claim());
+        // Episode 1 resolves without sleeping (we "won the lock"), and THEN
+        // the late unpark lands.
+        gate.cancel();
+        let ctx = current_ctx(&lc);
+        ctx.parker().unpark();
+        // Episode 2: the stale permit must be gone by the time the claim is
+        // published...
+        assert!(gate.try_claim());
+        let parks_before = ctx.parker().park_count();
+        let start = Instant::now();
+        // ...so this park times out after one real block, not two (a stale
+        // permit would end the first `park_timeout` instantly and force the
+        // wait loop around again).
+        assert!(gate.park());
+        assert!(
+            start.elapsed() >= Duration::from_millis(55),
+            "stale permit cut the next sleep episode short"
+        );
+        assert_eq!(
+            ctx.parker().park_count() - parks_before,
+            1,
+            "stale permit leaked into the episode and bounced the first park"
+        );
+        assert_eq!(lc.sleepers(), 0);
+        let stats = lc.buffer().stats();
+        assert_eq!(stats.ever_slept, stats.woken_and_left);
+    }
+
+    #[test]
+    fn unpark_after_claim_is_not_eaten_by_the_drain() {
+        // The drain runs *before* the claim is published, so a directed wake
+        // that lands after `try_claim` (the notify_one handoff path) must
+        // still cut the park short.
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let lc = LoadControl::with_policy(
+            LoadControlConfig::for_capacity(1).with_sleep_timeout(Duration::from_secs(5)),
+            Box::new(FixedPolicy::manual()),
+        );
+        lc.set_sleep_target(1);
+        let mut gate = LoadGate::new(&lc);
+        assert!(gate.try_claim());
+        let keep = Arc::new(AtomicBool::new(true));
+        let parker = Arc::clone(current_ctx(&lc).parker());
+        let keep2 = Arc::clone(&keep);
+        let notifier = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            keep2.store(false, Ordering::SeqCst);
+            parker.unpark();
+        });
+        let start = Instant::now();
+        assert!(gate.park_while(|| keep.load(Ordering::SeqCst)));
+        notifier.join().unwrap();
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "a wake aimed at the live episode was lost"
+        );
+        assert_eq!(lc.sleepers(), 0);
     }
 
     #[test]

@@ -118,6 +118,41 @@ impl ParkOps for ThreadPark {
     }
 }
 
+/// The slot store a [`SlotWait`] episode runs against.
+///
+/// [`SleepSlotBuffer`] is the in-process implementation; the `lc-shm` crate
+/// implements it for its shared-memory slot buffer so that *cross-process*
+/// waiters drive the very same wait state machine.  Claims are keyed by an
+/// opaque `u64` — the raw [`SleeperId`] index in-process, the sleeper-cell
+/// index in a shared segment — because a host valid across address spaces
+/// cannot traffic in pointers.
+pub trait SlotHost {
+    /// Whether the slot at `idx` still holds the claim identified by `key`
+    /// (i.e. the controller has not cleared it yet).
+    fn wait_still_claimed(&self, idx: usize, key: u64) -> bool;
+
+    /// Records one completed sleep episode of `elapsed` into the host's
+    /// wait-time histogram.
+    fn wait_record(&self, elapsed: Duration);
+
+    /// Releases the claim at `idx` held by `key` — exactly once per claim.
+    fn wait_leave(&self, idx: usize, key: u64);
+}
+
+impl SlotHost for SleepSlotBuffer {
+    fn wait_still_claimed(&self, idx: usize, key: u64) -> bool {
+        self.still_claimed(idx, SleeperId::from_raw(key))
+    }
+
+    fn wait_record(&self, elapsed: Duration) {
+        self.record_wait(elapsed);
+    }
+
+    fn wait_leave(&self, idx: usize, key: u64) {
+        self.leave(idx, SleeperId::from_raw(key));
+    }
+}
+
 /// What a [`SlotWait::poll`] found.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WaitPoll {
@@ -163,7 +198,7 @@ pub enum WaitOutcome {
 #[derive(Debug)]
 pub struct SlotWait {
     idx: usize,
-    sleeper: SleeperId,
+    key: u64,
     started: Duration,
     deadline: Duration,
 }
@@ -172,9 +207,16 @@ impl SlotWait {
     /// Starts an episode for a claim at slot `idx` held by `sleeper`,
     /// deadline `now + timeout`.
     pub fn begin(idx: usize, sleeper: SleeperId, now: Duration, timeout: Duration) -> Self {
+        Self::begin_keyed(idx, sleeper.index(), now, timeout)
+    }
+
+    /// [`SlotWait::begin`] with a raw claim key, for [`SlotHost`]s whose
+    /// sleeper identities are not in-process [`SleeperId`]s (the `lc-shm`
+    /// cross-process buffer keys claims by sleeper-cell index).
+    pub fn begin_keyed(idx: usize, key: u64, now: Duration, timeout: Duration) -> Self {
         Self {
             idx,
-            sleeper,
+            key,
             started: now,
             deadline: now.saturating_add(timeout),
         }
@@ -191,8 +233,8 @@ impl SlotWait {
     }
 
     /// Evaluates the wait condition at time `now`.
-    pub fn poll(&self, buffer: &SleepSlotBuffer, now: Duration) -> WaitPoll {
-        if !buffer.still_claimed(self.idx, self.sleeper) {
+    pub fn poll<H: SlotHost + ?Sized>(&self, host: &H, now: Duration) -> WaitPoll {
+        if !host.wait_still_claimed(self.idx, self.key) {
             return WaitPoll::Done(WaitOutcome::Cleared);
         }
         if now >= self.deadline {
@@ -207,11 +249,11 @@ impl SlotWait {
     }
 
     /// Ends the episode at time `now`: records the episode's wait time into
-    /// the buffer's histogram, then releases the slot claim (exactly once —
+    /// the host's histogram, then releases the slot claim (exactly once —
     /// `finish` consumes the wait).
-    pub fn finish(self, buffer: &SleepSlotBuffer, now: Duration) {
-        buffer.record_wait(now.saturating_sub(self.started));
-        buffer.leave(self.idx, self.sleeper);
+    pub fn finish<H: SlotHost + ?Sized>(self, host: &H, now: Duration) {
+        host.wait_record(now.saturating_sub(self.started));
+        host.wait_leave(self.idx, self.key);
     }
 }
 

@@ -22,6 +22,13 @@
 //! regenerated first case of the budget — a known-green schedule the replay
 //! suite will pin forever.  Re-emitting identical content reuses the same
 //! filename, so fixture emission is idempotent.
+//!
+//! `--emit-on failure` restricts emission to violations only.  That is the
+//! mode CI's *randomized* fuzz step runs in: every fresh seed would pin a
+//! different clean case-0 fixture (useless churn, and an instant diff
+//! against the committed tree), but a shrunk failing trace is exactly what
+//! the replay corpus wants — the step fails, the trace lands in
+//! `tests/fixtures/des/`, and committing it pins the regression forever.
 
 use lc_des::fuzz::{generate, run_fuzz, write_trace, FuzzConfig};
 
@@ -54,6 +61,7 @@ fn main() {
     let mut seed = lc_des::test_seed();
     let mut config = FuzzConfig::default();
     let mut fixture_dir: Option<String> = None;
+    let mut emit_on_failure_only = false;
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
         if flag == "--emit-fixture" {
@@ -61,6 +69,17 @@ fn main() {
                 Some(dir) => fixture_dir = Some(dir),
                 None => {
                     eprintln!("des_fuzz: --emit-fixture needs a directory");
+                    std::process::exit(2);
+                }
+            }
+            continue;
+        }
+        if flag == "--emit-on" {
+            match iter.next().as_deref() {
+                Some("always") => emit_on_failure_only = false,
+                Some("failure") => emit_on_failure_only = true,
+                _ => {
+                    eprintln!("des_fuzz: --emit-on needs 'always' or 'failure'");
                     std::process::exit(2);
                 }
             }
@@ -96,7 +115,7 @@ fn main() {
                 "des_fuzz: OK — {} cases, {} actions, all invariants held",
                 summary.cases, summary.actions
             );
-            if let Some(dir) = fixture_dir {
+            if let Some(dir) = fixture_dir.filter(|_| !emit_on_failure_only) {
                 // A clean run pins its first case: a known-green schedule
                 // from this exact seed and configuration.
                 let case = generate(seed, 0, &config);

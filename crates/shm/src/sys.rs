@@ -1,0 +1,249 @@
+//! Raw Linux plumbing for the cross-process plane: `mmap`, `memfd_create`,
+//! the two futex operations the wake path needs, and the `/proc/<pid>`
+//! liveness probe behind crash reclamation.
+//!
+//! The workspace vendors no FFI crates, so the handful of kernel entry
+//! points used here are declared directly against the C runtime the Rust
+//! standard library already links (`mmap`/`munmap`/`clock_gettime` are
+//! plain libc exports; `futex` and `memfd_create` have no libc wrapper old
+//! glibc versions are guaranteed to ship, so both go through the variadic
+//! `syscall(2)` trampoline with per-architecture numbers).  Everything is
+//! wrapped in safe, `io::Result`-shaped functions so the rest of the crate
+//! never touches a raw errno.
+//!
+//! On non-Linux targets every entry point compiles to a stub that returns
+//! [`std::io::ErrorKind::Unsupported`]; the segment and futex layers
+//! propagate the error instead of faking shared memory.
+
+use std::io;
+use std::path::Path;
+use std::sync::atomic::AtomicU32;
+use std::time::Duration;
+
+/// Outcome of one bounded futex wait.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FutexWait {
+    /// The word changed before or during the wait, or a wake was posted.
+    Woken,
+    /// The (relative) timeout elapsed with the word still at the expected
+    /// value.
+    TimedOut,
+}
+
+#[cfg(target_os = "linux")]
+mod imp {
+    use super::*;
+    use std::fs::File;
+    use std::os::fd::{FromRawFd, RawFd};
+
+    // Plain libc exports the standard library already links.
+    extern "C" {
+        fn mmap(
+            addr: *mut core::ffi::c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut core::ffi::c_void;
+        fn munmap(addr: *mut core::ffi::c_void, len: usize) -> i32;
+        fn clock_gettime(clock_id: i32, tp: *mut Timespec) -> i32;
+        fn syscall(num: i64, ...) -> i64;
+    }
+
+    #[repr(C)]
+    struct Timespec {
+        tv_sec: i64,
+        tv_nsec: i64,
+    }
+
+    const PROT_READ: i32 = 1;
+    const PROT_WRITE: i32 = 2;
+    const MAP_SHARED: i32 = 1;
+    const CLOCK_MONOTONIC: i32 = 1;
+
+    #[cfg(target_arch = "x86_64")]
+    const SYS_FUTEX: i64 = 202;
+    #[cfg(target_arch = "x86_64")]
+    const SYS_MEMFD_CREATE: i64 = 319;
+    #[cfg(target_arch = "aarch64")]
+    const SYS_FUTEX: i64 = 98;
+    #[cfg(target_arch = "aarch64")]
+    const SYS_MEMFD_CREATE: i64 = 279;
+
+    // Deliberately *without* FUTEX_PRIVATE_FLAG: the wait word lives in a
+    // MAP_SHARED segment and wakes must cross address spaces.
+    const FUTEX_WAIT_BITSET: i32 = 9;
+    const FUTEX_WAKE: i32 = 1;
+    const FUTEX_BITSET_MATCH_ANY: u32 = 0xffff_ffff;
+
+    const ETIMEDOUT: i32 = 110;
+
+    /// Maps `len` bytes of `fd` shared and read-write.
+    pub fn map_shared(fd: RawFd, len: usize) -> io::Result<*mut u8> {
+        // SAFETY: a fresh anonymous mapping request over a caller-owned fd;
+        // the kernel validates fd and length, and we check for MAP_FAILED.
+        let ptr = unsafe {
+            mmap(
+                core::ptr::null_mut(),
+                len,
+                PROT_READ | PROT_WRITE,
+                MAP_SHARED,
+                fd,
+                0,
+            )
+        };
+        if ptr as isize == -1 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(ptr.cast())
+    }
+
+    /// Unmaps a region previously returned by [`map_shared`].
+    ///
+    /// # Safety
+    /// `ptr`/`len` must denote exactly one live mapping created by
+    /// [`map_shared`], and nothing may reference the region afterwards.
+    pub unsafe fn unmap(ptr: *mut u8, len: usize) {
+        let _ = munmap(ptr.cast(), len);
+    }
+
+    /// Creates an anonymous memory-backed file (`memfd_create(2)`), the
+    /// segment backing used by tests and the deterministic bench.
+    pub fn memfd_create(name: &str) -> io::Result<File> {
+        let mut bytes = name.as_bytes().to_vec();
+        bytes.push(0);
+        // SAFETY: `bytes` is a NUL-terminated buffer that outlives the call.
+        let fd = unsafe { syscall(SYS_MEMFD_CREATE, bytes.as_ptr(), 0u32) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        // SAFETY: the kernel just handed us exclusive ownership of this fd.
+        Ok(unsafe { File::from_raw_fd(fd as RawFd) })
+    }
+
+    fn monotonic_now() -> Timespec {
+        let mut ts = Timespec {
+            tv_sec: 0,
+            tv_nsec: 0,
+        };
+        // SAFETY: `ts` is a valid out-pointer for the duration of the call.
+        let rc = unsafe { clock_gettime(CLOCK_MONOTONIC, &mut ts) };
+        debug_assert_eq!(rc, 0);
+        ts
+    }
+
+    /// Blocks until `word` leaves `expected`, a wake is posted, or `timeout`
+    /// elapses.  Spurious returns surface as [`FutexWait::Woken`]; callers
+    /// re-check their predicate, exactly like `Condvar` users.
+    pub fn futex_wait(word: &AtomicU32, expected: u32, timeout: Duration) -> FutexWait {
+        // FUTEX_WAIT_BITSET takes an *absolute* CLOCK_MONOTONIC deadline,
+        // which is what makes re-waiting after a spurious wake cheap: the
+        // deadline is computed once per park, not re-derived per loop.
+        let now = monotonic_now();
+        let total = now.tv_nsec as u128 + timeout.subsec_nanos() as u128;
+        let deadline = Timespec {
+            tv_sec: now
+                .tv_sec
+                .saturating_add(timeout.as_secs().min(i64::MAX as u64) as i64)
+                .saturating_add((total / 1_000_000_000) as i64),
+            tv_nsec: (total % 1_000_000_000) as i64,
+        };
+        // SAFETY: `word` outlives the call and the timespec is a valid
+        // pointer; FUTEX_WAIT_BITSET reads both and blocks.
+        let rc = unsafe {
+            syscall(
+                SYS_FUTEX,
+                word.as_ptr(),
+                FUTEX_WAIT_BITSET,
+                expected,
+                &deadline as *const Timespec,
+                core::ptr::null::<u32>(),
+                FUTEX_BITSET_MATCH_ANY,
+            )
+        };
+        if rc == -1 && io::Error::last_os_error().raw_os_error() == Some(ETIMEDOUT) {
+            FutexWait::TimedOut
+        } else {
+            // 0 (woken), EAGAIN (word already changed), EINTR (signal):
+            // all mean "go re-check the predicate".
+            FutexWait::Woken
+        }
+    }
+
+    /// Wakes up to `n` waiters blocked on `word`; returns how many woke.
+    pub fn futex_wake(word: &AtomicU32, n: u32) -> usize {
+        // SAFETY: `word` outlives the call; FUTEX_WAKE only reads the
+        // address to find its wait queue.
+        let rc = unsafe { syscall(SYS_FUTEX, word.as_ptr(), FUTEX_WAKE, n) };
+        rc.max(0) as usize
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod imp {
+    use super::*;
+    use std::fs::File;
+
+    fn unsupported<T>() -> io::Result<T> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "lc-shm requires Linux (mmap/futex/memfd)",
+        ))
+    }
+
+    /// Stub: shared mappings need Linux.
+    pub fn map_shared(_fd: i32, _len: usize) -> io::Result<*mut u8> {
+        unsupported()
+    }
+
+    /// Stub counterpart of the Linux unmap.
+    ///
+    /// # Safety
+    /// No-op; exists so callers compile unchanged.
+    pub unsafe fn unmap(_ptr: *mut u8, _len: usize) {}
+
+    /// Stub: memfds need Linux.
+    pub fn memfd_create(_name: &str) -> io::Result<File> {
+        unsupported()
+    }
+
+    /// Stub: waits never block off-Linux (callers treat this as a spurious
+    /// wake and re-check their predicate, so behavior stays safe).
+    pub fn futex_wait(_word: &AtomicU32, _expected: u32, _timeout: Duration) -> FutexWait {
+        FutexWait::TimedOut
+    }
+
+    /// Stub: nothing to wake off-Linux.
+    pub fn futex_wake(_word: &AtomicU32, _n: u32) -> usize {
+        0
+    }
+}
+
+pub use imp::{futex_wait, futex_wake, map_shared, memfd_create, unmap};
+
+/// Whether the process `pid` is alive, judged through a procfs root
+/// (injectable for tests and the deterministic bench, mirroring
+/// `lc_accounting::ProcfsLoadSampler::with_root`).
+///
+/// A pid is *dead* when its `/proc/<pid>` directory is gone **or** the
+/// process is a zombie (`State: Z` — SIGKILLed but not yet reaped by its
+/// parent; its slots are never coming back either way).
+pub fn pid_alive(proc_root: &Path, pid: u32) -> bool {
+    let dir = proc_root.join(pid.to_string());
+    if !dir.exists() {
+        return false;
+    }
+    match std::fs::read_to_string(dir.join("stat")) {
+        // field 3 of /proc/<pid>/stat is the state letter; the comm field
+        // before it is parenthesized and may contain spaces, so scan from
+        // the closing paren.
+        Ok(stat) => match stat.rfind(')') {
+            Some(idx) => !matches!(stat[idx + 1..].trim_start().chars().next(), Some('Z' | 'X')),
+            None => true,
+        },
+        // Readable directory but unreadable stat: give the pid the benefit
+        // of the doubt — reclamation must never steal a live claim.
+        Err(_) => true,
+    }
+}

@@ -1,0 +1,152 @@
+//! Crash-injection suite: the acceptance property of the cross-process
+//! plane is that **SIGKILL never strands the books**.  A worker that dies
+//! with a claimed slot must be swept back into `S − W` by the controller's
+//! reclamation cycle, and a controller that dies holding the lease must be
+//! replaced by takeover — both exercised here against real child
+//! processes and the real `/proc` probe.
+#![cfg(target_os = "linux")]
+
+use lc_shm::{layout, Geometry, ShmController, ShmSegment, ShmSlotBuffer};
+use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn temp_segment(name: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("lc-shm-{}-{}.seg", name, std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+fn lcctl() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_lcctl"))
+}
+
+#[test]
+fn sigkilled_parked_worker_never_strands_the_books() {
+    let path = temp_segment("crash");
+    let seg = Arc::new(ShmSegment::create(&path, Geometry::DEFAULT).expect("create segment"));
+    let buffer = ShmSlotBuffer::new(Arc::clone(&seg));
+
+    // A real child process attaches, claims a slot, parks on its futex,
+    // and reports the claim on stdout.
+    let mut child = lcctl()
+        .args(["__test-worker", path.to_str().unwrap()])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn test worker");
+    let line = BufReader::new(child.stdout.take().unwrap())
+        .lines()
+        .next()
+        .expect("worker reported")
+        .expect("readable stdout");
+    assert!(line.starts_with("parked slot="), "unexpected: {line}");
+    let slot: usize = line
+        .split_whitespace()
+        .find_map(|tok| tok.strip_prefix("slot="))
+        .unwrap()
+        .parse()
+        .unwrap();
+    let stats = buffer.stats();
+    assert_eq!(stats.sleeping, 1, "worker's claim not visible");
+    assert_eq!(stats.ever_slept, 1);
+
+    // SIGKILL mid-park, and reap so /proc/<pid> actually disappears.
+    child.kill().expect("SIGKILL worker");
+    child.wait().expect("reap worker");
+
+    // One reclamation cycle restores the books.
+    let mut controller = ShmController::new(buffer.clone(), 2);
+    assert!(controller.run_cycle(), "election over an empty lease");
+    let stats = buffer.stats();
+    assert_eq!(stats.sleeping, 0, "dead worker stranded S - W");
+    assert_eq!(stats.ever_slept, stats.woken_and_left, "books unbalanced");
+    assert_eq!(stats.reclaimed_slots, 1);
+    assert_eq!(
+        seg.u64_at(layout::OFF_RECLAIMED_MEMBERS)
+            .load(Ordering::Acquire),
+        1,
+        "dead worker's member entry not swept"
+    );
+
+    // The reclaimed slot is reusable: claiming the whole shard reaches it.
+    let cell = buffer.register_sleeper(std::process::id()).expect("cell");
+    let shard = slot / buffer.geometry().shard_capacity;
+    let mut claimed = Vec::new();
+    while let Some(s) = buffer.try_claim(shard, cell) {
+        claimed.push(s);
+    }
+    assert!(
+        claimed.contains(&slot),
+        "reclaimed slot {slot} not claimable again (got {claimed:?})"
+    );
+    for s in claimed {
+        buffer.leave(s, cell);
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn dead_controller_lease_is_taken_over() {
+    let path = temp_segment("takeover");
+    let seg = Arc::new(ShmSegment::create(&path, Geometry::DEFAULT).expect("create segment"));
+    let buffer = ShmSlotBuffer::new(Arc::clone(&seg));
+
+    // A child process wins the election and heartbeats.
+    let mut child = lcctl()
+        .args(["__test-controller", path.to_str().unwrap()])
+        .spawn()
+        .expect("spawn test controller");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while seg
+        .u64_at(layout::OFF_CONTROLLER_HEARTBEAT)
+        .load(Ordering::Acquire)
+        == 0
+    {
+        assert!(Instant::now() < deadline, "child controller never elected");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let child_lease = seg
+        .u64_at(layout::OFF_CONTROLLER_LEASE)
+        .load(Ordering::Acquire);
+    assert_eq!(layout::lease_pid(child_lease), child.id());
+
+    // SIGKILL the elected controller; the lease is now held by a dead pid.
+    child.kill().expect("SIGKILL controller");
+    child.wait().expect("reap controller");
+
+    // A fresh candidate probes the holder, finds it dead, and takes over.
+    let mut candidate = ShmController::new(buffer.clone(), 2);
+    assert!(candidate.run_cycle(), "takeover failed");
+    assert_eq!(
+        seg.u64_at(layout::OFF_TAKEOVERS).load(Ordering::Acquire),
+        1,
+        "takeover not counted"
+    );
+    let lease = seg
+        .u64_at(layout::OFF_CONTROLLER_LEASE)
+        .load(Ordering::Acquire);
+    assert_eq!(layout::lease_pid(lease), std::process::id());
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn live_controller_lease_is_respected() {
+    // The inverse guard: a candidate must NOT steal the lease from a
+    // holder whose pid is alive (this process).
+    let path = temp_segment("respect");
+    let seg = Arc::new(ShmSegment::create(&path, Geometry::DEFAULT).expect("create segment"));
+    let buffer = ShmSlotBuffer::new(Arc::clone(&seg));
+
+    let mut holder = ShmController::new(buffer.clone(), 2);
+    assert!(holder.run_cycle());
+    let mut rival = ShmController::new(buffer.clone(), 2).with_pid(std::process::id());
+    // Rival has a distinct lease generation but the same (live) pid word
+    // already holds the lease: election must fail.
+    assert!(!rival.try_elect(), "rival stole a live lease");
+    assert_eq!(seg.u64_at(layout::OFF_TAKEOVERS).load(Ordering::Acquire), 0);
+    holder.resign();
+    let _ = std::fs::remove_file(&path);
+}
